@@ -1,0 +1,319 @@
+// Package lattol's root benchmark harness: one benchmark per paper exhibit
+// (Tables 1–4, Figures 4–11, the Section 8 sensitivity study) plus the
+// ablation benchmarks called out in DESIGN.md §6. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each BenchmarkFigureN / BenchmarkTableN regenerates the full exhibit per
+// iteration; the validation benchmarks use shortened simulation horizons so
+// the suite completes in minutes (use cmd/paperfigs -full for paper-length
+// runs).
+package lattol
+
+import (
+	"testing"
+
+	"lattol/internal/access"
+	"lattol/internal/experiments"
+	"lattol/internal/mms"
+	"lattol/internal/simmms"
+	"lattol/internal/tolerance"
+	"lattol/internal/topology"
+)
+
+func benchErr(b *testing.B, err error) {
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// ---- Paper exhibits -------------------------------------------------------
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.DefaultConfigTable().String()
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Figure4()
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Figure5()
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Table2()
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Figure6()
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Figure7()
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Table3()
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Figure8()
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Table4()
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Figure9()
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Figure10()
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Figure11(experiments.ValidationOptions{
+			Seed: int64(i), Warmup: 3000, Duration: 25000, Threads: []int{2, 6, 10},
+		})
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkValidationDet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.ValidationDeterministic(experiments.ValidationOptions{
+			Seed: int64(i), Warmup: 3000, Duration: 25000, Threads: []int{4, 8},
+		})
+		benchErr(b, err)
+	}
+}
+
+// ---- Extension studies -----------------------------------------------------
+
+func BenchmarkExtensionMemoryPorts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.ExtensionMemoryPorts()
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkExtensionLocalPriority(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.ExtensionLocalPriority(experiments.ValidationOptions{
+			Seed: int64(i), Warmup: 3000, Duration: 25000,
+		})
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkExtensionFiniteBuffers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.ExtensionFiniteBuffers(experiments.ValidationOptions{
+			Seed: int64(i), Warmup: 3000, Duration: 25000,
+		})
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkExtensionPipelinedSwitches(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.ExtensionPipelinedSwitches()
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkExtensionHotSpot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.ExtensionHotSpot()
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkExtensionImbalance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.ExtensionImbalance()
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkExtensionMeshVsTorus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.ExtensionMeshVsTorus()
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkExtensionBarrier(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.ExtensionBarrier(experiments.ValidationOptions{
+			Seed: int64(i), Warmup: 2000, Duration: 15000,
+		})
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkDeviationStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.DeviationStudy(experiments.ValidationOptions{
+			Seed: int64(i), Warmup: 2000, Duration: 15000,
+		})
+		benchErr(b, err)
+	}
+}
+
+// ---- Ablations (DESIGN.md §6) ----------------------------------------------
+
+// BenchmarkAblationSymmetric measures the symmetric fast path against the
+// general multiclass AMVA on the same 8×8 system (64 classes, 256 stations).
+func BenchmarkAblationSymmetric(b *testing.B) {
+	cfg := mms.DefaultConfig()
+	cfg.K = 8
+	model, err := mms.Build(cfg)
+	benchErr(b, err)
+	b.Run("symmetric", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, err := model.Solve(mms.SolveOptions{Solver: mms.SymmetricAMVA})
+			benchErr(b, err)
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, err := model.Solve(mms.SolveOptions{Solver: mms.FullAMVA})
+			benchErr(b, err)
+		}
+	})
+}
+
+// BenchmarkAblationExactMVA compares the exact multiclass recursion with the
+// approximate solver on the largest system where exact is feasible.
+func BenchmarkAblationExactMVA(b *testing.B) {
+	cfg := mms.Config{K: 2, Threads: 2, Runlength: 10, MemoryTime: 10, SwitchTime: 10, PRemote: 0.4, Psw: 0.5}
+	model, err := mms.Build(cfg)
+	benchErr(b, err)
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, err := model.Solve(mms.SolveOptions{Solver: mms.ExactMVA})
+			benchErr(b, err)
+		}
+	})
+	b.Run("approx", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, err := model.Solve(mms.SolveOptions{Solver: mms.SymmetricAMVA})
+			benchErr(b, err)
+		}
+	})
+}
+
+// BenchmarkAblationPattern compares the paper's per-distance geometric
+// normalization with the per-node variant and the uniform pattern.
+func BenchmarkAblationPattern(b *testing.B) {
+	for _, variant := range []struct {
+		name string
+		cfg  func() mms.Config
+	}{
+		{"per-distance", func() mms.Config { return mms.DefaultConfig() }},
+		{"per-node", func() mms.Config {
+			cfg := mms.DefaultConfig()
+			cfg.GeometricMode = access.PerNode
+			return cfg
+		}},
+		{"uniform", func() mms.Config {
+			cfg := mms.DefaultConfig()
+			cfg.Pattern = access.MustUniform(topology.MustTorus(cfg.K))
+			return cfg
+		}},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			cfg := variant.cfg()
+			for i := 0; i < b.N; i++ {
+				_, err := tolerance.NetworkIndex(cfg)
+				benchErr(b, err)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEngines compares the two simulation substrates on an
+// identical workload and horizon.
+func BenchmarkAblationEngines(b *testing.B) {
+	cfg := mms.DefaultConfig()
+	for _, eng := range []simmms.EngineKind{simmms.Direct, simmms.STPN} {
+		b.Run(eng.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := simmms.Run(cfg, simmms.Options{
+					Engine: eng, Seed: int64(i), Warmup: 2000, Duration: 20000,
+				})
+				benchErr(b, err)
+			}
+		})
+	}
+}
+
+// ---- Component microbenchmarks ---------------------------------------------
+
+func BenchmarkSolveDefault(b *testing.B) {
+	model, err := mms.Build(mms.DefaultConfig())
+	benchErr(b, err)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := model.Solve(mms.SolveOptions{})
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkSolveK10(b *testing.B) {
+	cfg := mms.DefaultConfig()
+	cfg.K = 10
+	model, err := mms.Build(cfg)
+	benchErr(b, err)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := model.Solve(mms.SolveOptions{})
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkBuildModelK10(b *testing.B) {
+	cfg := mms.DefaultConfig()
+	cfg.K = 10
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := mms.Build(cfg)
+		benchErr(b, err)
+	}
+}

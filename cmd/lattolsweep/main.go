@@ -1,0 +1,149 @@
+// Command lattolsweep sweeps one model parameter across a range and prints
+// every performance measure plus both tolerance indices per point, as an
+// aligned table or CSV. It is the generic workhorse behind "how does X move
+// when I turn knob Y" questions.
+//
+// Usage:
+//
+//	lattolsweep -sweep premote -from 0.05 -to 0.9 -steps 18
+//	lattolsweep -sweep nt -from 1 -to 16 -steps 16 -csv
+//	lattolsweep -sweep k -from 2 -to 10 -steps 5 -r 20
+//
+// Sweepable parameters: nt, r, l, s, premote, psw, k, memports, swports.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"lattol/internal/mms"
+	"lattol/internal/report"
+	"lattol/internal/sweep"
+	"lattol/internal/tolerance"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lattolsweep: ")
+	var (
+		param = flag.String("sweep", "premote", "parameter to sweep: nt, r, l, s, premote, psw, k, memports, swports")
+		from  = flag.Float64("from", 0.05, "range start")
+		to    = flag.Float64("to", 0.9, "range end")
+		steps = flag.Int("steps", 10, "number of points")
+		csv   = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+
+		k   = flag.Int("k", 4, "PEs per torus dimension")
+		nt  = flag.Int("nt", 8, "threads per processor")
+		r   = flag.Float64("r", 10, "thread runlength R")
+		l   = flag.Float64("l", 10, "memory access time L")
+		s   = flag.Float64("s", 10, "switch delay S")
+		p   = flag.Float64("p", 0.2, "remote access probability")
+		psw = flag.Float64("psw", 0.5, "geometric locality parameter")
+	)
+	flag.Parse()
+
+	base := mms.Config{K: *k, Threads: *nt, Runlength: *r, MemoryTime: *l, SwitchTime: *s, PRemote: *p, Psw: *psw}
+	apply, integer, err := applier(*param)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	values := sweep.Linspace(*from, *to, *steps)
+	if integer {
+		values = uniqueRounded(values)
+	}
+	type row struct {
+		value  float64
+		met    mms.Metrics
+		tolNet float64
+		tolMem float64
+	}
+	rows, err := sweep.Map(values, 0, func(v float64) (row, error) {
+		cfg := base
+		if err := apply(&cfg, v); err != nil {
+			return row{}, err
+		}
+		met, err := mms.Solve(cfg)
+		if err != nil {
+			return row{}, err
+		}
+		netIdx, err := tolerance.NetworkIndex(cfg)
+		if err != nil {
+			return row{}, err
+		}
+		memIdx, err := tolerance.MemoryIndex(cfg)
+		if err != nil {
+			return row{}, err
+		}
+		return row{value: v, met: met, tolNet: netIdx.Tol, tolMem: memIdx.Tol}, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("sweep of %s over [%g, %g] (base: k=%d nt=%d R=%g L=%g S=%g p=%g psw=%g)",
+			*param, *from, *to, *k, *nt, *r, *l, *s, *p, *psw),
+		*param, "U_p", "lambda_net", "S_obs", "L_obs", "tol_network", "tol_memory")
+	for _, rw := range rows {
+		t.Add(
+			report.Float(rw.value, -1),
+			report.Float(rw.met.Up, 4),
+			report.Float(rw.met.LambdaNet, 5),
+			report.Float(rw.met.SObs, 2),
+			report.Float(rw.met.LObs, 2),
+			report.Float(rw.tolNet, 4),
+			report.Float(rw.tolMem, 4),
+		)
+	}
+	if *csv {
+		fmt.Fprint(os.Stdout, t.CSV())
+	} else {
+		fmt.Fprint(os.Stdout, t.String())
+	}
+}
+
+// applier returns a function that sets the swept parameter, and whether the
+// parameter is integral.
+func applier(param string) (func(*mms.Config, float64) error, bool, error) {
+	switch param {
+	case "nt":
+		return func(c *mms.Config, v float64) error { c.Threads = int(math.Round(v)); return nil }, true, nil
+	case "r":
+		return func(c *mms.Config, v float64) error { c.Runlength = v; return nil }, false, nil
+	case "l":
+		return func(c *mms.Config, v float64) error { c.MemoryTime = v; return nil }, false, nil
+	case "s":
+		return func(c *mms.Config, v float64) error { c.SwitchTime = v; return nil }, false, nil
+	case "premote":
+		return func(c *mms.Config, v float64) error { c.PRemote = v; return nil }, false, nil
+	case "psw":
+		return func(c *mms.Config, v float64) error { c.Psw = v; return nil }, false, nil
+	case "k":
+		return func(c *mms.Config, v float64) error { c.K = int(math.Round(v)); return nil }, true, nil
+	case "memports":
+		return func(c *mms.Config, v float64) error { c.MemoryPorts = int(math.Round(v)); return nil }, true, nil
+	case "swports":
+		return func(c *mms.Config, v float64) error { c.SwitchPorts = int(math.Round(v)); return nil }, true, nil
+	default:
+		return nil, false, fmt.Errorf("unknown sweep parameter %q", param)
+	}
+}
+
+// uniqueRounded rounds values to integers and drops duplicates, preserving
+// order.
+func uniqueRounded(values []float64) []float64 {
+	seen := map[int]bool{}
+	var out []float64
+	for _, v := range values {
+		i := int(math.Round(v))
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, float64(i))
+		}
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+// Command mmssim simulates one MMS configuration (direct discrete-event or
+// stochastic-timed-Petri-net engine) and compares the measurements with the
+// analytical model.
+//
+// Usage:
+//
+//	mmssim [-engine stpn|direct] [-seed 1] [-warmup 20000] [-duration 200000]
+//	       [-memdist exp|det|erlang4] [-swdist exp|det|erlang4]
+//	       [-k 4] [-nt 8] [-r 10] [-l 10] [-s 10] [-p 0.2] [-psw 0.5] [-uniform]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"time"
+
+	"lattol/internal/access"
+	"lattol/internal/mms"
+	"lattol/internal/report"
+	"lattol/internal/simmms"
+	"lattol/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mmssim: ")
+	var (
+		engine   = flag.String("engine", "stpn", "simulation engine: stpn or direct")
+		seed     = flag.Int64("seed", 1, "random seed")
+		warmup   = flag.Float64("warmup", 20000, "warm-up time discarded before measuring")
+		duration = flag.Float64("duration", 200000, "measured simulation time")
+		memdist  = flag.String("memdist", "exp", "memory service distribution: exp, det or erlang4")
+		swdist   = flag.String("swdist", "exp", "switch service distribution: exp, det or erlang4")
+		k        = flag.Int("k", 4, "PEs per torus dimension")
+		nt       = flag.Int("nt", 8, "threads per processor")
+		r        = flag.Float64("r", 10, "thread runlength R")
+		l        = flag.Float64("l", 10, "memory access time L")
+		s        = flag.Float64("s", 10, "switch delay S")
+		p        = flag.Float64("p", 0.2, "remote access probability")
+		psw      = flag.Float64("psw", 0.5, "geometric locality parameter")
+		uniform  = flag.Bool("uniform", false, "use the uniform remote access pattern")
+		window   = flag.Int("window", 0, "max outstanding remote accesses per PE (0 = unbounded; direct engine only)")
+		priority = flag.Bool("priority", false, "serve local memory requests first (direct engine only)")
+		memp     = flag.Int("memports", 1, "parallel ports per memory module")
+		swp      = flag.Int("swports", 1, "parallel routing engines per switch")
+	)
+	flag.Parse()
+
+	cfg := mms.Config{
+		K: *k, Threads: *nt, Runlength: *r, MemoryTime: *l, SwitchTime: *s,
+		PRemote: *p, Psw: *psw,
+		MemoryPorts: *memp, SwitchPorts: *swp,
+	}
+	if *uniform {
+		u, err := access.NewUniform(topology.MustTorus(*k))
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Pattern = u
+	}
+	opts := simmms.Options{
+		Seed: *seed, Warmup: *warmup, Duration: *duration,
+		MemDist:          parseDist(*memdist),
+		SwitchDist:       parseDist(*swdist),
+		NetworkWindow:    *window,
+		LocalMemPriority: *priority,
+	}
+	switch *engine {
+	case "stpn":
+		opts.Engine = simmms.STPN
+	case "direct":
+		opts.Engine = simmms.Direct
+	default:
+		log.Fatalf("unknown engine %q", *engine)
+	}
+
+	start := time.Now()
+	sim, err := simmms.Run(cfg, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	ana, err := mms.Solve(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("simulation (%s, %g time units measured, %v wall) vs analytical model",
+			opts.Engine, *duration, elapsed.Round(time.Millisecond)),
+		"measure", "simulated", "model", "rel diff")
+	add := func(name string, sv, av float64, prec int) {
+		diff := "-"
+		if av != 0 {
+			diff = fmt.Sprintf("%.1f%%", math.Abs(sv-av)/av*100)
+		}
+		t.Add(name, report.Float(sv, prec), report.Float(av, prec), diff)
+	}
+	add("U_p", sim.Up, ana.Up, 4)
+	add("lambda_proc", sim.LambdaProc, ana.LambdaProc, 5)
+	add("lambda_net", sim.LambdaNet, ana.LambdaNet, 5)
+	add("S_obs", sim.SObs, ana.SObs, 2)
+	add("L_obs", sim.LObs, ana.LObs, 2)
+	fmt.Fprint(os.Stdout, t.String())
+	fmt.Printf("samples: %d memory accesses, %d network legs\n", sim.Accesses, sim.RemoteLegs)
+}
+
+func parseDist(s string) simmms.DistKind {
+	switch s {
+	case "exp":
+		return simmms.ExpDist
+	case "det":
+		return simmms.DetDist
+	case "erlang4":
+		return simmms.Erlang4Dist
+	default:
+		log.Fatalf("unknown distribution %q", s)
+		return simmms.ExpDist
+	}
+}

@@ -1,0 +1,61 @@
+// Hot-spot analysis: what happens to latency tolerance when sharing is
+// concentrated?
+//
+// The paper's workload spreads remote accesses geometrically over the torus.
+// Real programs also have a hot module — a lock, a reduction target, the
+// master copy of a data structure. This example redirects a growing fraction
+// of every PE's remote accesses to memory module 0, solves the asymmetric
+// system with the full multiclass AMVA, and prints the per-PE utilization
+// map. The punchline: the hot node's *own* threads suffer most, because
+// their local memory is the module the whole machine is hammering.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lattol/internal/mms"
+	"lattol/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := mms.DefaultConfig()
+	cfg.PRemote = 0.4
+
+	t := report.NewTable(
+		"Hot-spot traffic toward memory 0 (4x4 torus, n_t=8, R=10, p_remote=0.4)",
+		"hot fraction", "min U_p", "mean U_p", "max U_p", "hot mem util")
+	var last mms.HotSpotMetrics
+	for _, f := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5} {
+		h, err := mms.BuildHotSpot(cfg, 0, f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		met, err := h.Solve(mms.SolveOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		last = met
+		t.Add(
+			report.Float(f, -1),
+			report.Float(met.MinUp, 3),
+			report.Float(met.MeanUp, 3),
+			report.Float(met.MaxUp, 3),
+			report.Float(met.HotMemUtilization, 3),
+		)
+	}
+	fmt.Print(t.String())
+
+	fmt.Println("\nPer-PE U_p map at hot fraction 0.5 (hot module at node 0, top-left):")
+	for y := 0; y < cfg.K; y++ {
+		for x := 0; x < cfg.K; x++ {
+			fmt.Printf("  %.3f", last.PerClassUp[y*cfg.K+x])
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nThe hot node's own threads hold the lowest U_p: their local memory is the")
+	fmt.Println("saturated module, so they queue behind the whole machine's hot traffic.")
+	fmt.Println("Tolerance depends on the access *pattern*, not only on distances.")
+}

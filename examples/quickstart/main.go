@@ -1,0 +1,53 @@
+// Quickstart: build the paper's default multithreaded multiprocessor system,
+// solve it analytically, and ask the headline question — are the memory and
+// network latencies tolerated?
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lattol/internal/bottleneck"
+	"lattol/internal/mms"
+	"lattol/internal/tolerance"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The paper's Table 1 defaults: a 4×4 torus, 8 threads per processor,
+	// runlength 10, memory and switch delays of 10, 20% remote accesses with
+	// geometric locality p_sw = 0.5.
+	cfg := mms.DefaultConfig()
+
+	met, err := mms.Solve(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Processor utilization U_p      = %.3f\n", met.Up)
+	fmt.Printf("One-way network latency S_obs  = %.1f cycles (unloaded: 27.3)\n", met.SObs)
+	fmt.Printf("Observed memory latency L_obs  = %.1f cycles (service: %g)\n", met.LObs, cfg.MemoryTime)
+	fmt.Printf("Message rate to network        = %.4f per cycle per PE\n\n", met.LambdaNet)
+
+	// The tolerance index quantifies how close this is to an ideal system.
+	netIdx, err := tolerance.NetworkIndex(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	memIdx, err := tolerance.MemoryIndex(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tol_network = %.3f  -> the network latency is %s\n", netIdx.Tol, netIdx.Zone())
+	fmt.Printf("tol_memory  = %.3f  -> the memory latency is %s\n\n", memIdx.Tol, memIdx.Zone())
+
+	// Bottleneck analysis tells us how far this workload can push remote
+	// traffic before the processor starves (paper Eqs. 4 and 5).
+	ba, err := bottleneck.Analyze(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("critical p_remote     = %.3f (U_p starts dropping beyond this)\n", ba.CriticalPRemote)
+	fmt.Printf("IN saturates at p     = %.3f (lambda_net flattens at %.4f)\n", ba.SaturationPRemote, ba.NetSaturationRate)
+	fmt.Printf("current regime        = %s\n", ba.ClassifyRegime(cfg.PRemote))
+}

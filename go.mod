@@ -1,0 +1,3 @@
+module lattol
+
+go 1.22

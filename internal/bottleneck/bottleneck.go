@@ -1,0 +1,128 @@
+// Package bottleneck implements the paper's "simple bottleneck analysis":
+// closed-form saturation rates and critical workload parameters that explain
+// the knees of the solved performance curves.
+//
+//   - Eq. 4: the network saturates at λ_net,sat = 1/(2·d_avg·S) messages per
+//     unit time per processor — each remote access and its response each
+//     traverse d_avg switches of delay S.
+//   - Eq. 5: the processor stays busy while its access rate stays below the
+//     combined response rate of memory and network; the network-side
+//     condition gives the critical p_remote = R/(2·(d_avg+1)·S) beyond which
+//     U_p must fall, and the memory-side condition requires
+//     (1-p_remote)·L ≤ R.
+package bottleneck
+
+import (
+	"fmt"
+	"math"
+
+	"lattol/internal/mms"
+)
+
+// Analysis holds the closed-form bottleneck quantities for a configuration.
+type Analysis struct {
+	// DAvg is the mean hop distance of a remote access.
+	DAvg float64
+	// NetSaturationRate is λ_net,sat = 1/(2·d_avg·S) (paper Eq. 4). Inf when
+	// there is no network traffic or S = 0.
+	NetSaturationRate float64
+	// CriticalPRemote is the largest p_remote for which the network can
+	// return responses as fast as a fully busy processor issues them:
+	// R/(2·(d_avg+1)·S) (paper Eq. 5). Values above 1 mean the network is
+	// never the limit at this R.
+	CriticalPRemote float64
+	// SaturationPRemote is the p_remote at which λ_net = p/R reaches
+	// NetSaturationRate for a fully busy processor: R/(2·d_avg·S). The paper
+	// quotes 0.3 (R=10) and 0.6 (R=20) for the default system.
+	SaturationPRemote float64
+	// MemoryBound reports whether the local-memory condition
+	// (1-p_remote)·L > R prevents full processor utilization by itself.
+	MemoryBound bool
+	// RoundTripSwitchTime is 2·(d_avg+1)·S: the no-contention network round
+	// trip of a remote access (on/off the IN plus d_avg hops each way).
+	RoundTripSwitchTime float64
+	// UpUpperBound is an asymptotic (n_t → ∞) upper bound on U_p from
+	// per-station service rates: the processor cannot cycle faster than its
+	// slowest downstream subsystem allows.
+	UpUpperBound float64
+}
+
+// Analyze computes the closed forms for a configuration.
+func Analyze(cfg mms.Config) (Analysis, error) {
+	model, err := mms.Build(cfg)
+	if err != nil {
+		return Analysis{}, err
+	}
+	a := Analysis{DAvg: model.MeanDistance()}
+	r := cfg.Runlength + cfg.ContextSwitch
+	p := cfg.PRemote
+	a.NetSaturationRate = math.Inf(1)
+	a.CriticalPRemote = 1
+	a.SaturationPRemote = 1
+	a.RoundTripSwitchTime = 2 * (a.DAvg + 1) * cfg.SwitchTime
+	if p > 0 && cfg.SwitchTime > 0 && a.DAvg > 0 {
+		a.NetSaturationRate = 1 / (2 * a.DAvg * cfg.SwitchTime)
+		a.CriticalPRemote = math.Min(1, r/a.RoundTripSwitchTime)
+		a.SaturationPRemote = math.Min(1, r/(2*a.DAvg*cfg.SwitchTime))
+	}
+	a.MemoryBound = (1-p)*cfg.MemoryTime > r
+
+	// Asymptotic U_p bound: U_p = λ·R with λ limited by every station's
+	// service rate divided by its visits per cycle. Memory: visits 1,
+	// rate 1/L. Outbound switch: visits 2p, rate 1/S. Inbound: 2p·d_avg/P per
+	// switch on average is not the binding term — by symmetry each inbound
+	// switch carries 2p·d_avg visits per cycle of one class; with P classes
+	// the per-switch utilization is λ·S·2p·d_avg, so the inbound bound is
+	// λ ≤ 1/(S·2p·d_avg), which is exactly Eq. 4 scaled by p.
+	a.UpUpperBound = 1
+	if cfg.MemoryTime > 0 {
+		a.UpUpperBound = math.Min(a.UpUpperBound, r/cfg.MemoryTime)
+	}
+	if p > 0 && cfg.SwitchTime > 0 {
+		a.UpUpperBound = math.Min(a.UpUpperBound, r/(cfg.SwitchTime*2*p))
+		if a.DAvg > 0 {
+			a.UpUpperBound = math.Min(a.UpUpperBound, r/(cfg.SwitchTime*2*p*a.DAvg))
+		}
+	}
+	return a, nil
+}
+
+// Regime is the paper's three-zone partition of p_remote (Section 5).
+type Regime int
+
+const (
+	// ProcessorBusy: p_remote below the critical value; responses arrive
+	// before the processor runs out of work and U_p stays high.
+	ProcessorBusy Regime = iota
+	// LatencyLimited: between the critical and saturation values; rising
+	// S_obs delays remote accesses and U_p falls with p_remote.
+	LatencyLimited
+	// NetworkSaturated: beyond the saturation value; the IN is the
+	// bottleneck and U_p is low.
+	NetworkSaturated
+)
+
+func (r Regime) String() string {
+	switch r {
+	case ProcessorBusy:
+		return "processor-busy"
+	case LatencyLimited:
+		return "latency-limited"
+	case NetworkSaturated:
+		return "network-saturated"
+	default:
+		return fmt.Sprintf("Regime(%d)", int(r))
+	}
+}
+
+// ClassifyRegime places a configuration's p_remote in its regime.
+func (a Analysis) ClassifyRegime(pRemote float64) Regime {
+	switch {
+	case pRemote <= a.CriticalPRemote:
+		return ProcessorBusy
+	case pRemote <= a.SaturationPRemote:
+		return LatencyLimited
+	default:
+		return NetworkSaturated
+	}
+}

@@ -1,0 +1,205 @@
+package bottleneck
+
+import (
+	"math"
+	"testing"
+
+	"lattol/internal/mms"
+)
+
+func TestPaperEq4SaturationRate(t *testing.T) {
+	// Paper: λ_net,sat = 1/(2·d_avg·S) = 0.029 for p_sw = 0.5, S = 10, k = 4.
+	a, err := Analyze(mms.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.NetSaturationRate-0.028846153846153844) > 1e-12 {
+		t.Errorf("λ_net,sat = %v, want 0.0288", a.NetSaturationRate)
+	}
+}
+
+func TestPaperEq5CriticalPRemote(t *testing.T) {
+	// Paper: critical p_remote ≈ 0.18 at R = 10 and ≈ 0.37 at R = 20.
+	cfg := mms.DefaultConfig()
+	a, err := Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.CriticalPRemote-10.0/(2*(1.7333333333333334+1)*10)) > 1e-12 {
+		t.Errorf("critical p = %v", a.CriticalPRemote)
+	}
+	if a.CriticalPRemote < 0.17 || a.CriticalPRemote > 0.19 {
+		t.Errorf("critical p = %v, want ≈0.18", a.CriticalPRemote)
+	}
+	cfg.Runlength = 20
+	a, err = Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CriticalPRemote < 0.35 || a.CriticalPRemote > 0.38 {
+		t.Errorf("critical p at R=20 = %v, want ≈0.37", a.CriticalPRemote)
+	}
+}
+
+func TestPaperSaturationPRemote(t *testing.T) {
+	// Paper: λ_net saturates at p_remote = 0.3 (R=10) and 0.6 (R=20).
+	cfg := mms.DefaultConfig()
+	a, err := Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SaturationPRemote < 0.28 || a.SaturationPRemote > 0.30 {
+		t.Errorf("saturation p at R=10 = %v, want ≈0.29", a.SaturationPRemote)
+	}
+	cfg.Runlength = 20
+	a, err = Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SaturationPRemote < 0.56 || a.SaturationPRemote > 0.60 {
+		t.Errorf("saturation p at R=20 = %v, want ≈0.58", a.SaturationPRemote)
+	}
+}
+
+func TestRegimes(t *testing.T) {
+	a, err := Analyze(mms.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		p    float64
+		want Regime
+	}{
+		{0.05, ProcessorBusy},
+		{0.18, ProcessorBusy},
+		{0.25, LatencyLimited},
+		{0.5, NetworkSaturated},
+		{0.9, NetworkSaturated},
+	}
+	for _, c := range cases {
+		if got := a.ClassifyRegime(c.p); got != c.want {
+			t.Errorf("p=%v: regime %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestRegimeBoundariesMatchModelKnees(t *testing.T) {
+	// The solved U_p should be near its maximum below critical p and clearly
+	// lower past saturation.
+	cfg := mms.DefaultConfig()
+	a, err := Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := func(p float64) float64 {
+		cfg.PRemote = p
+		met, err := mms.Solve(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return met.Up
+	}
+	low := up(a.CriticalPRemote * 0.5)
+	crit := up(a.CriticalPRemote)
+	sat := up(math.Min(1, a.SaturationPRemote*1.8))
+	if crit < 0.9*low {
+		t.Errorf("U_p fell >10%% already at critical p: %v vs %v", crit, low)
+	}
+	if sat > 0.8*crit {
+		t.Errorf("U_p past saturation (%v) not clearly below critical (%v)", sat, crit)
+	}
+}
+
+func TestSaturationRateBoundsModel(t *testing.T) {
+	// λ_net from the solved model must respect Eq. 4.
+	cfg := mms.DefaultConfig()
+	cfg.PRemote = 0.8
+	cfg.Threads = 10
+	a, err := Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, err := mms.Solve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.LambdaNet > a.NetSaturationRate*1.0001 {
+		t.Errorf("λ_net %v exceeds Eq. 4 bound %v", met.LambdaNet, a.NetSaturationRate)
+	}
+	// At heavy traffic the model should approach the bound closely.
+	if met.LambdaNet < 0.85*a.NetSaturationRate {
+		t.Errorf("λ_net %v far below saturation bound %v at heavy load", met.LambdaNet, a.NetSaturationRate)
+	}
+}
+
+func TestMemoryBound(t *testing.T) {
+	cfg := mms.DefaultConfig()
+	cfg.MemoryTime = 30
+	cfg.PRemote = 0.1
+	a, err := Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.MemoryBound {
+		t.Error("L=30, R=10 should be memory bound")
+	}
+	cfg.MemoryTime = 10
+	a, err = Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MemoryBound {
+		t.Error("L=10, R=10, p=0.1 should not be memory bound")
+	}
+}
+
+func TestNoNetworkTraffic(t *testing.T) {
+	cfg := mms.DefaultConfig()
+	cfg.PRemote = 0
+	a, err := Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(a.NetSaturationRate, 1) {
+		t.Errorf("λ_net,sat = %v, want +Inf", a.NetSaturationRate)
+	}
+	if a.CriticalPRemote != 1 || a.SaturationPRemote != 1 {
+		t.Errorf("critical/saturation p = %v/%v, want 1/1", a.CriticalPRemote, a.SaturationPRemote)
+	}
+}
+
+func TestUpUpperBoundHolds(t *testing.T) {
+	for _, p := range []float64{0.1, 0.3, 0.6} {
+		for _, nt := range []int{2, 8, 16} {
+			cfg := mms.DefaultConfig()
+			cfg.PRemote = p
+			cfg.Threads = nt
+			a, err := Analyze(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			met, err := mms.Solve(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if met.Up > a.UpUpperBound*1.0001 {
+				t.Errorf("p=%v n_t=%d: U_p %v exceeds bound %v", p, nt, met.Up, a.UpUpperBound)
+			}
+		}
+	}
+}
+
+func TestAnalyzeRejectsBadConfig(t *testing.T) {
+	cfg := mms.DefaultConfig()
+	cfg.K = -1
+	if _, err := Analyze(cfg); err == nil {
+		t.Error("want error")
+	}
+}
+
+func TestRegimeString(t *testing.T) {
+	if ProcessorBusy.String() != "processor-busy" || LatencyLimited.String() != "latency-limited" ||
+		NetworkSaturated.String() != "network-saturated" || Regime(9).String() != "Regime(9)" {
+		t.Error("regime strings")
+	}
+}

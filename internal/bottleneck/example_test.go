@@ -1,0 +1,25 @@
+package bottleneck_test
+
+import (
+	"fmt"
+
+	"lattol/internal/bottleneck"
+	"lattol/internal/mms"
+)
+
+// Reproduce the paper's Eq. 4 and Eq. 5 closed forms for the default system.
+func ExampleAnalyze() {
+	a, err := bottleneck.Analyze(mms.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("lambda_net saturation = %.4f (Eq. 4)\n", a.NetSaturationRate)
+	fmt.Printf("critical p_remote     = %.3f (Eq. 5)\n", a.CriticalPRemote)
+	fmt.Printf("IN saturates at p     = %.3f\n", a.SaturationPRemote)
+	fmt.Printf("regime at p=0.2       = %s\n", a.ClassifyRegime(0.2))
+	// Output:
+	// lambda_net saturation = 0.0288 (Eq. 4)
+	// critical p_remote     = 0.183 (Eq. 5)
+	// IN saturates at p     = 0.288
+	// regime at p=0.2       = latency-limited
+}

@@ -1,0 +1,198 @@
+// Package crossval holds end-to-end cross-validation tests: the analytical
+// solvers (exact MVA, load-dependent MVA, convolution) against the two
+// simulation substrates (des stations and stochastic timed Petri nets) on
+// randomly generated closed networks. Agreement here validates every layer
+// at once — if the event engine, the station semantics, the Petri-net
+// semantics or a solver recursion were wrong, these would diverge.
+package crossval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lattol/internal/des"
+	"lattol/internal/mva"
+	"lattol/internal/petri"
+	"lattol/internal/queueing"
+	"lattol/internal/stats"
+)
+
+// randomCycle generates a random closed cyclic network: N jobs visit
+// stations 0..M-1 in order (all visit ratios 1). Station kinds, service
+// times and server counts are randomized.
+func randomCycle(rng *rand.Rand) *queueing.Network {
+	m := 2 + rng.Intn(3)
+	stations := make([]queueing.Station, m)
+	visits := make([]float64, m)
+	for i := range stations {
+		stations[i] = queueing.Station{
+			Name:        "s",
+			Kind:        queueing.FCFS,
+			ServiceTime: 0.5 + 4*rng.Float64(),
+		}
+		switch rng.Intn(4) {
+		case 0:
+			stations[i].Kind = queueing.Delay
+		case 1:
+			stations[i].Servers = 2
+		}
+		visits[i] = 1
+	}
+	return &queueing.Network{
+		Stations: stations,
+		Classes:  []queueing.Class{{Name: "c", Population: 2 + rng.Intn(6), Visits: visits}},
+	}
+}
+
+// simulateCycleDES runs the cyclic network on des stations and returns the
+// measured throughput.
+func simulateCycleDES(t *testing.T, net *queueing.Network, seed int64, horizon float64) float64 {
+	t.Helper()
+	e := des.NewEngine(seed)
+	m := len(net.Stations)
+	stations := make([]*des.Station, m)
+	completed := 0
+	for i, st := range net.Stations {
+		service := stats.Dist(stats.Exponential{M: st.ServiceTime})
+		servers := st.ServerCount()
+		if st.Kind == queueing.Delay {
+			// Approximate an infinite server with one per customer.
+			servers = net.Classes[0].Population
+		}
+		i := i
+		stations[i] = &des.Station{
+			Name:    st.Name,
+			Service: service,
+			Servers: servers,
+			Done: func(job des.Job, _, _ float64) {
+				if i == m-1 {
+					completed++
+					stations[0].Arrive(job)
+				} else {
+					stations[i+1].Arrive(job)
+				}
+			},
+		}
+	}
+	for _, st := range stations {
+		st.Attach(e)
+	}
+	for k := 0; k < net.Classes[0].Population; k++ {
+		stations[0].Arrive(k)
+	}
+	warmup := horizon / 5
+	e.Run(warmup)
+	completed = 0
+	e.Run(warmup + horizon)
+	return float64(completed) / horizon
+}
+
+// simulateCyclePetri runs the same network as a Petri net and returns the
+// measured throughput.
+func simulateCyclePetri(t *testing.T, net *queueing.Network, seed int64, horizon float64) float64 {
+	t.Helper()
+	pn := petri.New(seed)
+	m := len(net.Stations)
+	places := make([]petri.PlaceID, m)
+	for i := range places {
+		places[i] = pn.AddPlace("q")
+	}
+	var last petri.TransitionID
+	for i, st := range net.Stations {
+		next := places[(i+1)%m]
+		servers := st.ServerCount()
+		if st.Kind == queueing.Delay {
+			servers = net.Classes[0].Population
+		}
+		last = pn.MustAddTransition(petri.Transition{
+			Name:    "t",
+			Inputs:  []petri.PlaceID{places[i]},
+			Delay:   stats.Exponential{M: st.ServiceTime},
+			Servers: servers,
+			Fire: func(f *petri.Firing) []petri.Output {
+				return []petri.Output{{Place: next, Data: f.Tokens[0].Data}}
+			},
+		})
+	}
+	for k := 0; k < net.Classes[0].Population; k++ {
+		pn.Put(places[0], k)
+	}
+	pn.Run(horizon / 5)
+	pn.ResetStats()
+	pn.Run(horizon/5 + horizon)
+	return float64(pn.Served(last)) / horizon
+}
+
+func TestRandomCyclesSolversVsSimulators(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation cross-validation skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 6; trial++ {
+		net := randomCycle(rng)
+		exact, err := mva.ExactSingleClassLD(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := exact.Throughput[0]
+
+		// Convolution must agree analytically.
+		x, err := mva.Convolution(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(x-want) > 1e-9*(1+want) {
+			t.Errorf("trial %d: convolution %v != LD MVA %v", trial, x, want)
+		}
+
+		horizon := 60000.0
+		desX := simulateCycleDES(t, net, int64(trial)+1, horizon)
+		petriX := simulateCyclePetri(t, net, int64(trial)+1000, horizon)
+		for name, got := range map[string]float64{"des": desX, "petri": petriX} {
+			if rel := math.Abs(got-want) / want; rel > 0.06 {
+				t.Errorf("trial %d (%+v): %s throughput %v vs exact %v (rel %.3f)",
+					trial, net.Stations, name, got, want, rel)
+			}
+		}
+	}
+}
+
+func TestAMVAOnRandomCycles(t *testing.T) {
+	// The approximate solver tracks the exact load-dependent answer within
+	// Bard–Schweitzer error on single-server networks. With multi-server
+	// stations it additionally carries the shadow-server approximation,
+	// which is always *pessimistic* and can undershoot by ~30% when a
+	// 2-server station is the bottleneck at small population — characterize
+	// both regimes.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		net := randomCycle(rng)
+		multi := false
+		for _, st := range net.Stations {
+			if st.Kind == queueing.FCFS && st.ServerCount() > 1 {
+				multi = true
+			}
+		}
+		exact, err := mva.ExactSingleClassLD(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := mva.ApproxMultiClass(net, mva.AMVAOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := math.Abs(approx.Throughput[0]-exact.Throughput[0]) / exact.Throughput[0]
+		if multi {
+			if rel > 0.35 {
+				t.Errorf("trial %d: shadow+AMVA error %.1f%% on %+v", trial, rel*100, net.Stations)
+			}
+			if approx.Throughput[0] > exact.Throughput[0]*1.05 {
+				t.Errorf("trial %d: shadow approximation should be pessimistic: %v > %v",
+					trial, approx.Throughput[0], exact.Throughput[0])
+			}
+		} else if rel > 0.16 {
+			t.Errorf("trial %d: AMVA error %.1f%% on %+v", trial, rel*100, net.Stations)
+		}
+	}
+}

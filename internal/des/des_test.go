@@ -1,0 +1,217 @@
+package des
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"lattol/internal/stats"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.Schedule(3, func() { order = append(order, 3) })
+	e.Schedule(1, func() { order = append(order, 1) })
+	e.Schedule(2, func() { order = append(order, 2) })
+	e.Run(10)
+	if !sort.IntsAreSorted(order) || len(order) != 3 {
+		t.Errorf("order %v", order)
+	}
+	if e.Now() != 10 {
+		t.Errorf("clock %v, want 10 (advanced to horizon)", e.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Schedule(1, func() { order = append(order, i) })
+	}
+	e.Run(2)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie order %v", order)
+		}
+	}
+}
+
+func TestHorizonStopsProcessing(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	e.Schedule(5, func() { fired = true })
+	n := e.Run(4)
+	if fired || n != 0 {
+		t.Error("event past horizon fired")
+	}
+	if e.Now() != 4 {
+		t.Errorf("clock %v, want 4", e.Now())
+	}
+	// Event remains pending and fires on a later run.
+	if e.Run(6) != 1 || !fired {
+		t.Error("pending event did not fire on resumed run")
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(5, func() {})
+	e.Run(10)
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on scheduling in the past")
+		}
+	}()
+	e.Schedule(1, func() {})
+}
+
+func TestCascadingEvents(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 10 {
+			e.After(1, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	e.Run(100)
+	if count != 10 {
+		t.Errorf("count %d", count)
+	}
+	if e.Pending() != 0 {
+		t.Errorf("pending %d", e.Pending())
+	}
+}
+
+func TestStep(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	e.Schedule(1, func() { n++ })
+	e.Schedule(2, func() { n++ })
+	if !e.Step() || n != 1 {
+		t.Error("first step")
+	}
+	if !e.Step() || n != 2 {
+		t.Error("second step")
+	}
+	if e.Step() {
+		t.Error("step on empty calendar")
+	}
+}
+
+// TestStationMM1 drives a station as an M/M/1 queue and checks the
+// steady-state residence time W = 1/(μ-λ) and utilization ρ.
+func TestStationMM1(t *testing.T) {
+	e := NewEngine(42)
+	st := &Station{Name: "srv", Service: stats.Exponential{M: 1}} // μ = 1
+	st.Attach(e)
+	lambda := 0.5
+	var arrive func()
+	arrive = func() {
+		st.Arrive(nil)
+		e.After(e.Rand.ExpFloat64()/lambda, arrive)
+	}
+	e.Schedule(0, arrive)
+	e.Run(20000)
+	st.ResetStats()
+	e.Run(300000)
+
+	rho := st.Utilization()
+	if math.Abs(rho-0.5) > 0.02 {
+		t.Errorf("utilization %v, want ~0.5", rho)
+	}
+	w := st.Residence.Mean()
+	if math.Abs(w-2) > 0.15 {
+		t.Errorf("residence %v, want ~2 (M/M/1 W=1/(μ-λ))", w)
+	}
+	l := st.MeanQueueLen()
+	if math.Abs(l-1) > 0.08 {
+		t.Errorf("queue length %v, want ~1 (L=ρ/(1-ρ))", l)
+	}
+	// Little's law inside the simulation: L ≈ λ·W.
+	if math.Abs(l-lambda*w) > 0.1 {
+		t.Errorf("Little's law: L=%v λW=%v", l, lambda*w)
+	}
+}
+
+// TestStationMD1 checks the Pollaczek–Khinchine mean for deterministic
+// service: W_q = ρ/(2μ(1-ρ)), half the M/M/1 queueing delay.
+func TestStationMD1(t *testing.T) {
+	e := NewEngine(7)
+	st := &Station{Name: "srv", Service: stats.Deterministic{V: 1}}
+	st.Attach(e)
+	lambda := 0.5
+	var arrive func()
+	arrive = func() {
+		st.Arrive(nil)
+		e.After(e.Rand.ExpFloat64()/lambda, arrive)
+	}
+	e.Schedule(0, arrive)
+	e.Run(20000)
+	st.ResetStats()
+	e.Run(300000)
+	want := 1 + 0.5/(2*(1-0.5)) // service + Wq = 1.5
+	if math.Abs(st.Residence.Mean()-want) > 0.1 {
+		t.Errorf("residence %v, want ~%v", st.Residence.Mean(), want)
+	}
+}
+
+func TestStationDoneCallback(t *testing.T) {
+	e := NewEngine(1)
+	var seen []float64
+	st := &Station{
+		Service: stats.Deterministic{V: 2},
+		Done: func(job Job, arrived, now float64) {
+			seen = append(seen, now-arrived)
+		},
+	}
+	st.Attach(e)
+	e.Schedule(0, func() { st.Arrive("a"); st.Arrive("b") })
+	e.Run(10)
+	if len(seen) != 2 {
+		t.Fatalf("served %d jobs", len(seen))
+	}
+	// First job: residence 2; second queues behind it: residence 4.
+	if seen[0] != 2 || seen[1] != 4 {
+		t.Errorf("residences %v, want [2 4]", seen)
+	}
+	if st.Served != 2 {
+		t.Errorf("Served = %d", st.Served)
+	}
+}
+
+func TestStationTandem(t *testing.T) {
+	// Jobs flow a -> b; conservation of jobs.
+	e := NewEngine(3)
+	b := &Station{Service: stats.Exponential{M: 0.3}}
+	b.Attach(e)
+	done := 0
+	b.Done = func(Job, float64, float64) { done++ }
+	a := &Station{Service: stats.Exponential{M: 0.5}}
+	a.Attach(e)
+	a.Done = func(j Job, _, _ float64) { b.Arrive(j) }
+	for i := 0; i < 50; i++ {
+		e.Schedule(0, func() { a.Arrive(nil) })
+	}
+	e.Run(1e6)
+	if done != 50 {
+		t.Errorf("jobs through tandem %d, want 50", done)
+	}
+}
+
+func TestResetStatsKeepsQueue(t *testing.T) {
+	e := NewEngine(1)
+	st := &Station{Service: stats.Deterministic{V: 5}}
+	st.Attach(e)
+	e.Schedule(0, func() { st.Arrive(nil); st.Arrive(nil) })
+	e.Run(1) // first job in service, second queued
+	st.ResetStats()
+	e.Run(20)
+	if st.Served != 2 {
+		t.Errorf("served %d after reset, want 2 (queue preserved)", st.Served)
+	}
+}

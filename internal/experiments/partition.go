@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"lattol/internal/mms"
+	"lattol/internal/report"
+	"lattol/internal/sweep"
+	"lattol/internal/tolerance"
+)
+
+// TolSurfaces holds tol_network (Figure 6) or tol_memory (Figure 8) over the
+// n_t × R plane for two values of a secondary parameter.
+type TolSurfaces struct {
+	Metric    string // "tol_network" or "tol_memory"
+	Secondary string // "p_remote" or "L"
+	Values    []float64
+	Threads   []int
+	Runs      []float64
+	// Z[vi][ti][ri]
+	Z [][][]float64
+}
+
+// partitionGrid is the reconstructed n_t × R grid of Figures 6 and 8.
+func partitionGrid() ([]int, []float64) {
+	return sweep.IntRange(1, 10, 1), []float64{2, 5, 10, 15, 20, 25, 30, 35, 40}
+}
+
+// Figure6 computes tol_network over n_t × R for p_remote ∈ {0.2, 0.4}.
+func Figure6() (*TolSurfaces, error) {
+	threads, runs := partitionGrid()
+	out := &TolSurfaces{
+		Metric: "tol_network", Secondary: "p_remote",
+		Values: []float64{0.2, 0.4}, Threads: threads, Runs: runs,
+	}
+	for _, p := range out.Values {
+		z, err := sweep.Grid2D(runs, threads, 0, func(r float64, nt int) (float64, error) {
+			cfg := mms.DefaultConfig()
+			cfg.Runlength = r
+			cfg.Threads = nt
+			cfg.PRemote = p
+			idx, err := tolerance.NetworkIndex(cfg)
+			return idx.Tol, err
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Z = append(out.Z, z)
+	}
+	return out, nil
+}
+
+// Figure8 computes tol_memory over n_t × R for L ∈ {10, 20} at
+// p_remote = 0.2.
+func Figure8() (*TolSurfaces, error) {
+	threads, runs := partitionGrid()
+	out := &TolSurfaces{
+		Metric: "tol_memory", Secondary: "L",
+		Values: []float64{10, 20}, Threads: threads, Runs: runs,
+	}
+	for _, l := range out.Values {
+		z, err := sweep.Grid2D(runs, threads, 0, func(r float64, nt int) (float64, error) {
+			cfg := mms.DefaultConfig()
+			cfg.Runlength = r
+			cfg.Threads = nt
+			cfg.MemoryTime = l
+			idx, err := tolerance.MemoryIndex(cfg)
+			return idx.Tol, err
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Z = append(out.Z, z)
+	}
+	return out, nil
+}
+
+// Render prints one grid per secondary value.
+func (s *TolSurfaces) Render() string {
+	ys := make([]float64, len(s.Threads))
+	for i, nt := range s.Threads {
+		ys[i] = float64(nt)
+	}
+	var b strings.Builder
+	for vi, v := range s.Values {
+		sur := &report.Surface{
+			Title:  fmt.Sprintf("%s with %s = %g", s.Metric, s.Secondary, v),
+			XLabel: "R", YLabel: "n_t",
+			Xs: s.Runs, Ys: ys, Z: s.Z[vi], Prec: 3,
+		}
+		b.WriteString(sur.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// PartitionCurves holds Figure 7: tol_network along iso-work curves
+// n_t·R = const, as a function of R, for two p_remote values.
+type PartitionCurves struct {
+	PRemote []float64
+	Works   []int
+	// Curves[pi][wi] is the series for work = Works[wi] at
+	// p_remote = PRemote[pi].
+	Curves [][]report.Series
+}
+
+// Figure7 evaluates the paper's thread-partitioning strategy: expose a fixed
+// amount of computation n_t·R ∈ {20, 40, 60, 80, 100} and trade thread count
+// against runlength.
+func Figure7() (*PartitionCurves, error) {
+	out := &PartitionCurves{
+		PRemote: []float64{0.2, 0.4},
+		Works:   []int{20, 40, 60, 80, 100},
+	}
+	for _, p := range out.PRemote {
+		var curves []report.Series
+		for _, work := range out.Works {
+			splits := workSplits(work)
+			tols, err := sweep.Map(splits, 0, func(s [2]int) (float64, error) {
+				cfg := mms.DefaultConfig()
+				cfg.Threads = s[0]
+				cfg.Runlength = float64(s[1])
+				cfg.PRemote = p
+				idx, err := tolerance.NetworkIndex(cfg)
+				return idx.Tol, err
+			})
+			if err != nil {
+				return nil, err
+			}
+			series := report.Series{Name: fmt.Sprintf("n_t x R = %d", work)}
+			for i, s := range splits {
+				series.X = append(series.X, float64(s[1]))
+				series.Y = append(series.Y, tols[i])
+			}
+			curves = append(curves, series)
+		}
+		out.Curves = append(out.Curves, curves)
+	}
+	return out, nil
+}
+
+// workSplits enumerates (n_t, R) integer factorizations of work with
+// n_t >= 1, R >= 2, ordered by increasing R.
+func workSplits(work int) [][2]int {
+	var out [][2]int
+	for r := 2; r <= work; r++ {
+		if work%r == 0 {
+			out = append(out, [2]int{work / r, r})
+		}
+	}
+	return out
+}
+
+// Render prints one block per p_remote.
+func (c *PartitionCurves) Render() string {
+	var b strings.Builder
+	for pi, p := range c.PRemote {
+		b.WriteString(report.RenderSeries(
+			fmt.Sprintf("tol_network for thread partitioning at p_remote = %g", p),
+			"R", 3, c.Curves[pi]...))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// PartitionRow is one row of Tables 3 and 4: an (n_t, R) split of fixed
+// work with all the paper's measures.
+type PartitionRow struct {
+	PRemote float64
+	L       float64
+	Threads int
+	R       float64
+	LObs    float64
+	SObs    float64
+	LamNet  float64
+	Up      float64
+	TolNet  float64
+	TolMem  float64
+}
+
+// PartitionTable holds Table 3 or Table 4.
+type PartitionTable struct {
+	Title   string
+	Columns []string
+	Rows    []PartitionRow
+}
+
+// Table3 reproduces the thread-partitioning rows with n_t·R = 40 at
+// p_remote ∈ {0.2, 0.4}.
+func Table3() (*PartitionTable, error) {
+	out := &PartitionTable{
+		Title:   "Table 3: thread partitioning (n_t·R = 40) and network latency tolerance",
+		Columns: []string{"p_remote", "n_t", "R", "L_obs", "S_obs", "lambda_net", "U_p", "tol_network"},
+	}
+	for _, p := range []float64{0.2, 0.4} {
+		for _, s := range workSplits(40) {
+			cfg := mms.DefaultConfig()
+			cfg.PRemote = p
+			cfg.Threads = s[0]
+			cfg.Runlength = float64(s[1])
+			met, tolNet, tolMem, err := solveWithTol(cfg)
+			if err != nil {
+				return nil, err
+			}
+			out.Rows = append(out.Rows, PartitionRow{
+				PRemote: p, L: cfg.MemoryTime, Threads: s[0], R: float64(s[1]),
+				LObs: met.LObs, SObs: met.SObs, LamNet: met.LambdaNet,
+				Up: met.Up, TolNet: tolNet, TolMem: tolMem,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Table4 reproduces the memory-latency-tolerance rows with n_t·R = 40,
+// p_remote = 0.2, L ∈ {10, 20}.
+func Table4() (*PartitionTable, error) {
+	out := &PartitionTable{
+		Title:   "Table 4: thread partitioning (n_t·R = 40) and memory latency tolerance, p_remote = 0.2",
+		Columns: []string{"L", "n_t", "R", "L_obs", "S_obs", "U_p", "tol_memory"},
+	}
+	for _, l := range []float64{10, 20} {
+		for _, s := range workSplits(40) {
+			cfg := mms.DefaultConfig()
+			cfg.MemoryTime = l
+			cfg.Threads = s[0]
+			cfg.Runlength = float64(s[1])
+			met, tolNet, tolMem, err := solveWithTol(cfg)
+			if err != nil {
+				return nil, err
+			}
+			out.Rows = append(out.Rows, PartitionRow{
+				PRemote: cfg.PRemote, L: l, Threads: s[0], R: float64(s[1]),
+				LObs: met.LObs, SObs: met.SObs, LamNet: met.LambdaNet,
+				Up: met.Up, TolNet: tolNet, TolMem: tolMem,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Render prints the table.
+func (p *PartitionTable) Render() string {
+	t := report.NewTable(p.Title, p.Columns...)
+	memTable := p.Columns[0] == "L"
+	for _, r := range p.Rows {
+		if memTable {
+			t.Add(
+				report.Float(r.L, -1),
+				fmt.Sprintf("%d", r.Threads),
+				report.Float(r.R, -1),
+				report.Float(r.LObs, 1),
+				report.Float(r.SObs, 1),
+				report.Float(r.Up, 3),
+				report.Float(r.TolMem, 3),
+			)
+		} else {
+			t.Add(
+				report.Float(r.PRemote, -1),
+				fmt.Sprintf("%d", r.Threads),
+				report.Float(r.R, -1),
+				report.Float(r.LObs, 1),
+				report.Float(r.SObs, 1),
+				report.Float(r.LamNet, 4),
+				report.Float(r.Up, 3),
+				report.Float(r.TolNet, 3),
+			)
+		}
+	}
+	return t.String()
+}

@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"lattol/internal/mms"
+	"lattol/internal/report"
+	"lattol/internal/simmms"
+	"lattol/internal/sweep"
+)
+
+// ValidationOptions tunes the simulation effort of the Section 8
+// experiments. The zero value selects horizons long enough for a few percent
+// of sampling noise while staying fast; Full selects the paper's horizon.
+type ValidationOptions struct {
+	Seed     int64
+	Warmup   float64 // default 20000
+	Duration float64 // default 150000; the paper simulates 1e6 time units
+	Threads  []int   // default 1..10
+}
+
+func (o ValidationOptions) withDefaults() ValidationOptions {
+	if o.Warmup <= 0 {
+		o.Warmup = 20000
+	}
+	if o.Duration <= 0 {
+		o.Duration = 150000
+	}
+	if len(o.Threads) == 0 {
+		o.Threads = sweep.IntRange(1, 10, 1)
+	}
+	return o
+}
+
+// ValidationPoint compares the analytical model with both simulators at one
+// operating point.
+type ValidationPoint struct {
+	Threads   int
+	S         float64
+	Model     mms.Metrics
+	STPN      simmms.Result
+	Direct    simmms.Result
+	LamNetErr float64 // |model - STPN| / STPN
+	SObsErr   float64
+}
+
+// ValidationData holds Figure 11: λ_net and S_obs vs n_t, model vs
+// simulation, at p_remote = 0.5 and S ∈ {10, 20}.
+type ValidationData struct {
+	Points []ValidationPoint
+}
+
+// Figure11 runs the Section 8 validation study.
+func Figure11(opts ValidationOptions) (*ValidationData, error) {
+	opts = opts.withDefaults()
+	type pt struct {
+		nt int
+		s  float64
+	}
+	var pts []pt
+	for _, s := range []float64{10, 20} {
+		for _, nt := range opts.Threads {
+			pts = append(pts, pt{nt, s})
+		}
+	}
+	points, err := sweep.Map(pts, 0, func(p pt) (ValidationPoint, error) {
+		cfg := mms.DefaultConfig()
+		cfg.PRemote = 0.5
+		cfg.SwitchTime = p.s
+		cfg.Threads = p.nt
+		model, err := mms.Solve(cfg)
+		if err != nil {
+			return ValidationPoint{}, err
+		}
+		stpn, err := simmms.Run(cfg, simmms.Options{
+			Engine: simmms.STPN, Seed: opts.Seed + int64(p.nt), Warmup: opts.Warmup, Duration: opts.Duration,
+		})
+		if err != nil {
+			return ValidationPoint{}, err
+		}
+		direct, err := simmms.Run(cfg, simmms.Options{
+			Engine: simmms.Direct, Seed: opts.Seed + 1000 + int64(p.nt), Warmup: opts.Warmup, Duration: opts.Duration,
+		})
+		if err != nil {
+			return ValidationPoint{}, err
+		}
+		v := ValidationPoint{Threads: p.nt, S: p.s, Model: model, STPN: stpn, Direct: direct}
+		if stpn.LambdaNet > 0 {
+			v.LamNetErr = math.Abs(model.LambdaNet-stpn.LambdaNet) / stpn.LambdaNet
+		}
+		if stpn.SObs > 0 {
+			v.SObsErr = math.Abs(model.SObs-stpn.SObs) / stpn.SObs
+		}
+		return v, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ValidationData{Points: points}, nil
+}
+
+// MaxErrors returns the largest relative deviations of the model from the
+// STPN simulation over all points (λ_net, S_obs). The paper reports ≤2% and
+// ≤5% respectively.
+func (d *ValidationData) MaxErrors() (lamNet, sObs float64) {
+	for _, p := range d.Points {
+		if p.LamNetErr > lamNet {
+			lamNet = p.LamNetErr
+		}
+		if p.SObsErr > sObs {
+			sObs = p.SObsErr
+		}
+	}
+	return lamNet, sObs
+}
+
+// Render prints the validation table.
+func (d *ValidationData) Render() string {
+	t := report.NewTable(
+		"Figure 11: validation at p_remote = 0.5 — analytical model vs STPN and direct DES simulation",
+		"S", "n_t",
+		"lam_net model", "lam_net stpn", "lam_net des",
+		"S_obs model", "S_obs stpn", "S_obs des",
+		"err lam_net", "err S_obs")
+	for _, p := range d.Points {
+		t.Add(
+			report.Float(p.S, -1),
+			fmt.Sprintf("%d", p.Threads),
+			report.Float(p.Model.LambdaNet, 4),
+			report.Float(p.STPN.LambdaNet, 4),
+			report.Float(p.Direct.LambdaNet, 4),
+			report.Float(p.Model.SObs, 1),
+			report.Float(p.STPN.SObs, 1),
+			report.Float(p.Direct.SObs, 1),
+			fmt.Sprintf("%.1f%%", p.LamNetErr*100),
+			fmt.Sprintf("%.1f%%", p.SObsErr*100),
+		)
+	}
+	lam, sobs := d.MaxErrors()
+	var b strings.Builder
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "max model-vs-STPN deviation: lambda_net %.1f%%, S_obs %.1f%% (paper: ~2%%, ~5%%)\n",
+		lam*100, sobs*100)
+	return b.String()
+}
+
+// DetSensitivity holds the Section 8 service-distribution sensitivity study:
+// S_obs with deterministic (and Erlang) memory service relative to the
+// exponential baseline. The paper reports deviations within 10%.
+type DetSensitivity struct {
+	Rows []DetSensitivityRow
+}
+
+// DetSensitivityRow compares one memory-service distribution against the
+// exponential baseline at one thread count.
+type DetSensitivityRow struct {
+	Threads  int
+	Dist     simmms.DistKind
+	SObs     float64
+	Baseline float64
+	RelDiff  float64
+}
+
+// ValidationDeterministic reruns the STPN simulation with deterministic and
+// Erlang-4 memory service at p_remote = 0.5.
+func ValidationDeterministic(opts ValidationOptions) (*DetSensitivity, error) {
+	opts = opts.withDefaults()
+	threads := opts.Threads
+	if len(threads) > 4 {
+		threads = []int{2, 4, 6, 8}
+	}
+	out := &DetSensitivity{}
+	for _, nt := range threads {
+		cfg := mms.DefaultConfig()
+		cfg.PRemote = 0.5
+		cfg.Threads = nt
+		base, err := simmms.Run(cfg, simmms.Options{
+			Engine: simmms.STPN, Seed: opts.Seed + int64(nt), Warmup: opts.Warmup, Duration: opts.Duration,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, dist := range []simmms.DistKind{simmms.DetDist, simmms.Erlang4Dist} {
+			r, err := simmms.Run(cfg, simmms.Options{
+				Engine: simmms.STPN, Seed: opts.Seed + int64(nt), Warmup: opts.Warmup, Duration: opts.Duration,
+				MemDist: dist,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row := DetSensitivityRow{Threads: nt, Dist: dist, SObs: r.SObs, Baseline: base.SObs}
+			if base.SObs > 0 {
+				row.RelDiff = math.Abs(r.SObs-base.SObs) / base.SObs
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// MaxRelDiff returns the largest deviation across rows.
+func (d *DetSensitivity) MaxRelDiff() float64 {
+	max := 0.0
+	for _, r := range d.Rows {
+		if r.RelDiff > max {
+			max = r.RelDiff
+		}
+	}
+	return max
+}
+
+// Render prints the sensitivity table.
+func (d *DetSensitivity) Render() string {
+	t := report.NewTable(
+		"Section 8 sensitivity: S_obs under non-exponential memory service (p_remote = 0.5, STPN)",
+		"n_t", "memory service", "S_obs", "S_obs exp baseline", "rel diff")
+	for _, r := range d.Rows {
+		t.Add(
+			fmt.Sprintf("%d", r.Threads),
+			r.Dist.String(),
+			report.Float(r.SObs, 1),
+			report.Float(r.Baseline, 1),
+			fmt.Sprintf("%.1f%%", r.RelDiff*100),
+		)
+	}
+	return t.String() + fmt.Sprintf("max deviation: %.1f%% (paper: within 10%%)\n", d.MaxRelDiff()*100)
+}

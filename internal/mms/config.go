@@ -1,0 +1,149 @@
+// Package mms builds and solves the paper's model of a multithreaded
+// multiprocessor system: k×k processing elements on a 2-D torus, each with a
+// multithreaded processor, a distributed-shared-memory module and an
+// inbound/outbound switch pair, modeled as a closed multiclass queueing
+// network (one class per processor, population n_t) and solved with mean
+// value analysis.
+//
+// The package exposes the paper's performance measures: processor utilization
+// U_p (Eq. 3), message rate to the network λ_net (Eq. 2), observed one-way
+// network latency S_obs (Eq. 1) and observed memory latency L_obs.
+package mms
+
+import (
+	"fmt"
+	"math"
+
+	"lattol/internal/access"
+	"lattol/internal/topology"
+)
+
+// Config collects the paper's workload and architecture parameters
+// (Tables 1 and 5).
+type Config struct {
+	// K is the number of processing elements per torus dimension (P = K²).
+	K int
+	// Threads is n_t, the number of threads per processor.
+	Threads int
+	// Runlength is R, the mean computation time of a thread between memory
+	// accesses (includes issuing the access).
+	Runlength float64
+	// ContextSwitch is C, the context-switch overhead added to each processor
+	// service. The paper folds it into R; the default is 0.
+	ContextSwitch float64
+	// MemoryTime is L, the memory access (service) time without queueing.
+	MemoryTime float64
+	// SwitchTime is S, the routing time at each switch without queueing.
+	SwitchTime float64
+	// PRemote is the probability that a memory access targets a remote node.
+	PRemote float64
+	// Pattern chooses the remote access pattern. If nil, a geometric pattern
+	// with parameters Psw and GeometricMode is used (the paper's default).
+	// Ignored when PRemote == 0 or K == 1.
+	Pattern access.Pattern
+	// Psw is the locality parameter of the default geometric pattern.
+	Psw float64
+	// GeometricMode selects the geometric normalization (default
+	// access.PerDistance, the paper's formulation).
+	GeometricMode access.GeometricMode
+	// MemoryPorts is the number of parallel ports per memory module; 0
+	// means 1. Section 7 of the paper suggests multiporting/pipelining
+	// memory for systems with fast networks; this implements that
+	// extension.
+	MemoryPorts int
+	// SwitchPorts is the number of parallel routing engines per switch; 0
+	// means 1 (the paper's non-pipelined switch assumption). Larger values
+	// model pipelined switches.
+	SwitchPorts int
+}
+
+// DefaultConfig returns the paper's Table 1 defaults: a 4×4 torus, n_t = 8,
+// R = 10, L = 10, S = 10, p_remote = 0.2, geometric pattern with p_sw = 0.5
+// (d_avg = 1.733).
+func DefaultConfig() Config {
+	return Config{
+		K:          4,
+		Threads:    8,
+		Runlength:  10,
+		MemoryTime: 10,
+		SwitchTime: 10,
+		PRemote:    0.2,
+		Psw:        0.5,
+	}
+}
+
+// Validate reports the first invalid parameter.
+func (c Config) Validate() error {
+	if c.K < 1 {
+		return fmt.Errorf("mms: K = %d, want >= 1", c.K)
+	}
+	if c.Threads < 0 {
+		return fmt.Errorf("mms: Threads = %d, want >= 0", c.Threads)
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"Runlength", c.Runlength},
+		{"ContextSwitch", c.ContextSwitch},
+		{"MemoryTime", c.MemoryTime},
+		{"SwitchTime", c.SwitchTime},
+	} {
+		if p.v < 0 || math.IsNaN(p.v) || math.IsInf(p.v, 0) {
+			return fmt.Errorf("mms: %s = %v, want finite >= 0", p.name, p.v)
+		}
+	}
+	if c.Runlength+c.ContextSwitch <= 0 {
+		return fmt.Errorf("mms: Runlength + ContextSwitch = %v, want > 0", c.Runlength+c.ContextSwitch)
+	}
+	if c.PRemote < 0 || c.PRemote > 1 || math.IsNaN(c.PRemote) {
+		return fmt.Errorf("mms: PRemote = %v, want in [0,1]", c.PRemote)
+	}
+	if c.K == 1 && c.PRemote > 0 {
+		return fmt.Errorf("mms: single-node system (K=1) cannot have PRemote = %v > 0", c.PRemote)
+	}
+	if c.Pattern == nil && c.PRemote > 0 {
+		if c.Psw <= 0 || c.Psw > 1 || math.IsNaN(c.Psw) {
+			return fmt.Errorf("mms: Psw = %v, want in (0,1]", c.Psw)
+		}
+	}
+	if c.MemoryPorts < 0 {
+		return fmt.Errorf("mms: MemoryPorts = %d, want >= 0", c.MemoryPorts)
+	}
+	if c.SwitchPorts < 0 {
+		return fmt.Errorf("mms: SwitchPorts = %d, want >= 0", c.SwitchPorts)
+	}
+	return nil
+}
+
+// memoryPorts returns the effective memory port count (at least 1).
+func (c Config) memoryPorts() int {
+	if c.MemoryPorts < 1 {
+		return 1
+	}
+	return c.MemoryPorts
+}
+
+// switchPorts returns the effective switch port count (at least 1).
+func (c Config) switchPorts() int {
+	if c.SwitchPorts < 1 {
+		return 1
+	}
+	return c.SwitchPorts
+}
+
+// pattern resolves the configured access pattern (nil when remote accesses
+// are impossible).
+func (c Config) pattern(t *topology.Torus) (access.Pattern, error) {
+	if c.PRemote == 0 || t.Nodes() == 1 {
+		return nil, nil
+	}
+	if c.Pattern != nil {
+		return c.Pattern, nil
+	}
+	return access.NewGeometric(t, c.Psw, c.GeometricMode)
+}
+
+// processorService returns the mean processor service time per thread
+// activation (R + C).
+func (c Config) processorService() float64 { return c.Runlength + c.ContextSwitch }

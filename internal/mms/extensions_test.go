@@ -1,0 +1,244 @@
+package mms
+
+import (
+	"math"
+	"testing"
+
+	"lattol/internal/mva"
+)
+
+func TestMemoryPortsImproveUtilization(t *testing.T) {
+	cfg := DefaultConfig()
+	base, err := Solve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MemoryPorts = 2
+	two, err := Solve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.Up <= base.Up {
+		t.Errorf("2-port U_p %v not above 1-port %v", two.Up, base.Up)
+	}
+	if two.LObs >= base.LObs {
+		t.Errorf("2-port L_obs %v not below 1-port %v", two.LObs, base.LObs)
+	}
+	if math.Abs(two.MemUtilization-two.LambdaProc*cfg.MemoryTime/2) > 1e-9 {
+		t.Errorf("per-port memory utilization %v inconsistent", two.MemUtilization)
+	}
+}
+
+func TestSwitchPortsRelieveSaturation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PRemote = 0.6 // network saturated at 1 port
+	base, err := Solve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SwitchPorts = 4
+	piped, err := Solve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if piped.Up < 1.3*base.Up {
+		t.Errorf("4-port switches U_p %v, want well above %v", piped.Up, base.Up)
+	}
+	if piped.SObs >= base.SObs {
+		t.Errorf("4-port S_obs %v not below %v", piped.SObs, base.SObs)
+	}
+}
+
+func TestPortsSymmetricMatchesFull(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MemoryPorts = 2
+	cfg.SwitchPorts = 3
+	m, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym, err := m.Solve(SolveOptions{Solver: SymmetricAMVA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := m.Solve(SolveOptions{Solver: FullAMVA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sym.Up-full.Up) > 1e-7 {
+		t.Errorf("symmetric %v != full %v with ports", sym.Up, full.Up)
+	}
+}
+
+func TestManyPortsApproachIdealSubsystem(t *testing.T) {
+	// With very many memory ports, the memory behaves like a pure delay of
+	// L: U_p must land between the single-port and L=0 systems, close to a
+	// delay-only variant.
+	cfg := DefaultConfig()
+	cfg.MemoryPorts = 64
+	many, err := Solve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MemoryPorts = 1
+	one, err := Solve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MemoryTime = 0
+	zero, err := Solve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.Up <= one.Up || many.Up >= zero.Up {
+		t.Errorf("64-port U_p %v not in (%v, %v)", many.Up, one.Up, zero.Up)
+	}
+	// Residual L_obs approaches the raw service time L.
+	if many.LObs > 1.05*cfg.SwitchTime+10 { // L = 10
+		t.Errorf("64-port L_obs %v, want ~10", many.LObs)
+	}
+}
+
+func TestPortValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MemoryPorts = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative MemoryPorts should fail validation")
+	}
+	cfg = DefaultConfig()
+	cfg.SwitchPorts = -2
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative SwitchPorts should fail validation")
+	}
+}
+
+func TestHotSpotZeroFractionMatchesSymmetric(t *testing.T) {
+	cfg := DefaultConfig()
+	h, err := BuildHotSpot(cfg, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, err := h.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Solve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(met.MeanUp-base.Up) > 1e-6 {
+		t.Errorf("hot fraction 0: mean U_p %v != symmetric %v", met.MeanUp, base.Up)
+	}
+	if met.MaxUp-met.MinUp > 1e-6 {
+		t.Errorf("hot fraction 0 should be symmetric: spread %v", met.MaxUp-met.MinUp)
+	}
+}
+
+func TestHotSpotDegradesVictims(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PRemote = 0.4
+	h, err := BuildHotSpot(cfg, 0, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, err := h.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Solve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.MinUp >= base.Up {
+		t.Errorf("hot-spot min U_p %v not below symmetric %v", met.MinUp, base.Up)
+	}
+	if met.HotMemUtilization < 0.85 {
+		t.Errorf("hot module utilization %v, want near saturation", met.HotMemUtilization)
+	}
+	if met.MaxUp <= met.MinUp {
+		t.Error("expected per-PE spread under hot-spot traffic")
+	}
+}
+
+func TestHotSpotVisitConservation(t *testing.T) {
+	// Every class still issues exactly one memory access per cycle and the
+	// network visit identities hold per class.
+	cfg := DefaultConfig()
+	cfg.PRemote = 0.4
+	h, err := BuildHotSpot(cfg, 5, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := h.Network()
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := mva.ApproxMultiClass(net, mva.AMVAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckLittle(net, 1e-6); err != nil {
+		t.Error(err)
+	}
+	for c := range h.mem {
+		var sum float64
+		for _, v := range h.mem[c] {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("class %d: Σem = %v, want 1", c, sum)
+		}
+	}
+}
+
+func TestHotSpotValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := BuildHotSpot(cfg, 0, -0.1); err == nil {
+		t.Error("negative fraction should fail")
+	}
+	if _, err := BuildHotSpot(cfg, 0, 1.1); err == nil {
+		t.Error("fraction > 1 should fail")
+	}
+	if _, err := BuildHotSpot(cfg, 99, 0.2); err == nil {
+		t.Error("out-of-range hot node should fail")
+	}
+	cfg.K = 0
+	if _, err := BuildHotSpot(cfg, 0, 0.2); err == nil {
+		t.Error("invalid config should fail")
+	}
+}
+
+func TestHotSpotZeroThreads(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Threads = 0
+	h, err := BuildHotSpot(cfg, 0, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, err := h.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.MeanUp != 0 {
+		t.Errorf("zero threads: %+v", met)
+	}
+}
+
+func TestHotSpotOwnNodeSuffersMost(t *testing.T) {
+	// The hot node's own threads queue behind the whole machine's hot
+	// traffic at their local memory, so the hot node holds the *lowest*
+	// U_p — even though its hot-fraction accesses avoid the network.
+	cfg := DefaultConfig()
+	cfg.PRemote = 0.4
+	h, err := BuildHotSpot(cfg, 3, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, err := h.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.PerClassUp[3] > met.MinUp+1e-9 {
+		t.Errorf("hot node's own U_p %v is not the minimum %v", met.PerClassUp[3], met.MinUp)
+	}
+}

@@ -1,0 +1,133 @@
+package mms
+
+import (
+	"fmt"
+	"math"
+
+	"lattol/internal/mva"
+	"lattol/internal/queueing"
+	"lattol/internal/topology"
+)
+
+// HeteroModel is an MMS with per-PE thread counts. The paper assumes an
+// evenly loaded SPMD workload; this variant quantifies what load imbalance
+// costs by giving each processor its own population while keeping the
+// per-thread behaviour (R, p_remote, pattern) identical. It is solved with
+// the general multiclass AMVA because translation symmetry no longer holds
+// across populations.
+type HeteroModel struct {
+	base    *Model
+	threads []int
+}
+
+// HeteroMetrics reports per-PE utilizations for a heterogeneous system.
+type HeteroMetrics struct {
+	// PerClassUp[i] is U_p of PE i.
+	PerClassUp []float64
+	// MinUp, MaxUp, MeanUp aggregate PerClassUp.
+	MinUp, MaxUp, MeanUp float64
+	// TotalThroughput is Σ_i λ_i·R — the machine-wide rate of useful cycles
+	// relative to runlength (equals P·U_p when balanced).
+	TotalThroughput float64
+	// Iterations is the AMVA iteration count.
+	Iterations int
+}
+
+// BuildHeterogeneous builds an MMS whose PE i runs threads[i] threads. The
+// Threads field of cfg is ignored; len(threads) must equal K².
+func BuildHeterogeneous(cfg Config, threads []int) (*HeteroModel, error) {
+	probe := cfg
+	probe.Threads = 1 // validate the remaining fields
+	base, err := Build(probe)
+	if err != nil {
+		return nil, err
+	}
+	if len(threads) != base.Torus().Nodes() {
+		return nil, fmt.Errorf("mms: %d thread counts for %d PEs", len(threads), base.Torus().Nodes())
+	}
+	for i, nt := range threads {
+		if nt < 0 {
+			return nil, fmt.Errorf("mms: PE %d has %d threads", i, nt)
+		}
+	}
+	return &HeteroModel{base: base, threads: append([]int(nil), threads...)}, nil
+}
+
+// Network builds the multiclass network with per-class populations.
+func (h *HeteroModel) Network() *queueing.Network {
+	net := h.base.Network()
+	for c := range net.Classes {
+		net.Classes[c].Population = h.threads[c]
+		if h.threads[c] == 0 {
+			// A PE with no threads visits nothing.
+			for m := range net.Classes[c].Visits {
+				net.Classes[c].Visits[m] = 0
+			}
+		}
+	}
+	return net
+}
+
+// Solve runs the general multiclass AMVA and aggregates per-PE metrics.
+func (h *HeteroModel) Solve(opts SolveOptions) (HeteroMetrics, error) {
+	opts = opts.withDefaults()
+	net := h.Network()
+	out := HeteroMetrics{
+		PerClassUp: make([]float64, len(h.threads)),
+		MinUp:      math.Inf(1),
+		MaxUp:      math.Inf(-1),
+	}
+	if net.TotalPopulation() == 0 {
+		out.MinUp, out.MaxUp = 0, 0
+		return out, nil
+	}
+	res, err := mva.ApproxMultiClass(net, mva.AMVAOptions{
+		Tolerance:     opts.Tolerance,
+		MaxIterations: opts.MaxIterations,
+	})
+	if err != nil {
+		return HeteroMetrics{}, err
+	}
+	out.Iterations = res.Iterations
+	r := h.base.cfg.processorService()
+	var sum float64
+	for c := range out.PerClassUp {
+		up := res.Throughput[c] * r
+		out.PerClassUp[c] = up
+		sum += up
+		out.MinUp = math.Min(out.MinUp, up)
+		out.MaxUp = math.Max(out.MaxUp, up)
+	}
+	out.MeanUp = sum / float64(len(out.PerClassUp))
+	out.TotalThroughput = sum
+	return out, nil
+}
+
+// Imbalance distributes `total` threads over P PEs with the given spread:
+// half the PEs (round-robin by parity of a diagonal index) get extra threads
+// and the other half lose the same number, preserving the total. spread = 0
+// is the balanced SPMD workload. It is a convenience generator for imbalance
+// studies.
+func Imbalance(t *topology.Torus, total, spread int) ([]int, error) {
+	p := t.Nodes()
+	if total < 0 || total%p != 0 {
+		return nil, fmt.Errorf("mms: total threads %d not divisible by %d PEs", total, p)
+	}
+	per := total / p
+	if spread < 0 || spread > per {
+		return nil, fmt.Errorf("mms: spread %d out of range [0, %d]", spread, per)
+	}
+	if p%2 != 0 && spread != 0 {
+		return nil, fmt.Errorf("mms: imbalance needs an even number of PEs, got %d", p)
+	}
+	out := make([]int, p)
+	for i := range out {
+		x, y := t.Coord(topology.Node(i))
+		if (x+y)%2 == 0 {
+			out[i] = per + spread
+		} else {
+			out[i] = per - spread
+		}
+	}
+	return out, nil
+}

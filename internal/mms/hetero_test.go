@@ -1,0 +1,155 @@
+package mms
+
+import (
+	"math"
+	"testing"
+
+	"lattol/internal/topology"
+)
+
+func TestHeteroBalancedMatchesSymmetric(t *testing.T) {
+	cfg := DefaultConfig()
+	threads := make([]int, 16)
+	for i := range threads {
+		threads[i] = cfg.Threads
+	}
+	h, err := BuildHeterogeneous(cfg, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, err := h.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Solve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(met.MeanUp-base.Up) > 1e-6 {
+		t.Errorf("balanced hetero mean U_p %v != symmetric %v", met.MeanUp, base.Up)
+	}
+	if met.MaxUp-met.MinUp > 1e-6 {
+		t.Errorf("balanced hetero spread %v", met.MaxUp-met.MinUp)
+	}
+}
+
+func TestHeteroImbalanceCostsThroughput(t *testing.T) {
+	// U_p is concave in n_t, so moving threads from starved PEs to loaded
+	// ones loses total throughput (quantifying the paper's even-load
+	// assumption).
+	cfg := DefaultConfig()
+	tor := topology.MustTorus(cfg.K)
+	prev := math.Inf(1)
+	for _, spread := range []int{0, 2, 4, 6} {
+		threads, err := Imbalance(tor, 16*8, spread)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := BuildHeterogeneous(cfg, threads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		met, err := h.Solve(SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if met.TotalThroughput > prev+1e-9 {
+			t.Errorf("spread %d: throughput %v rose above %v", spread, met.TotalThroughput, prev)
+		}
+		prev = met.TotalThroughput
+		if spread > 0 && met.MaxUp-met.MinUp < 0.01 {
+			t.Errorf("spread %d: expected per-PE spread, got %v", spread, met.MaxUp-met.MinUp)
+		}
+	}
+}
+
+func TestHeteroZeroThreadPE(t *testing.T) {
+	cfg := DefaultConfig()
+	threads := make([]int, 16)
+	for i := range threads {
+		threads[i] = 8
+	}
+	threads[3] = 0 // one idle PE
+	h, err := BuildHeterogeneous(cfg, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, err := h.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.PerClassUp[3] != 0 {
+		t.Errorf("idle PE has U_p %v", met.PerClassUp[3])
+	}
+	if met.MinUp != 0 {
+		t.Errorf("MinUp %v", met.MinUp)
+	}
+	// The other PEs keep working.
+	if met.PerClassUp[0] < 0.5 {
+		t.Errorf("active PE U_p %v", met.PerClassUp[0])
+	}
+}
+
+func TestHeteroAllIdle(t *testing.T) {
+	cfg := DefaultConfig()
+	h, err := BuildHeterogeneous(cfg, make([]int, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, err := h.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.MeanUp != 0 || met.TotalThroughput != 0 {
+		t.Errorf("all-idle system: %+v", met)
+	}
+}
+
+func TestHeteroValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := BuildHeterogeneous(cfg, []int{1, 2}); err == nil {
+		t.Error("want length error")
+	}
+	bad := make([]int, 16)
+	bad[0] = -1
+	if _, err := BuildHeterogeneous(cfg, bad); err == nil {
+		t.Error("want negative error")
+	}
+	cfg.K = 0
+	if _, err := BuildHeterogeneous(cfg, nil); err == nil {
+		t.Error("want config error")
+	}
+}
+
+func TestImbalanceGenerator(t *testing.T) {
+	tor := topology.MustTorus(4)
+	threads, err := Imbalance(tor, 128, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	high, low := 0, 0
+	for _, nt := range threads {
+		total += nt
+		switch nt {
+		case 11:
+			high++
+		case 5:
+			low++
+		default:
+			t.Fatalf("unexpected count %d", nt)
+		}
+	}
+	if total != 128 || high != 8 || low != 8 {
+		t.Errorf("total %d, high %d, low %d", total, high, low)
+	}
+	if _, err := Imbalance(tor, 127, 0); err == nil {
+		t.Error("want divisibility error")
+	}
+	if _, err := Imbalance(tor, 128, 9); err == nil {
+		t.Error("want spread range error")
+	}
+	if _, err := Imbalance(topology.MustTorus(3), 9, 1); err == nil {
+		t.Error("want even-PE error")
+	}
+}

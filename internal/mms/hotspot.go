@@ -1,0 +1,164 @@
+package mms
+
+import (
+	"fmt"
+	"math"
+
+	"lattol/internal/mva"
+	"lattol/internal/queueing"
+	"lattol/internal/topology"
+)
+
+// HotSpotModel extends the MMS with hot-spot traffic: every class redirects
+// a fraction of its remote accesses to one designated memory module. This
+// breaks the SPMD translation symmetry the paper assumes, so the model is
+// solved with the general multiclass AMVA; it quantifies how concentrated
+// sharing (a lock, a reduction variable, a master data structure) erodes
+// latency tolerance — the contention concern behind the paper's Section 7
+// discussion of memory response.
+type HotSpotModel struct {
+	cfg   Config
+	torus *topology.Torus
+	hot   topology.Node
+	frac  float64
+
+	// per-class visit ratio arrays, indexed [class][node]
+	mem [][]float64
+	out [][]float64
+	in  [][]float64
+}
+
+// HotSpotMetrics reports per-PE processor utilization plus system aggregates.
+type HotSpotMetrics struct {
+	// PerClassUp[i] is U_p of PE i. The hot node itself usually fares
+	// *worst*: its local memory is the saturated module, so its own threads
+	// queue behind the whole machine's hot traffic.
+	PerClassUp []float64
+	// MinUp, MaxUp, MeanUp aggregate PerClassUp.
+	MinUp, MaxUp, MeanUp float64
+	// HotMemUtilization is the utilization of the hot memory module.
+	HotMemUtilization float64
+	// Iterations is the AMVA iteration count.
+	Iterations int
+}
+
+// BuildHotSpot builds a hot-spot variant of cfg: each class sends fraction
+// frac of its remote accesses to memory module hot (its own pattern covers
+// the rest). For the hot node's own class the redirected fraction stays
+// local. frac must lie in [0, 1].
+func BuildHotSpot(cfg Config, hot topology.Node, frac float64) (*HotSpotModel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if frac < 0 || frac > 1 || math.IsNaN(frac) {
+		return nil, fmt.Errorf("mms: hot-spot fraction %v, want in [0,1]", frac)
+	}
+	base, err := Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := base.Torus()
+	if int(hot) < 0 || int(hot) >= t.Nodes() {
+		return nil, fmt.Errorf("mms: hot node %d out of range [0,%d)", hot, t.Nodes())
+	}
+	h := &HotSpotModel{cfg: cfg, torus: t, hot: hot, frac: frac}
+	pat := base.Pattern()
+	for c := 0; c < t.Nodes(); c++ {
+		home := topology.Node(c)
+		var q func(topology.Node) float64
+		p := cfg.PRemote
+		if pat != nil {
+			if home == hot {
+				// The redirected fraction is local for the hot node's own
+				// threads: shrink its remote probability instead.
+				p = cfg.PRemote * (1 - frac)
+				q = func(dst topology.Node) float64 { return pat.Prob(home, dst) }
+			} else {
+				q = func(dst topology.Node) float64 {
+					v := (1 - frac) * pat.Prob(home, dst)
+					if dst == hot {
+						v += frac
+					}
+					return v
+				}
+			}
+		}
+		mem, out, in := visitsFrom(t, home, p, q)
+		h.mem = append(h.mem, mem)
+		h.out = append(h.out, out)
+		h.in = append(h.in, in)
+	}
+	return h, nil
+}
+
+// Network builds the full multiclass queueing network of the hot-spot system.
+func (h *HotSpotModel) Network() *queueing.Network {
+	// Reuse the base model only for station layout metadata.
+	base := &Model{cfg: h.cfg, torus: h.torus}
+	nNodes := h.torus.Nodes()
+	net := &queueing.Network{
+		Stations: make([]queueing.Station, base.StationCount()),
+		Classes:  make([]queueing.Class, nNodes),
+	}
+	for _, role := range []StationRole{Processor, Memory, Outbound, Inbound} {
+		for j := 0; j < nNodes; j++ {
+			net.Stations[base.stationIndex(role, topology.Node(j))] = queueing.Station{
+				Name:        fmt.Sprintf("%s[%d]", role, j),
+				Kind:        queueing.FCFS,
+				ServiceTime: base.serviceTime(role),
+				Servers:     base.serverCount(role),
+			}
+		}
+	}
+	for c := 0; c < nNodes; c++ {
+		v := make([]float64, base.StationCount())
+		v[base.stationIndex(Processor, topology.Node(c))] = 1
+		for j := 0; j < nNodes; j++ {
+			v[base.stationIndex(Memory, topology.Node(j))] = h.mem[c][j]
+			v[base.stationIndex(Outbound, topology.Node(j))] = h.out[c][j]
+			v[base.stationIndex(Inbound, topology.Node(j))] = h.in[c][j]
+		}
+		net.Classes[c] = queueing.Class{
+			Name:       fmt.Sprintf("pe%d", c),
+			Population: h.cfg.Threads,
+			Visits:     v,
+		}
+	}
+	return net
+}
+
+// Solve runs the general multiclass AMVA and assembles per-PE metrics.
+func (h *HotSpotModel) Solve(opts SolveOptions) (HotSpotMetrics, error) {
+	opts = opts.withDefaults()
+	if h.cfg.Threads == 0 {
+		return HotSpotMetrics{}, nil
+	}
+	net := h.Network()
+	res, err := mva.ApproxMultiClass(net, mva.AMVAOptions{
+		Tolerance:     opts.Tolerance,
+		MaxIterations: opts.MaxIterations,
+	})
+	if err != nil {
+		return HotSpotMetrics{}, err
+	}
+	base := &Model{cfg: h.cfg, torus: h.torus}
+	out := HotSpotMetrics{
+		PerClassUp: make([]float64, h.torus.Nodes()),
+		MinUp:      math.Inf(1),
+		MaxUp:      math.Inf(-1),
+		Iterations: res.Iterations,
+	}
+	r := h.cfg.processorService()
+	var sum float64
+	for c := range out.PerClassUp {
+		up := res.Throughput[c] * r
+		out.PerClassUp[c] = up
+		sum += up
+		out.MinUp = math.Min(out.MinUp, up)
+		out.MaxUp = math.Max(out.MaxUp, up)
+	}
+	out.MeanUp = sum / float64(len(out.PerClassUp))
+	hotStation := base.stationIndex(Memory, h.hot)
+	out.HotMemUtilization = res.TotalUtilization(net, hotStation)
+	return out, nil
+}

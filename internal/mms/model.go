@@ -1,0 +1,231 @@
+package mms
+
+import (
+	"fmt"
+
+	"lattol/internal/access"
+	"lattol/internal/queueing"
+	"lattol/internal/topology"
+)
+
+// StationRole identifies the subsystem a station models.
+type StationRole int
+
+const (
+	// Processor is the multithreaded processor of a PE.
+	Processor StationRole = iota
+	// Memory is the distributed-shared-memory module of a PE.
+	Memory
+	// Outbound is the switch through which a PE injects messages into the IN
+	// and through which memory responses leave their home node.
+	Outbound
+	// Inbound is the switch that accepts messages from the IN at each hop and
+	// delivers them at the destination.
+	Inbound
+)
+
+func (r StationRole) String() string {
+	switch r {
+	case Processor:
+		return "processor"
+	case Memory:
+		return "memory"
+	case Outbound:
+		return "outbound"
+	case Inbound:
+		return "inbound"
+	default:
+		return fmt.Sprintf("StationRole(%d)", int(r))
+	}
+}
+
+// Model is a fully elaborated MMS instance: topology, access pattern and the
+// per-class visit ratios of the closed queueing network of the paper's
+// Figure 2.
+type Model struct {
+	cfg     Config
+	torus   *topology.Torus
+	pattern access.Pattern // nil when PRemote == 0 or K == 1
+
+	// Class-0 visit ratios per PE index; other classes are torus
+	// translations of these (the workload is SPMD-symmetric).
+	visitMem []float64 // em[0][j]
+	visitOut []float64 // eo[0][j]
+	visitIn  []float64 // ei[0][j]
+}
+
+// Build elaborates a configuration into a model.
+func Build(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	torus, err := topology.NewTorus(cfg.K)
+	if err != nil {
+		return nil, err
+	}
+	pat, err := cfg.pattern(torus)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{cfg: cfg, torus: torus, pattern: pat}
+	m.computeVisits()
+	return m, nil
+}
+
+// computeVisits fills the class-0 visit ratios per thread cycle:
+//
+//	memory_j:   (1-p) for j = 0, p·Prob(0,j) otherwise
+//	outbound_0: p              (every remote request is injected here)
+//	outbound_j: em[0][j], j≠0  (every response leaves its home node here)
+//	inbound_j:  forward- plus return-route traversals through node j
+func (m *Model) computeVisits() {
+	var q func(topology.Node) float64
+	if m.pattern != nil {
+		q = func(dst topology.Node) float64 { return m.pattern.Prob(0, dst) }
+	}
+	m.visitMem, m.visitOut, m.visitIn = visitsFrom(m.torus, 0, m.cfg.PRemote, q)
+}
+
+// visitsFrom computes the per-cycle visit ratios of the class anchored at
+// `home`, indexed by absolute node: the thread accesses its local memory
+// with probability 1-p and the remote module dst with probability
+// p·q(dst); requests enter the network through outbound[home], traverse the
+// inbound switch of every node on the dimension-order route (destination
+// included), and responses return through outbound[dst] and the reverse
+// route. q must sum to 1 over dst ≠ home (it is ignored when p == 0).
+func visitsFrom(t topology.Network, home topology.Node, p float64, q func(topology.Node) float64) (mem, out, in []float64) {
+	n := t.Nodes()
+	mem = make([]float64, n)
+	out = make([]float64, n)
+	in = make([]float64, n)
+	mem[home] = 1 - p
+	if p == 0 || q == nil {
+		return mem, out, in
+	}
+	out[home] = p
+	for j := 0; j < n; j++ {
+		dst := topology.Node(j)
+		if dst == home {
+			continue
+		}
+		em := p * q(dst)
+		mem[j] = em
+		out[j] += em
+		if em == 0 {
+			continue
+		}
+		for _, hop := range t.Route(home, dst) {
+			in[hop] += em
+		}
+		for _, hop := range t.Route(dst, home) {
+			in[hop] += em
+		}
+	}
+	return mem, out, in
+}
+
+// Config returns the configuration the model was built from.
+func (m *Model) Config() Config { return m.cfg }
+
+// Torus returns the model's topology.
+func (m *Model) Torus() *topology.Torus { return m.torus }
+
+// Pattern returns the resolved remote access pattern (nil when remote
+// accesses are impossible).
+func (m *Model) Pattern() access.Pattern { return m.pattern }
+
+// MeanDistance returns d_avg under the resolved pattern (0 when there are no
+// remote accesses).
+func (m *Model) MeanDistance() float64 {
+	if m.pattern == nil {
+		return 0
+	}
+	return m.pattern.MeanDistance()
+}
+
+// UnloadedNetworkLatency returns the one-way network latency without
+// queueing: (d_avg + 1)·S — d_avg inbound hops plus the outbound injection.
+func (m *Model) UnloadedNetworkLatency() float64 {
+	if m.pattern == nil {
+		return 0
+	}
+	return (m.MeanDistance() + 1) * m.cfg.SwitchTime
+}
+
+// Stations per node: Processor, Memory, Outbound, Inbound — in this order,
+// grouped by role: station(role, node) = int(role)*P + node.
+func (m *Model) stationIndex(role StationRole, node topology.Node) int {
+	return int(role)*m.torus.Nodes() + int(node)
+}
+
+// StationCount returns the total number of stations (4 per PE).
+func (m *Model) StationCount() int { return 4 * m.torus.Nodes() }
+
+// serviceTime returns the mean service time of a station role.
+func (m *Model) serviceTime(role StationRole) float64 {
+	switch role {
+	case Processor:
+		return m.cfg.processorService()
+	case Memory:
+		return m.cfg.MemoryTime
+	default:
+		return m.cfg.SwitchTime
+	}
+}
+
+// serverCount returns the number of parallel servers of a station role.
+func (m *Model) serverCount(role StationRole) int {
+	switch role {
+	case Memory:
+		return m.cfg.memoryPorts()
+	case Outbound, Inbound:
+		return m.cfg.switchPorts()
+	default:
+		return 1
+	}
+}
+
+// ClassVisits returns the visit-ratio vector of the class anchored at PE
+// `home` over all 4P stations, by torus translation of the class-0 ratios.
+func (m *Model) ClassVisits(home topology.Node) []float64 {
+	n := m.torus.Nodes()
+	v := make([]float64, m.StationCount())
+	hx, hy := m.torus.Coord(home)
+	v[m.stationIndex(Processor, home)] = 1
+	for j := 0; j < n; j++ {
+		jx, jy := m.torus.Coord(topology.Node(j))
+		dst := m.torus.NodeAt(jx+hx, jy+hy)
+		v[m.stationIndex(Memory, dst)] = m.visitMem[j]
+		v[m.stationIndex(Outbound, dst)] = m.visitOut[j]
+		v[m.stationIndex(Inbound, dst)] = m.visitIn[j]
+	}
+	return v
+}
+
+// Network builds the full multiclass closed queueing network: one class per
+// PE with population n_t, 4P FCFS stations.
+func (m *Model) Network() *queueing.Network {
+	nNodes := m.torus.Nodes()
+	net := &queueing.Network{
+		Stations: make([]queueing.Station, m.StationCount()),
+		Classes:  make([]queueing.Class, nNodes),
+	}
+	for _, role := range []StationRole{Processor, Memory, Outbound, Inbound} {
+		for j := 0; j < nNodes; j++ {
+			net.Stations[m.stationIndex(role, topology.Node(j))] = queueing.Station{
+				Name:        fmt.Sprintf("%s[%d]", role, j),
+				Kind:        queueing.FCFS,
+				ServiceTime: m.serviceTime(role),
+				Servers:     m.serverCount(role),
+			}
+		}
+	}
+	for j := 0; j < nNodes; j++ {
+		net.Classes[j] = queueing.Class{
+			Name:       fmt.Sprintf("pe%d", j),
+			Population: m.cfg.Threads,
+			Visits:     m.ClassVisits(topology.Node(j)),
+		}
+	}
+	return net
+}

@@ -1,0 +1,276 @@
+package mms
+
+import (
+	"fmt"
+	"math"
+
+	"lattol/internal/mva"
+	"lattol/internal/topology"
+)
+
+// Solver selects how the queueing network is solved.
+type Solver int
+
+const (
+	// SymmetricAMVA exploits the SPMD symmetry of the workload: every class
+	// is a torus translation of class 0, so the Bard–Schweitzer fixed point
+	// can be iterated on class 0 alone with total queue lengths obtained by
+	// symmetry. It computes the same fixed point as FullAMVA at 1/P the work
+	// per iteration, and is the default.
+	SymmetricAMVA Solver = iota
+	// FullAMVA runs the general multiclass Bard–Schweitzer iteration on all
+	// P classes and 4P stations (the paper's Figure 3, verbatim).
+	FullAMVA
+	// ExactMVA runs the exact multiclass recursion; only feasible for very
+	// small systems (it is exponential in P·n_t) and used to gauge AMVA
+	// accuracy.
+	ExactMVA
+)
+
+func (s Solver) String() string {
+	switch s {
+	case SymmetricAMVA:
+		return "symmetric-amva"
+	case FullAMVA:
+		return "full-amva"
+	case ExactMVA:
+		return "exact-mva"
+	default:
+		return fmt.Sprintf("Solver(%d)", int(s))
+	}
+}
+
+// SolveOptions tunes the solution procedure. The zero value is the default:
+// symmetric AMVA with tolerance 1e-10.
+type SolveOptions struct {
+	Solver        Solver
+	Tolerance     float64 // convergence threshold on queue lengths (default 1e-10)
+	MaxIterations int     // default 200000
+}
+
+func (o SolveOptions) withDefaults() SolveOptions {
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-10
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 200000
+	}
+	return o
+}
+
+// Metrics holds the paper's performance measures for one (any) processor —
+// the workload is SPMD-symmetric so every PE reports the same values.
+type Metrics struct {
+	// Up is the processor utilization U_p = λ·R in [0,1] (paper Eq. 3).
+	Up float64
+	// LambdaProc is λ_i: the rate at which the processor issues memory
+	// accesses.
+	LambdaProc float64
+	// LambdaNet is λ_net = λ_i·p_remote: the message rate to the network
+	// (paper Eq. 2).
+	LambdaNet float64
+	// SObs is the observed one-way network latency per remote access,
+	// including queueing (paper Eq. 1, normalized per remote access per
+	// direction). Zero when there are no remote accesses.
+	SObs float64
+	// LObs is the observed memory latency per access, including queueing.
+	LObs float64
+	// CycleTime is the mean time for a thread to complete one
+	// compute-access-resume cycle.
+	CycleTime float64
+	// MemUtilization, OutUtilization, InUtilization are the utilizations of a
+	// memory module, an outbound switch and an inbound switch.
+	MemUtilization float64
+	OutUtilization float64
+	InUtilization  float64
+	// Iterations is the number of solver iterations (0 for exact MVA).
+	Iterations int
+}
+
+// Throughput returns the system throughput P·U_p (paper Figure 10a plots
+// this against P).
+func (m Metrics) Throughput(p int) float64 { return float64(p) * m.Up }
+
+// Solve builds the model for cfg and solves it with default options.
+func Solve(cfg Config) (Metrics, error) {
+	model, err := Build(cfg)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return model.Solve(SolveOptions{})
+}
+
+// Solve computes the steady-state performance measures.
+func (m *Model) Solve(opts SolveOptions) (Metrics, error) {
+	opts = opts.withDefaults()
+	if m.cfg.Threads == 0 {
+		return Metrics{}, nil
+	}
+	switch opts.Solver {
+	case SymmetricAMVA:
+		return m.solveSymmetric(opts)
+	case FullAMVA, ExactMVA:
+		return m.solveFull(opts)
+	default:
+		return Metrics{}, fmt.Errorf("mms: unknown solver %d", int(opts.Solver))
+	}
+}
+
+// solveSymmetric iterates the Bard–Schweitzer fixed point on class 0 only.
+// Station layout (class-0 view): index 0 = own processor, then per node j:
+// memory_j, outbound_j, inbound_j. Total queue lengths at stations follow
+// from translation symmetry:
+//
+//	Σ_i n_i[proc_0] = n_0[proc_0]          (only class 0 visits it)
+//	Σ_i n_i[mem_j]  = Σ_d n_0[mem_d]       (independent of j)
+//
+// and likewise for switches.
+func (m *Model) solveSymmetric(opts SolveOptions) (Metrics, error) {
+	nNodes := m.torus.Nodes()
+	nt := float64(m.cfg.Threads)
+
+	// Flatten class-0 stations: 0 = processor, then [1, 1+n) memories,
+	// [1+n, 1+2n) outbound, [1+2n, 1+3n) inbound.
+	nStations := 1 + 3*nNodes
+	e := make([]float64, nStations)
+	s := make([]float64, nStations)
+	role := make([]StationRole, nStations)
+	srv := make([]float64, nStations)
+	e[0], s[0], role[0] = 1, m.cfg.processorService(), Processor
+	for j := 0; j < nNodes; j++ {
+		e[1+j], s[1+j], role[1+j] = m.visitMem[j], m.cfg.MemoryTime, Memory
+		e[1+nNodes+j], s[1+nNodes+j], role[1+nNodes+j] = m.visitOut[j], m.cfg.SwitchTime, Outbound
+		e[1+2*nNodes+j], s[1+2*nNodes+j], role[1+2*nNodes+j] = m.visitIn[j], m.cfg.SwitchTime, Inbound
+	}
+	for i := range srv {
+		srv[i] = float64(m.serverCount(role[i]))
+	}
+
+	// Initialize: spread the class population over visited stations.
+	q := make([]float64, nStations)
+	visited := 0
+	for _, ev := range e {
+		if ev > 0 {
+			visited++
+		}
+	}
+	for i, ev := range e {
+		if ev > 0 {
+			q[i] = nt / float64(visited)
+		}
+	}
+
+	w := make([]float64, nStations)
+	var lambda float64
+	var iterations int
+	for iter := 1; iter <= opts.MaxIterations; iter++ {
+		// Role totals Σ_d n_0[station_d] give the symmetric column sums.
+		var roleTotal [4]float64
+		for i, role := range role {
+			roleTotal[role] += q[i]
+		}
+		var cycle float64
+		for i := range w {
+			if e[i] == 0 {
+				w[i] = 0
+				continue
+			}
+			// Shadow-server residence: exact at one server, a pure delay
+			// as the port count grows (matches mva.residence).
+			seen := roleTotal[role[i]] - q[i]/nt
+			w[i] = s[i]/srv[i]*(1+seen) + s[i]*(srv[i]-1)/srv[i]
+			cycle += e[i] * w[i]
+		}
+		if cycle <= 0 {
+			return Metrics{}, fmt.Errorf("mms: degenerate zero cycle time")
+		}
+		lambda = nt / cycle
+		maxDelta := 0.0
+		for i := range q {
+			nNew := lambda * e[i] * w[i]
+			if d := math.Abs(nNew - q[i]); d > maxDelta {
+				maxDelta = d
+			}
+			q[i] = nNew
+		}
+		if maxDelta < opts.Tolerance {
+			iterations = iter
+			break
+		}
+		if iter == opts.MaxIterations {
+			return Metrics{}, fmt.Errorf("mms: symmetric AMVA did not converge within %d iterations", opts.MaxIterations)
+		}
+	}
+
+	met := m.metricsFromClass0(lambda, func(role StationRole, node topology.Node) float64 {
+		switch role {
+		case Processor:
+			return w[0]
+		case Memory:
+			return w[1+int(node)]
+		case Outbound:
+			return w[1+nNodes+int(node)]
+		default:
+			return w[1+2*nNodes+int(node)]
+		}
+	})
+	met.Iterations = iterations
+	return met, nil
+}
+
+// solveFull solves the complete multiclass network and reads class 0's
+// measures off the result.
+func (m *Model) solveFull(opts SolveOptions) (Metrics, error) {
+	net := m.Network()
+	var res *mva.Result
+	var err error
+	if opts.Solver == ExactMVA {
+		res, err = mva.ExactMultiClass(net, 0)
+	} else {
+		res, err = mva.ApproxMultiClass(net, mva.AMVAOptions{
+			Tolerance:     opts.Tolerance,
+			MaxIterations: opts.MaxIterations,
+		})
+	}
+	if err != nil {
+		return Metrics{}, err
+	}
+	met := m.metricsFromClass0(res.Throughput[0], func(role StationRole, node topology.Node) float64 {
+		return res.Wait[0][m.stationIndex(role, node)]
+	})
+	met.Iterations = res.Iterations
+	return met, nil
+}
+
+// metricsFromClass0 assembles the paper's measures from class-0 throughput λ
+// and per-station residence times.
+func (m *Model) metricsFromClass0(lambda float64, wait func(StationRole, topology.Node) float64) Metrics {
+	cfg := m.cfg
+	nNodes := m.torus.Nodes()
+	met := Metrics{
+		LambdaProc: lambda,
+		LambdaNet:  lambda * cfg.PRemote,
+		Up:         lambda * cfg.processorService(),
+	}
+	var lObs, sObsSum float64
+	for j := 0; j < nNodes; j++ {
+		node := topology.Node(j)
+		lObs += m.visitMem[j] * wait(Memory, node)
+		sObsSum += m.visitOut[j]*wait(Outbound, node) + m.visitIn[j]*wait(Inbound, node)
+	}
+	met.LObs = lObs
+	if cfg.PRemote > 0 {
+		met.SObs = sObsSum / (2 * cfg.PRemote)
+	}
+	if lambda > 0 {
+		met.CycleTime = float64(cfg.Threads) / lambda
+	}
+	// Subsystem utilizations follow from visit totals and symmetry: each
+	// memory serves one full access stream (Σ_d em = 1), each outbound switch
+	// 2·p_remote visits per cycle, each inbound switch 2·p_remote·d_avg;
+	// multi-port stations divide the load across their servers.
+	met.MemUtilization = lambda * cfg.MemoryTime / float64(cfg.memoryPorts())
+	met.OutUtilization = lambda * cfg.SwitchTime * 2 * cfg.PRemote / float64(cfg.switchPorts())
+	met.InUtilization = lambda * cfg.SwitchTime * 2 * cfg.PRemote * m.MeanDistance() / float64(cfg.switchPorts())
+	return met
+}

@@ -1,0 +1,145 @@
+package mva
+
+import (
+	"fmt"
+	"math"
+
+	"lattol/internal/queueing"
+)
+
+// AMVAOptions tunes the approximate solver. The zero value selects sensible
+// defaults.
+type AMVAOptions struct {
+	// Tolerance is the convergence threshold on the largest absolute change
+	// of any per-class per-station queue length between successive
+	// iterations. Default 1e-10.
+	Tolerance float64
+	// MaxIterations bounds the fixed-point loop. Default 100000.
+	MaxIterations int
+	// Damping in [0,1) blends each new queue-length estimate with the
+	// previous one: n ← (1-d)·n_new + d·n_old. 0 (default) reproduces the
+	// plain Bard–Schweitzer iteration of the paper's Figure 3.
+	Damping float64
+}
+
+func (o AMVAOptions) withDefaults() AMVAOptions {
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-10
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 100000
+	}
+	return o
+}
+
+// ApproxMultiClass solves a closed multiclass network with the
+// Bard–Schweitzer approximate MVA — the algorithm of the paper's Figure 3.
+//
+// The fixed point iterates, for every class i and station m:
+//
+//	n_m(N-1_i) ≈ (N_i-1)/N_i · n_{i,m}(N) + Σ_{j≠i} n_{j,m}(N)   (step 2a)
+//	w_{i,m}    = s_m · (1 + n_m(N-1_i))   [FCFS; w = s_m at delay] (step 2b)
+//	λ_i        = N_i / Σ_m e_{i,m}·w_{i,m}                        (step 3)
+//	n_{i,m}    = λ_i·e_{i,m}·w_{i,m}                              (step 4)
+//
+// until queue lengths stabilize (step 5).
+func ApproxMultiClass(net *queueing.Network, opts AMVAOptions) (*Result, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	nc := len(net.Classes)
+	nm := len(net.Stations)
+
+	// Step 1: spread each class's population evenly over the stations it
+	// visits.
+	q := make([][]float64, nc)
+	for c, cl := range net.Classes {
+		q[c] = make([]float64, nm)
+		if cl.Population == 0 {
+			continue
+		}
+		visited := 0
+		for m := range net.Stations {
+			if cl.Visits[m] > 0 {
+				visited++
+			}
+		}
+		for m := range net.Stations {
+			if cl.Visits[m] > 0 {
+				q[c][m] = float64(cl.Population) / float64(visited)
+			}
+		}
+	}
+
+	r := newResult(nc, nm)
+	colSum := make([]float64, nm) // Σ_j n_{j,m}, refreshed each iteration
+	for iter := 1; iter <= opts.MaxIterations; iter++ {
+		for m := 0; m < nm; m++ {
+			colSum[m] = 0
+			for c := 0; c < nc; c++ {
+				colSum[m] += q[c][m]
+			}
+		}
+		maxDelta := 0.0
+		for c, cl := range net.Classes {
+			if cl.Population == 0 {
+				continue
+			}
+			ni := float64(cl.Population)
+			var cycle float64
+			for m := 0; m < nm; m++ {
+				// Queue seen by an arriving class-c customer (arrival
+				// theorem approximation).
+				seen := colSum[m] - q[c][m]/ni
+				r.Wait[c][m] = residence(net.Stations[m], seen)
+				cycle += cl.Visits[m] * r.Wait[c][m]
+			}
+			if cycle == 0 {
+				return nil, fmt.Errorf("mva: class %q has zero total demand", cl.Name)
+			}
+			r.Throughput[c] = ni / cycle
+			r.CycleTime[c] = cycle
+			for m := 0; m < nm; m++ {
+				nNew := r.Throughput[c] * cl.Visits[m] * r.Wait[c][m]
+				if opts.Damping > 0 {
+					nNew = (1-opts.Damping)*nNew + opts.Damping*q[c][m]
+				}
+				if d := math.Abs(nNew - q[c][m]); d > maxDelta {
+					maxDelta = d
+				}
+				q[c][m] = nNew
+			}
+		}
+		if maxDelta < opts.Tolerance {
+			r.Iterations = iter
+			for c := range q {
+				copy(r.QueueLen[c], q[c])
+			}
+			return r, nil
+		}
+	}
+	return nil, fmt.Errorf("mva: Bard–Schweitzer did not converge within %d iterations (tol %g)",
+		opts.MaxIterations, opts.Tolerance)
+}
+
+// Solve picks a solver automatically: exact MVA when the population lattice
+// is small (≤ exactLimit states, default 1<<16), approximate MVA otherwise.
+func Solve(net *queueing.Network, exactLimit int) (*Result, error) {
+	if exactLimit <= 0 {
+		exactLimit = 1 << 16
+	}
+	states := 1
+	exact := true
+	for _, cl := range net.Classes {
+		if states > exactLimit/(cl.Population+1) {
+			exact = false
+			break
+		}
+		states *= cl.Population + 1
+	}
+	if exact {
+		return ExactMultiClass(net, exactLimit)
+	}
+	return ApproxMultiClass(net, AMVAOptions{})
+}

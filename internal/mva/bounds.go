@@ -1,0 +1,64 @@
+package mva
+
+import (
+	"fmt"
+
+	"lattol/internal/queueing"
+)
+
+// Bounds holds asymptotic (bottleneck) bounds on a class's throughput and
+// cycle time, used to sanity-check solver output and to explain performance
+// regimes the way the paper's "simple bottleneck analysis" does.
+type Bounds struct {
+	// ThroughputUpper = min(N/D_total, 1/D_max): the class cannot run faster
+	// than its zero-contention cycle allows, nor faster than its bottleneck
+	// station serves.
+	ThroughputUpper float64
+	// ThroughputLower = N/(D_total + (N-1)·D_total) is the pessimistic
+	// single-class asymptotic lower bound (all other customers queued ahead
+	// at every visit).
+	ThroughputLower float64
+	// CycleLower = max(D_total, N·D_max): dual of ThroughputUpper.
+	CycleLower float64
+	// Bottleneck is the station index with the largest FCFS demand (-1 if
+	// none).
+	Bottleneck int
+	// SaturationPopulation N* = D_total/D_max: beyond roughly this population
+	// the bottleneck saturates and throughput flattens.
+	SaturationPopulation float64
+}
+
+// AsymptoticBounds computes single-class asymptotic bounds for class c,
+// treating the other classes as absent. For the symmetric SPMD workloads of
+// the paper, every class sees statistically identical contention, so these
+// per-class bounds still locate the knees of the real curves.
+func AsymptoticBounds(net *queueing.Network, c int) (Bounds, error) {
+	if err := net.Validate(); err != nil {
+		return Bounds{}, err
+	}
+	if c < 0 || c >= len(net.Classes) {
+		return Bounds{}, fmt.Errorf("mva: class index %d out of range", c)
+	}
+	n := float64(net.Classes[c].Population)
+	dTotal := net.TotalDemand(c)
+	dMax, arg := net.MaxDemand(c)
+	if dTotal == 0 {
+		return Bounds{}, fmt.Errorf("mva: class %q has zero total demand", net.Classes[c].Name)
+	}
+	b := Bounds{Bottleneck: arg}
+	b.ThroughputUpper = n / dTotal
+	if dMax > 0 && 1/dMax < b.ThroughputUpper {
+		b.ThroughputUpper = 1 / dMax
+	}
+	if n > 0 {
+		b.ThroughputLower = n / (float64(net.TotalPopulation()-1)*dTotal + dTotal)
+	}
+	b.CycleLower = dTotal
+	if dMax > 0 && n*dMax > b.CycleLower {
+		b.CycleLower = n * dMax
+	}
+	if dMax > 0 {
+		b.SaturationPopulation = dTotal / dMax
+	}
+	return b, nil
+}

@@ -1,0 +1,101 @@
+package mva
+
+import (
+	"fmt"
+
+	"lattol/internal/queueing"
+)
+
+// Convolution solves a single-class closed product-form network by Buzen's
+// normalization-constant algorithm and returns the class throughput. It is
+// an independent solution method used to cross-check the MVA recursion
+// (the two must agree to machine precision on single-server networks).
+//
+// G(n) is built by convolving stations one at a time:
+//
+//	FCFS (single server):  G'(k) = G(k) + D·G'(k-1)
+//	Delay:                 G'(k) = Σ_j G(k-j)·D^j/j!
+//
+// Throughput X(N) = G(N-1)/G(N). Multi-server FCFS stations use the
+// load-dependent factor Π_{j=1..k} D/α(j) with α(j) = min(j, m).
+func Convolution(net *queueing.Network) (float64, error) {
+	if err := net.Validate(); err != nil {
+		return 0, err
+	}
+	if len(net.Classes) != 1 {
+		return 0, fmt.Errorf("mva: Convolution on network with %d classes", len(net.Classes))
+	}
+	n := net.Classes[0].Population
+	if n == 0 {
+		return 0, nil
+	}
+	g := make([]float64, n+1)
+	g[0] = 1
+	for m, st := range net.Stations {
+		d := net.Classes[0].Visits[m] * st.ServiceTime
+		if d == 0 {
+			continue
+		}
+		switch {
+		case st.Kind == queueing.Delay:
+			convolveDelay(g, d)
+		case st.ServerCount() == 1:
+			// In-place ascending accumulation implements the geometric
+			// station factor.
+			for k := 1; k <= n; k++ {
+				g[k] += d * g[k-1]
+			}
+		default:
+			convolveMultiServer(g, d, st.ServerCount())
+		}
+	}
+	if g[n] == 0 {
+		return 0, fmt.Errorf("mva: zero normalization constant")
+	}
+	return g[n-1] / g[n], nil
+}
+
+// convolveDelay convolves the running normalization vector with the delay
+// station factor D^j/j!.
+func convolveDelay(g []float64, d float64) {
+	n := len(g) - 1
+	out := make([]float64, n+1)
+	// factor[j] = D^j / j!
+	factor := make([]float64, n+1)
+	factor[0] = 1
+	for j := 1; j <= n; j++ {
+		factor[j] = factor[j-1] * d / float64(j)
+	}
+	for k := 0; k <= n; k++ {
+		var sum float64
+		for j := 0; j <= k; j++ {
+			sum += g[k-j] * factor[j]
+		}
+		out[k] = sum
+	}
+	copy(g, out)
+}
+
+// convolveMultiServer convolves with an m-server FCFS station factor
+// f(j) = D^j / Π_{i=1..j} min(i, m).
+func convolveMultiServer(g []float64, d float64, m int) {
+	n := len(g) - 1
+	factor := make([]float64, n+1)
+	factor[0] = 1
+	for j := 1; j <= n; j++ {
+		alpha := j
+		if alpha > m {
+			alpha = m
+		}
+		factor[j] = factor[j-1] * d / float64(alpha)
+	}
+	out := make([]float64, n+1)
+	for k := 0; k <= n; k++ {
+		var sum float64
+		for j := 0; j <= k; j++ {
+			sum += g[k-j] * factor[j]
+		}
+		out[k] = sum
+	}
+	copy(g, out)
+}

@@ -1,0 +1,173 @@
+package mva
+
+import (
+	"fmt"
+
+	"lattol/internal/queueing"
+)
+
+// ExactSingleClass solves a single-class closed network with population n by
+// exact MVA recursion. It requires the network to have exactly one class.
+func ExactSingleClass(net *queueing.Network) (*Result, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	if len(net.Classes) != 1 {
+		return nil, fmt.Errorf("mva: ExactSingleClass on network with %d classes", len(net.Classes))
+	}
+	n := net.Classes[0].Population
+	m := len(net.Stations)
+	q := make([]float64, m) // queue lengths at population k
+	w := make([]float64, m)
+	var lambda float64
+	for k := 1; k <= n; k++ {
+		var cycle float64
+		for j := 0; j < m; j++ {
+			w[j] = residence(net.Stations[j], q[j])
+			cycle += net.Classes[0].Visits[j] * w[j]
+		}
+		if cycle == 0 {
+			return nil, fmt.Errorf("mva: class %q has zero total demand", net.Classes[0].Name)
+		}
+		lambda = float64(k) / cycle
+		for j := 0; j < m; j++ {
+			q[j] = lambda * net.Classes[0].Visits[j] * w[j]
+		}
+	}
+	r := newResult(1, m)
+	if n == 0 {
+		return r, nil
+	}
+	r.Throughput[0] = lambda
+	copy(r.Wait[0], w)
+	copy(r.QueueLen[0], q)
+	r.CycleTime[0] = float64(n) / lambda
+	return r, nil
+}
+
+// ExactMultiClass solves a closed multiclass network by the exact MVA
+// recursion over the full population lattice. The state space has
+// Π_c (N_c + 1) points, so this is only feasible for small populations; it
+// exists mainly to quantify the accuracy of the approximate solver.
+// MaxStates guards against accidental blow-up; 0 means the default of 2^22.
+func ExactMultiClass(net *queueing.Network, maxStates int) (*Result, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	if maxStates <= 0 {
+		maxStates = 1 << 22
+	}
+	nc := len(net.Classes)
+	nm := len(net.Stations)
+
+	// The lattice is indexed mixed-radix: class c contributes a digit in
+	// [0, N_c].
+	radix := make([]int, nc)
+	states := 1
+	for c, cl := range net.Classes {
+		radix[c] = cl.Population + 1
+		if states > maxStates/radix[c] {
+			return nil, fmt.Errorf("mva: exact state space exceeds %d states", maxStates)
+		}
+		states *= radix[c]
+	}
+
+	// queue[idx*nm + m] is the total queue length at station m for the
+	// population vector encoded by idx. We fill the lattice in order of
+	// increasing total population; mixed-radix increasing index order is a
+	// valid topological order because removing a customer always decreases
+	// the index.
+	queue := make([]float64, states*nm)
+	pop := make([]int, nc)
+	w := make([][]float64, nc)
+	lambda := make([]float64, nc)
+	for c := range w {
+		w[c] = make([]float64, nm)
+	}
+
+	stride := make([]int, nc) // index delta for one customer of class c
+	s := 1
+	for c := 0; c < nc; c++ {
+		stride[c] = s
+		s *= radix[c]
+	}
+
+	for idx := 1; idx < states; idx++ {
+		decode(idx, radix, pop)
+		// Solve for population vector pop.
+		for c := 0; c < nc; c++ {
+			lambda[c] = 0
+			if pop[c] == 0 {
+				continue
+			}
+			prev := idx - stride[c] // population with one class-c customer removed
+			var cycle float64
+			for m := 0; m < nm; m++ {
+				w[c][m] = residence(net.Stations[m], queue[prev*nm+m])
+				cycle += net.Classes[c].Visits[m] * w[c][m]
+			}
+			if cycle == 0 {
+				return nil, fmt.Errorf("mva: class %q has zero total demand", net.Classes[c].Name)
+			}
+			lambda[c] = float64(pop[c]) / cycle
+		}
+		for m := 0; m < nm; m++ {
+			var q float64
+			for c := 0; c < nc; c++ {
+				if pop[c] > 0 {
+					q += lambda[c] * net.Classes[c].Visits[m] * w[c][m]
+				}
+			}
+			queue[idx*nm+m] = q
+		}
+	}
+
+	// Final solve at the full population reuses the last iteration's w and
+	// lambda, which correspond to idx = states-1 (the full vector) — but only
+	// if every class has positive population. Recompute explicitly to keep
+	// the logic obvious and correct for zero-population classes.
+	full := states - 1
+	r := newResult(nc, nm)
+	for c := 0; c < nc; c++ {
+		if net.Classes[c].Population == 0 {
+			continue
+		}
+		prev := full - stride[c]
+		var cycle float64
+		for m := 0; m < nm; m++ {
+			wt := residence(net.Stations[m], queue[prev*nm+m])
+			r.Wait[c][m] = wt
+			cycle += net.Classes[c].Visits[m] * wt
+		}
+		r.Throughput[c] = float64(net.Classes[c].Population) / cycle
+		r.CycleTime[c] = cycle
+		for m := 0; m < nm; m++ {
+			r.QueueLen[c][m] = r.Throughput[c] * net.Classes[c].Visits[m] * r.Wait[c][m]
+		}
+	}
+	return r, nil
+}
+
+// residence is the MVA residence-time step for one station given the queue
+// length seen on arrival: s·(1+q) at a single-server FCFS station, s at a
+// delay station, and the shadow-server approximation
+// (s/m)·(1+q) + s·(m-1)/m for an m-server FCFS station (exact at m = 1,
+// pure delay as m → ∞).
+func residence(st queueing.Station, seen float64) float64 {
+	if st.Kind == queueing.Delay {
+		return st.ServiceTime
+	}
+	m := float64(st.ServerCount())
+	if m == 1 {
+		return st.ServiceTime * (1 + seen)
+	}
+	return st.ServiceTime/m*(1+seen) + st.ServiceTime*(m-1)/m
+}
+
+// decode writes the mixed-radix digits of idx into out.
+func decode(idx int, radix, out []int) {
+	for c, r := range radix {
+		out[c] = idx % r
+		idx /= r
+	}
+}

@@ -1,0 +1,116 @@
+package mva
+
+import (
+	"fmt"
+
+	"lattol/internal/queueing"
+)
+
+// ExactSingleClassLD solves a single-class closed network *exactly* for
+// load-dependent stations using Reiser's marginal-probability MVA recursion.
+// Station service rates depend on the queue length: an FCFS station with m
+// servers serves at rate min(j, m)/s when j customers are present, so
+// multi-server stations are handled exactly here (unlike the shadow-server
+// approximation used by the other solvers). Delay stations are treated as
+// infinitely many servers.
+//
+// The recursion tracks, for every station, the marginal queue-length
+// distribution p_m(j | n):
+//
+//	w_m(n)    = Σ_{j=1..n} (j / μ_m(j)) · p_m(j-1 | n-1)
+//	X(n)      = n / Σ_m v_m · w_m(n)
+//	p_m(j|n)  = (X(n) · v_m / μ_m(j)) · p_m(j-1 | n-1),  j ≥ 1
+//	p_m(0|n)  = 1 − Σ_{j≥1} p_m(j|n)
+//
+// Cost is O(N²·M) time and O(N·M) space.
+func ExactSingleClassLD(net *queueing.Network) (*Result, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	if len(net.Classes) != 1 {
+		return nil, fmt.Errorf("mva: ExactSingleClassLD on network with %d classes", len(net.Classes))
+	}
+	n := net.Classes[0].Population
+	nm := len(net.Stations)
+	visits := net.Classes[0].Visits
+
+	// rate(m, j) is the service rate of station m with j customers present.
+	rate := func(m, j int) float64 {
+		st := net.Stations[m]
+		if st.ServiceTime == 0 {
+			return 0 // zero-delay station: handled specially below
+		}
+		if st.Kind == queueing.Delay {
+			return float64(j) / st.ServiceTime
+		}
+		c := st.ServerCount()
+		if j < c {
+			return float64(j) / st.ServiceTime
+		}
+		return float64(c) / st.ServiceTime
+	}
+
+	// p[m][j] = p_m(j | k) for the current population k; starts at k = 0
+	// with all mass on j = 0.
+	p := make([][]float64, nm)
+	for m := range p {
+		p[m] = make([]float64, n+1)
+		p[m][0] = 1
+	}
+	w := make([]float64, nm)
+	var x float64
+
+	r := newResult(1, nm)
+	if n == 0 {
+		return r, nil
+	}
+
+	for k := 1; k <= n; k++ {
+		var cycle float64
+		for m := 0; m < nm; m++ {
+			if net.Stations[m].ServiceTime == 0 {
+				w[m] = 0
+				continue
+			}
+			var sum float64
+			for j := 1; j <= k; j++ {
+				sum += float64(j) / rate(m, j) * p[m][j-1]
+			}
+			w[m] = sum
+			cycle += visits[m] * w[m]
+		}
+		if cycle == 0 {
+			return nil, fmt.Errorf("mva: class %q has zero total demand", net.Classes[0].Name)
+		}
+		x = float64(k) / cycle
+		// Update marginals for population k (descending j uses the k-1
+		// values of lower indices, so go top-down over a copy pattern:
+		// p[m][j] depends on old p[m][j-1], so compute descending).
+		for m := 0; m < nm; m++ {
+			if net.Stations[m].ServiceTime == 0 {
+				continue
+			}
+			var tail float64
+			for j := k; j >= 1; j-- {
+				p[m][j] = x * visits[m] / rate(m, j) * p[m][j-1]
+				tail += p[m][j]
+			}
+			p[m][0] = 1 - tail
+			if p[m][0] < 0 {
+				// Numerical guard: tiny negative from cancellation.
+				if p[m][0] < -1e-9 {
+					return nil, fmt.Errorf("mva: marginal probability underflow at station %d (%v)", m, p[m][0])
+				}
+				p[m][0] = 0
+			}
+		}
+	}
+
+	r.Throughput[0] = x
+	copy(r.Wait[0], w)
+	for m := 0; m < nm; m++ {
+		r.QueueLen[0][m] = x * visits[m] * w[m]
+	}
+	r.CycleTime[0] = float64(n) / x
+	return r, nil
+}

@@ -1,0 +1,237 @@
+package mva
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lattol/internal/queueing"
+)
+
+func ldNet(pop int, stations []queueing.Station, visits []float64) *queueing.Network {
+	return &queueing.Network{
+		Stations: stations,
+		Classes:  []queueing.Class{{Name: "c", Population: pop, Visits: visits}},
+	}
+}
+
+func TestLDMatchesExactForSingleServers(t *testing.T) {
+	// With all single-server stations the load-dependent recursion must
+	// reproduce the plain exact MVA bit for bit (same arithmetic).
+	net := ldNet(6,
+		[]queueing.Station{
+			{Name: "a", Kind: queueing.FCFS, ServiceTime: 3},
+			{Name: "b", Kind: queueing.FCFS, ServiceTime: 7},
+			{Name: "c", Kind: queueing.FCFS, ServiceTime: 0.5},
+		},
+		[]float64{1, 0.4, 2})
+	plain, err := ExactSingleClass(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err := ExactSingleClassLD(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plain.Throughput[0]-ld.Throughput[0]) > 1e-12 {
+		t.Errorf("λ plain %v != LD %v", plain.Throughput[0], ld.Throughput[0])
+	}
+	for m := range net.Stations {
+		if math.Abs(plain.Wait[0][m]-ld.Wait[0][m]) > 1e-10 {
+			t.Errorf("w[%d] plain %v != LD %v", m, plain.Wait[0][m], ld.Wait[0][m])
+		}
+	}
+}
+
+func TestLDDelayStation(t *testing.T) {
+	// Machine repairman with think time: N=2, Z=10 (delay), s=1 FCFS:
+	// exact λ = 11/61 (hand recursion in exact_test.go).
+	net := ldNet(2,
+		[]queueing.Station{
+			{Name: "think", Kind: queueing.Delay, ServiceTime: 10},
+			{Name: "srv", Kind: queueing.FCFS, ServiceTime: 1},
+		},
+		[]float64{1, 1})
+	ld, err := ExactSingleClassLD(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ld.Throughput[0]-11.0/61.0) > 1e-12 {
+		t.Errorf("λ = %v, want 11/61", ld.Throughput[0])
+	}
+}
+
+func TestLDMultiServerMatchesInfiniteServerLimit(t *testing.T) {
+	// A station with as many servers as customers behaves exactly like a
+	// delay station.
+	popN := 5
+	multi := ldNet(popN,
+		[]queueing.Station{
+			{Name: "ms", Kind: queueing.FCFS, ServiceTime: 4, Servers: popN},
+			{Name: "srv", Kind: queueing.FCFS, ServiceTime: 2},
+		},
+		[]float64{1, 1})
+	delay := ldNet(popN,
+		[]queueing.Station{
+			{Name: "ms", Kind: queueing.Delay, ServiceTime: 4},
+			{Name: "srv", Kind: queueing.FCFS, ServiceTime: 2},
+		},
+		[]float64{1, 1})
+	a, err := ExactSingleClassLD(multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ExactSingleClassLD(delay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Throughput[0]-b.Throughput[0]) > 1e-12 {
+		t.Errorf("m=N station λ %v != delay station λ %v", a.Throughput[0], b.Throughput[0])
+	}
+}
+
+func TestLDZeroPopulation(t *testing.T) {
+	net := ldNet(0, []queueing.Station{{Name: "s", Kind: queueing.FCFS, ServiceTime: 1}}, []float64{1})
+	r, err := ExactSingleClassLD(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Throughput[0] != 0 {
+		t.Errorf("λ = %v", r.Throughput[0])
+	}
+}
+
+func TestLDRejectsMulticlass(t *testing.T) {
+	net := ldNet(1, []queueing.Station{{Name: "s", Kind: queueing.FCFS, ServiceTime: 1}}, []float64{1})
+	net.Classes = append(net.Classes, queueing.Class{Name: "d", Population: 1, Visits: []float64{1}})
+	if _, err := ExactSingleClassLD(net); err == nil {
+		t.Error("want error")
+	}
+}
+
+func TestLDLittleAndConservation(t *testing.T) {
+	net := ldNet(7,
+		[]queueing.Station{
+			{Name: "m2", Kind: queueing.FCFS, ServiceTime: 6, Servers: 2},
+			{Name: "m3", Kind: queueing.FCFS, ServiceTime: 9, Servers: 3},
+			{Name: "s1", Kind: queueing.FCFS, ServiceTime: 1},
+		},
+		[]float64{1, 0.5, 2})
+	r, err := ExactSingleClassLD(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckLittle(net, 1e-9); err != nil {
+		t.Error(err)
+	}
+	var total float64
+	for m := range net.Stations {
+		total += r.QueueLen[0][m]
+	}
+	if math.Abs(total-7) > 1e-9 {
+		t.Errorf("queue lengths sum to %v, want 7", total)
+	}
+}
+
+func TestShadowApproximationErrorBounded(t *testing.T) {
+	// The shadow-server approximation used by the fast solvers should stay
+	// within ~12% of the exact load-dependent solution on a machine-
+	// repairman-like configuration (the approximation is pessimistic at
+	// mid-load).
+	for _, servers := range []int{2, 4} {
+		net := ldNet(8,
+			[]queueing.Station{
+				{Name: "cpu", Kind: queueing.FCFS, ServiceTime: 10},
+				{Name: "mem", Kind: queueing.FCFS, ServiceTime: 10, Servers: servers},
+			},
+			[]float64{1, 1})
+		exact, err := ExactSingleClassLD(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := ExactSingleClass(net) // uses the shadow residence
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := math.Abs(approx.Throughput[0]-exact.Throughput[0]) / exact.Throughput[0]
+		if rel > 0.12 {
+			t.Errorf("m=%d: shadow approximation error %.1f%%", servers, rel*100)
+		}
+		// The shadow model adds a fixed delay, so it must be pessimistic.
+		if approx.Throughput[0] > exact.Throughput[0]+1e-12 {
+			t.Errorf("m=%d: shadow approximation optimistic (%v > %v)", servers, approx.Throughput[0], exact.Throughput[0])
+		}
+	}
+}
+
+func TestConvolutionMatchesMVA(t *testing.T) {
+	// Buzen's algorithm and exact MVA are independent derivations of the
+	// same product-form solution: throughputs must agree to high precision.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(4)
+		st := make([]queueing.Station, m)
+		visits := make([]float64, m)
+		for i := range st {
+			kind := queueing.FCFS
+			if rng.Intn(4) == 0 {
+				kind = queueing.Delay
+			}
+			st[i] = queueing.Station{Name: "s", Kind: kind, ServiceTime: 0.2 + 3*rng.Float64()}
+			visits[i] = 0.1 + rng.Float64()
+		}
+		net := ldNet(1+rng.Intn(8), st, visits)
+		mvaRes, err := ExactSingleClass(net)
+		if err != nil {
+			return false
+		}
+		x, err := Convolution(net)
+		if err != nil {
+			return false
+		}
+		return math.Abs(x-mvaRes.Throughput[0]) < 1e-9*(1+x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConvolutionMultiServerMatchesLD(t *testing.T) {
+	// For load-dependent (multi-server) stations, convolution must agree
+	// with the exact load-dependent MVA.
+	net := ldNet(6,
+		[]queueing.Station{
+			{Name: "m2", Kind: queueing.FCFS, ServiceTime: 5, Servers: 2},
+			{Name: "s1", Kind: queueing.FCFS, ServiceTime: 3},
+			{Name: "think", Kind: queueing.Delay, ServiceTime: 10},
+		},
+		[]float64{1, 1, 1})
+	ld, err := ExactSingleClassLD(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := Convolution(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-ld.Throughput[0]) > 1e-9 {
+		t.Errorf("convolution %v != LD MVA %v", x, ld.Throughput[0])
+	}
+}
+
+func TestConvolutionZeroPopulation(t *testing.T) {
+	net := ldNet(0, []queueing.Station{{Name: "s", Kind: queueing.FCFS, ServiceTime: 1}}, []float64{1})
+	x, err := Convolution(net)
+	if err != nil || x != 0 {
+		t.Errorf("x=%v err=%v", x, err)
+	}
+}
+
+func TestConvolutionRejectsMulticlass(t *testing.T) {
+	net := ldNet(1, []queueing.Station{{Name: "s", Kind: queueing.FCFS, ServiceTime: 1}}, []float64{1})
+	net.Classes = append(net.Classes, queueing.Class{Name: "d", Population: 1, Visits: []float64{1}})
+	if _, err := Convolution(net); err == nil {
+		t.Error("want error")
+	}
+}

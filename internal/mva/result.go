@@ -1,0 +1,86 @@
+// Package mva solves closed multiclass queueing networks by Mean Value
+// Analysis: exact MVA for small populations, the Bard–Schweitzer approximate
+// MVA of the paper's Figure 3 for large systems, and asymptotic bounds for
+// sanity checks.
+package mva
+
+import (
+	"fmt"
+	"math"
+
+	"lattol/internal/queueing"
+)
+
+// Result holds the steady-state solution of a closed network.
+type Result struct {
+	// Throughput[c] is the class-c throughput λ_c measured at the class's
+	// reference station (visits are relative to it).
+	Throughput []float64
+	// Wait[c][m] is the mean residence time (queueing + service) per visit of
+	// class c at station m.
+	Wait [][]float64
+	// QueueLen[c][m] is the mean number of class-c customers at station m.
+	QueueLen [][]float64
+	// CycleTime[c] = Σ_m visits[c][m]·Wait[c][m] is the mean time for a
+	// class-c customer to complete one cycle.
+	CycleTime []float64
+	// Iterations is the number of fixed-point iterations used (0 for exact
+	// solvers).
+	Iterations int
+}
+
+// Utilization returns the utilization of station m by class c:
+// λ_c · visits · service time.
+func (r *Result) Utilization(n *queueing.Network, c, m int) float64 {
+	return r.Throughput[c] * n.Demand(c, m)
+}
+
+// TotalUtilization returns the utilization of station m summed over classes.
+func (r *Result) TotalUtilization(n *queueing.Network, m int) float64 {
+	var u float64
+	for c := range n.Classes {
+		u += r.Utilization(n, c, m)
+	}
+	return u
+}
+
+// TotalQueueLen returns the mean number of customers at station m over all
+// classes.
+func (r *Result) TotalQueueLen(m int) float64 {
+	var q float64
+	for c := range r.QueueLen {
+		q += r.QueueLen[c][m]
+	}
+	return q
+}
+
+// CheckLittle verifies Little's law per class (population = λ·cycle time)
+// within tol and returns the first violation found, if any. It is a
+// consistency guard for solver output.
+func (r *Result) CheckLittle(n *queueing.Network, tol float64) error {
+	for c, cl := range n.Classes {
+		if cl.Population == 0 {
+			continue
+		}
+		got := r.Throughput[c] * r.CycleTime[c]
+		if math.Abs(got-float64(cl.Population)) > tol {
+			return fmt.Errorf("mva: class %d (%s) violates Little's law: λ·T = %v, population %d",
+				c, cl.Name, got, cl.Population)
+		}
+	}
+	return nil
+}
+
+func newResult(nClasses, nStations int) *Result {
+	r := &Result{
+		Throughput: make([]float64, nClasses),
+		Wait:       make([][]float64, nClasses),
+		QueueLen:   make([][]float64, nClasses),
+		CycleTime:  make([]float64, nClasses),
+	}
+	for c := 0; c < nClasses; c++ {
+		r.Wait[c] = make([]float64, nStations)
+		r.QueueLen[c] = make([]float64, nStations)
+	}
+	return r
+}

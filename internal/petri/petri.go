@@ -1,0 +1,283 @@
+// Package petri implements stochastic timed Petri nets (STPN) with colored
+// tokens — the modeling substrate the paper uses to validate its analytical
+// results (Section 8).
+//
+// Semantics: places hold FIFO queues of tokens; a timed transition is
+// enabled when every input place is nonempty. An enabled, idle transition
+// immediately *starts* a firing: it removes the head token of each input
+// place, samples a firing delay from its distribution, and completes the
+// firing after that delay by invoking its Fire function, which maps the
+// consumed tokens to output tokens on output places. Each transition has a
+// bounded number of servers (one by default): at most that many firings are
+// in progress at a time, so a transition with a delay models an FCFS service
+// center — the paper's subsystem model, with multi-server variants for
+// multiported memories and pipelined switches. When several transitions
+// share an input place,
+// the one registered first is started first (deterministic preselection);
+// probabilistic routing is expressed inside Fire, which receives the random
+// stream.
+package petri
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lattol/internal/des"
+	"lattol/internal/stats"
+)
+
+// PlaceID identifies a place.
+type PlaceID int
+
+// TransitionID identifies a transition.
+type TransitionID int
+
+// Token is a colored token: Data carries the color (any payload), Deposited
+// records when it entered its current place.
+type Token struct {
+	Data      interface{}
+	Deposited float64
+}
+
+// Output is a token deposited on a place when a firing completes.
+type Output struct {
+	Place PlaceID
+	Data  interface{}
+}
+
+// Firing is the context passed to a transition's Fire function.
+type Firing struct {
+	// Now is the completion time of the firing.
+	Now float64
+	// Started is when the firing started (tokens were consumed).
+	Started float64
+	// Rand is the net's random stream, for probabilistic routing.
+	Rand *rand.Rand
+	// Tokens are the consumed tokens, one per input place, in input order.
+	Tokens []Token
+}
+
+// Transition describes a timed transition.
+type Transition struct {
+	Name string
+	// Inputs lists the places from which one token each is consumed.
+	Inputs []PlaceID
+	// Delay is the firing-delay distribution (use stats.Deterministic{0} for
+	// an immediate transition).
+	Delay stats.Dist
+	// Servers is the maximum number of concurrent firings; 0 means 1
+	// (single-server, the paper's subsystem model). Larger values model
+	// multiported memories or pipelined switches.
+	Servers int
+	// Fire maps consumed tokens to outputs. A nil Fire absorbs the tokens.
+	Fire func(f *Firing) []Output
+}
+
+func (t Transition) servers() int {
+	if t.Servers < 1 {
+		return 1
+	}
+	return t.Servers
+}
+
+type place struct {
+	name string
+	fifo []Token
+	// consumers are transitions with this place among their inputs, in
+	// registration order.
+	consumers []TransitionID
+	// Wait accumulates token waiting times in this place.
+	wait stats.Summary
+	// marking tracks the time-average token count.
+	marking stats.TimeWeighted
+}
+
+type transition struct {
+	def      Transition
+	inFlight int
+	busyTW   stats.TimeWeighted
+	served   int64
+}
+
+// Net is a stochastic timed Petri net bound to a simulation engine.
+type Net struct {
+	engine      *des.Engine
+	places      []*place
+	transitions []*transition
+	sealed      bool
+}
+
+// New creates an empty net with its own engine and random stream.
+func New(seed int64) *Net {
+	return &Net{engine: des.NewEngine(seed)}
+}
+
+// Engine exposes the underlying engine (for Now and custom events).
+func (n *Net) Engine() *des.Engine { return n.engine }
+
+// AddPlace adds a place and returns its ID.
+func (n *Net) AddPlace(name string) PlaceID {
+	if n.sealed {
+		panic("petri: AddPlace after Run")
+	}
+	p := &place{name: name}
+	p.marking.Set(n.engine.Now(), 0)
+	n.places = append(n.places, p)
+	return PlaceID(len(n.places) - 1)
+}
+
+// AddTransition adds a transition and returns its ID. Inputs must reference
+// existing places and there must be at least one.
+func (n *Net) AddTransition(def Transition) (TransitionID, error) {
+	if n.sealed {
+		return 0, fmt.Errorf("petri: AddTransition after Run")
+	}
+	if len(def.Inputs) == 0 {
+		return 0, fmt.Errorf("petri: transition %q has no inputs", def.Name)
+	}
+	if def.Delay == nil {
+		return 0, fmt.Errorf("petri: transition %q has no delay distribution", def.Name)
+	}
+	for _, in := range def.Inputs {
+		if int(in) < 0 || int(in) >= len(n.places) {
+			return 0, fmt.Errorf("petri: transition %q input place %d out of range", def.Name, in)
+		}
+	}
+	t := &transition{def: def}
+	t.busyTW.Set(n.engine.Now(), 0)
+	n.transitions = append(n.transitions, t)
+	id := TransitionID(len(n.transitions) - 1)
+	for _, in := range def.Inputs {
+		n.places[in].consumers = append(n.places[in].consumers, id)
+	}
+	return id, nil
+}
+
+// MustAddTransition is AddTransition for known-good definitions.
+func (n *Net) MustAddTransition(def Transition) TransitionID {
+	id, err := n.AddTransition(def)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Put deposits a token with the given color on a place at the current time
+// and starts any transition it enables.
+func (n *Net) Put(p PlaceID, data interface{}) {
+	n.deposit(p, data)
+}
+
+func (n *Net) deposit(pid PlaceID, data interface{}) {
+	p := n.places[pid]
+	p.fifo = append(p.fifo, Token{Data: data, Deposited: n.engine.Now()})
+	p.marking.Set(n.engine.Now(), float64(len(p.fifo)))
+	for _, tid := range p.consumers {
+		if n.tryStart(tid) {
+			break
+		}
+	}
+}
+
+// tryStart begins a firing of transition tid if it has a free server and is
+// enabled.
+func (n *Net) tryStart(tid TransitionID) bool {
+	t := n.transitions[tid]
+	if t.inFlight >= t.def.servers() {
+		return false
+	}
+	for _, in := range t.def.Inputs {
+		if len(n.places[in].fifo) == 0 {
+			return false
+		}
+	}
+	now := n.engine.Now()
+	tokens := make([]Token, len(t.def.Inputs))
+	for i, in := range t.def.Inputs {
+		p := n.places[in]
+		tok := p.fifo[0]
+		p.fifo = p.fifo[1:]
+		p.marking.Set(now, float64(len(p.fifo)))
+		p.wait.Add(now - tok.Deposited)
+		tokens[i] = tok
+	}
+	t.inFlight++
+	t.busyTW.Set(now, float64(t.inFlight)/float64(t.def.servers()))
+	delay := t.def.Delay.Sample(n.engine.Rand)
+	n.engine.After(delay, func() { n.complete(tid, now, tokens) })
+	return true
+}
+
+func (n *Net) complete(tid TransitionID, started float64, tokens []Token) {
+	t := n.transitions[tid]
+	now := n.engine.Now()
+	t.served++
+	var outs []Output
+	if t.def.Fire != nil {
+		outs = t.def.Fire(&Firing{Now: now, Started: started, Rand: n.engine.Rand, Tokens: tokens})
+	}
+	t.inFlight--
+	t.busyTW.Set(now, float64(t.inFlight)/float64(t.def.servers()))
+	for _, o := range outs {
+		n.deposit(o.Place, o.Data)
+	}
+	// The freed server may be enabled again by tokens that queued during the
+	// firing.
+	n.tryStart(tid)
+}
+
+// Run advances the simulation until the horizon.
+func (n *Net) Run(horizon float64) {
+	n.sealed = true
+	n.engine.Run(horizon)
+}
+
+// Marking returns the number of tokens currently waiting in place p
+// (excluding tokens consumed by in-progress firings).
+func (n *Net) Marking(p PlaceID) int { return len(n.places[p].fifo) }
+
+// TokensInTransit returns the number of firings currently in progress.
+func (n *Net) TokensInTransit() int {
+	c := 0
+	for _, t := range n.transitions {
+		c += t.inFlight
+	}
+	return c
+}
+
+// Utilization returns the busy fraction of a transition (servers in use /
+// servers, time-averaged) up to now.
+func (n *Net) Utilization(t TransitionID) float64 {
+	return n.transitions[t].busyTW.MeanAt(n.engine.Now())
+}
+
+// Served returns the number of completed firings of a transition since the
+// last ResetStats.
+func (n *Net) Served(t TransitionID) int64 { return n.transitions[t].served }
+
+// MeanWait returns the mean token waiting time in a place (time from deposit
+// to consumption) since the last ResetStats.
+func (n *Net) MeanWait(p PlaceID) float64 { return n.places[p].wait.Mean() }
+
+// WaitCount returns how many tokens have been consumed from a place since
+// the last ResetStats.
+func (n *Net) WaitCount(p PlaceID) int64 { return n.places[p].wait.Count() }
+
+// MeanMarking returns the time-average token count of a place.
+func (n *Net) MeanMarking(p PlaceID) float64 {
+	return n.places[p].marking.MeanAt(n.engine.Now())
+}
+
+// ResetStats discards statistics gathered so far (warm-up removal) without
+// disturbing the net's state.
+func (n *Net) ResetStats() {
+	now := n.engine.Now()
+	for _, p := range n.places {
+		p.wait = stats.Summary{}
+		p.marking.Reset(now)
+	}
+	for _, t := range n.transitions {
+		t.busyTW.Reset(now)
+		t.served = 0
+	}
+}

@@ -1,0 +1,243 @@
+package petri
+
+import (
+	"math"
+	"testing"
+
+	"lattol/internal/stats"
+)
+
+// cycle builds the closed two-transition net
+// ready --proc(delay R)--> pending --mem(delay L)--> ready
+// with n tokens: the single-PE machine-repairman model.
+func cycle(seed int64, n int, r, l stats.Dist) (*Net, TransitionID, TransitionID) {
+	net := New(seed)
+	ready := net.AddPlace("ready")
+	pending := net.AddPlace("pending")
+	proc := net.MustAddTransition(Transition{
+		Name: "proc", Inputs: []PlaceID{ready}, Delay: r,
+		Fire: func(f *Firing) []Output { return []Output{{Place: pending, Data: f.Tokens[0].Data}} },
+	})
+	mem := net.MustAddTransition(Transition{
+		Name: "mem", Inputs: []PlaceID{pending}, Delay: l,
+		Fire: func(f *Firing) []Output { return []Output{{Place: ready, Data: f.Tokens[0].Data}} },
+	})
+	for i := 0; i < n; i++ {
+		net.Put(ready, i)
+	}
+	return net, proc, mem
+}
+
+func TestClosedCycleMatchesExactMVA(t *testing.T) {
+	// Two balanced exponential stations with n=8 tokens: exact MVA gives
+	// U = n/(n+1) = 8/9 per station.
+	net, proc, mem := cycle(11, 8, stats.Exponential{M: 10}, stats.Exponential{M: 10})
+	net.Run(50000)
+	net.ResetStats()
+	net.Run(500000)
+	for name, tr := range map[string]TransitionID{"proc": proc, "mem": mem} {
+		u := net.Utilization(tr)
+		if math.Abs(u-8.0/9.0) > 0.01 {
+			t.Errorf("%s utilization %v, want ~%v", name, u, 8.0/9.0)
+		}
+	}
+}
+
+func TestTokenConservation(t *testing.T) {
+	net, _, _ := cycle(3, 5, stats.Exponential{M: 1}, stats.Exponential{M: 2})
+	net.Run(1000)
+	total := net.Marking(0) + net.Marking(1) + net.TokensInTransit()
+	if total != 5 {
+		t.Errorf("tokens %d, want 5", total)
+	}
+}
+
+func TestDeterministicCycleTiming(t *testing.T) {
+	// One token, deterministic delays 3 and 2: each full cycle takes 5.
+	net, proc, mem := cycle(1, 1, stats.Deterministic{V: 3}, stats.Deterministic{V: 2})
+	net.Run(50)
+	// In 50 time units: 10 full cycles.
+	if net.Served(proc) != 10 || net.Served(mem) != 10 {
+		t.Errorf("served proc=%d mem=%d, want 10 each", net.Served(proc), net.Served(mem))
+	}
+	if u := net.Utilization(proc); math.Abs(u-0.6) > 0.01 {
+		t.Errorf("proc utilization %v, want 0.6", u)
+	}
+}
+
+func TestColoredTokensPreserved(t *testing.T) {
+	net := New(1)
+	in := net.AddPlace("in")
+	out := net.AddPlace("out")
+	net.MustAddTransition(Transition{
+		Name: "pass", Inputs: []PlaceID{in}, Delay: stats.Deterministic{V: 1},
+		Fire: func(f *Firing) []Output {
+			return []Output{{Place: out, Data: f.Tokens[0].Data.(int) * 2}}
+		},
+	})
+	net.Put(in, 21)
+	net.Run(10)
+	if net.Marking(out) != 1 {
+		t.Fatal("token did not arrive")
+	}
+}
+
+func TestProbabilisticRouting(t *testing.T) {
+	// Fire flips a 30/70 coin; frequencies must match.
+	net := New(9)
+	src := net.AddPlace("src")
+	a := net.AddPlace("a")
+	b := net.AddPlace("b")
+	net.MustAddTransition(Transition{
+		Name: "route", Inputs: []PlaceID{src}, Delay: stats.Deterministic{V: 0.001},
+		Fire: func(f *Firing) []Output {
+			if f.Rand.Float64() < 0.3 {
+				return []Output{{Place: a, Data: nil}}
+			}
+			return []Output{{Place: b, Data: nil}}
+		},
+	})
+	const n = 100000
+	for i := 0; i < n; i++ {
+		net.Put(src, nil)
+	}
+	net.Run(1e9)
+	fa := float64(net.Marking(a)) / n
+	if math.Abs(fa-0.3) > 0.01 {
+		t.Errorf("branch frequency %v, want 0.3", fa)
+	}
+	if net.Marking(a)+net.Marking(b) != n {
+		t.Error("tokens lost in routing")
+	}
+}
+
+func TestSynchronizingTransition(t *testing.T) {
+	// A transition with two input places fires only when both hold tokens
+	// (fork-join synchronization).
+	net := New(1)
+	left := net.AddPlace("left")
+	right := net.AddPlace("right")
+	joined := net.AddPlace("joined")
+	join := net.MustAddTransition(Transition{
+		Name: "join", Inputs: []PlaceID{left, right}, Delay: stats.Deterministic{V: 1},
+		Fire: func(f *Firing) []Output { return []Output{{Place: joined, Data: nil}} },
+	})
+	net.Put(left, nil)
+	net.Run(5)
+	if net.Served(join) != 0 {
+		t.Error("join fired with one input empty")
+	}
+	// Second token arrives via a custom event.
+	net.Engine().Schedule(6, func() { net.Put(right, nil) })
+	net.Run(10)
+	if net.Served(join) != 1 || net.Marking(joined) != 1 {
+		t.Error("join did not fire after both inputs filled")
+	}
+}
+
+func TestSingleServerSemantics(t *testing.T) {
+	// Ten tokens through a deterministic transition of delay 1 take 10 time
+	// units end to end: services serialize.
+	net := New(1)
+	in := net.AddPlace("in")
+	out := net.AddPlace("out")
+	tr := net.MustAddTransition(Transition{
+		Name: "srv", Inputs: []PlaceID{in}, Delay: stats.Deterministic{V: 1},
+		Fire: func(f *Firing) []Output { return []Output{{Place: out, Data: nil}} },
+	})
+	for i := 0; i < 10; i++ {
+		net.Put(in, nil)
+	}
+	net.Run(9.5)
+	if net.Marking(out) != 9 {
+		t.Errorf("after 9.5 units: %d out, want 9", net.Marking(out))
+	}
+	net.Run(10.5)
+	if net.Marking(out) != 10 || net.Served(tr) != 10 {
+		t.Error("all tokens should be through by 10.5")
+	}
+}
+
+func TestPreselectionOrder(t *testing.T) {
+	// Two transitions compete for one place: registration order wins while
+	// the first is free.
+	net := New(1)
+	src := net.AddPlace("src")
+	a := net.AddPlace("a")
+	b := net.AddPlace("b")
+	net.MustAddTransition(Transition{
+		Name: "first", Inputs: []PlaceID{src}, Delay: stats.Deterministic{V: 10},
+		Fire: func(f *Firing) []Output { return []Output{{Place: a, Data: nil}} },
+	})
+	net.MustAddTransition(Transition{
+		Name: "second", Inputs: []PlaceID{src}, Delay: stats.Deterministic{V: 10},
+		Fire: func(f *Firing) []Output { return []Output{{Place: b, Data: nil}} },
+	})
+	net.Put(src, nil) // taken by "first"
+	net.Put(src, nil) // "first" busy -> taken by "second"
+	net.Run(20)
+	if net.Marking(a) != 1 || net.Marking(b) != 1 {
+		t.Errorf("markings a=%d b=%d, want 1/1", net.Marking(a), net.Marking(b))
+	}
+}
+
+func TestMeanWaitAndMarking(t *testing.T) {
+	// Deterministic single server, two tokens: waits 0 and 1.
+	net := New(1)
+	in := net.AddPlace("in")
+	net.MustAddTransition(Transition{
+		Name: "sink", Inputs: []PlaceID{in}, Delay: stats.Deterministic{V: 1},
+	})
+	net.Put(in, nil)
+	net.Put(in, nil)
+	net.Run(10)
+	if w := net.MeanWait(in); math.Abs(w-0.5) > 1e-9 {
+		t.Errorf("mean wait %v, want 0.5", w)
+	}
+	if c := net.WaitCount(in); c != 2 {
+		t.Errorf("wait count %d", c)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	net := New(1)
+	p := net.AddPlace("p")
+	if _, err := net.AddTransition(Transition{Name: "noin", Delay: stats.Deterministic{V: 1}}); err == nil {
+		t.Error("want error for no inputs")
+	}
+	if _, err := net.AddTransition(Transition{Name: "nodelay", Inputs: []PlaceID{p}}); err == nil {
+		t.Error("want error for no delay")
+	}
+	if _, err := net.AddTransition(Transition{Name: "badplace", Inputs: []PlaceID{99}, Delay: stats.Deterministic{V: 1}}); err == nil {
+		t.Error("want error for bad place")
+	}
+	net.Run(1)
+	if _, err := net.AddTransition(Transition{Name: "late", Inputs: []PlaceID{p}, Delay: stats.Deterministic{V: 1}}); err == nil {
+		t.Error("want error for AddTransition after Run")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	net, proc, _ := cycle(5, 2, stats.Exponential{M: 1}, stats.Exponential{M: 1})
+	net.Run(100)
+	net.ResetStats()
+	if net.Served(proc) != 0 {
+		t.Error("served not reset")
+	}
+	net.Run(200)
+	if net.Served(proc) == 0 {
+		t.Error("no services after reset")
+	}
+}
+
+func TestAbsorbingTransition(t *testing.T) {
+	// nil Fire absorbs tokens.
+	net := New(1)
+	in := net.AddPlace("in")
+	tr := net.MustAddTransition(Transition{Name: "sink", Inputs: []PlaceID{in}, Delay: stats.Deterministic{V: 1}})
+	net.Put(in, nil)
+	net.Run(5)
+	if net.Served(tr) != 1 || net.Marking(in) != 0 {
+		t.Error("absorbing transition misbehaved")
+	}
+}

@@ -1,0 +1,183 @@
+// Package queueing defines closed multiclass queueing networks of the kind
+// the paper uses to model a multithreaded multiprocessor system: a fixed
+// population of customers per class (threads per processor) circulating among
+// single-server FCFS stations (processor, memory modules, network switches)
+// with exponential service times and class-dependent visit ratios.
+//
+// The package only describes networks and validates them; solvers live in
+// package mva.
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// StationKind distinguishes queueing disciplines.
+type StationKind int
+
+const (
+	// FCFS is a single-server first-come-first-served queue with
+	// exponentially distributed service times (the paper's stations).
+	FCFS StationKind = iota
+	// Delay is an infinite-server (pure delay) station: customers never
+	// queue, they are simply held for the service time.
+	Delay
+)
+
+func (k StationKind) String() string {
+	switch k {
+	case FCFS:
+		return "FCFS"
+	case Delay:
+		return "delay"
+	default:
+		return fmt.Sprintf("StationKind(%d)", int(k))
+	}
+}
+
+// Station is a service center of the network.
+type Station struct {
+	Name string
+	Kind StationKind
+	// ServiceTime is the mean service time per visit, identical for all
+	// classes (required for product form at FCFS stations). A zero service
+	// time models an ideal (zero-delay) subsystem.
+	ServiceTime float64
+	// Servers is the number of parallel servers at an FCFS station; 0 means
+	// 1. Multi-server stations model multiported memories and pipelined
+	// switches (the paper's Section 7 implications). Solvers use the
+	// shadow-server approximation: an m-server station behaves like a
+	// single server of rate m·μ in series with a fixed delay of
+	// s·(m-1)/m, which is exact at m = 1 and approaches a pure delay as
+	// m → ∞. Ignored at Delay stations.
+	Servers int
+}
+
+// ServerCount returns the effective number of servers (at least 1).
+func (s Station) ServerCount() int {
+	if s.Servers < 1 {
+		return 1
+	}
+	return s.Servers
+}
+
+// Class is a closed chain of customers.
+type Class struct {
+	Name string
+	// Population is the number of customers of this class (threads n_t).
+	Population int
+	// Visits[m] is the visit ratio of this class to station m: the mean
+	// number of visits to m between two consecutive visits to the class's
+	// reference station. Entries may be zero for stations the class never
+	// uses.
+	Visits []float64
+}
+
+// Network is a closed multiclass queueing network.
+type Network struct {
+	Stations []Station
+	Classes  []Class
+}
+
+// Validate checks structural and numerical sanity. Solvers call it before
+// running.
+func (n *Network) Validate() error {
+	if len(n.Stations) == 0 {
+		return fmt.Errorf("queueing: network has no stations")
+	}
+	if len(n.Classes) == 0 {
+		return fmt.Errorf("queueing: network has no classes")
+	}
+	for m, s := range n.Stations {
+		if s.ServiceTime < 0 || math.IsNaN(s.ServiceTime) || math.IsInf(s.ServiceTime, 0) {
+			return fmt.Errorf("queueing: station %d (%s) service time %v", m, s.Name, s.ServiceTime)
+		}
+		if s.Kind != FCFS && s.Kind != Delay {
+			return fmt.Errorf("queueing: station %d (%s) has unknown kind %d", m, s.Name, int(s.Kind))
+		}
+		if s.Servers < 0 {
+			return fmt.Errorf("queueing: station %d (%s) has %d servers", m, s.Name, s.Servers)
+		}
+	}
+	for c, cl := range n.Classes {
+		if cl.Population < 0 {
+			return fmt.Errorf("queueing: class %d (%s) population %d", c, cl.Name, cl.Population)
+		}
+		if len(cl.Visits) != len(n.Stations) {
+			return fmt.Errorf("queueing: class %d (%s) has %d visit ratios, network has %d stations",
+				c, cl.Name, len(cl.Visits), len(n.Stations))
+		}
+		var total float64
+		for m, v := range cl.Visits {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("queueing: class %d (%s) visit ratio to station %d is %v", c, cl.Name, m, v)
+			}
+			total += v
+		}
+		if cl.Population > 0 && total == 0 {
+			return fmt.Errorf("queueing: class %d (%s) has positive population but visits no station", c, cl.Name)
+		}
+	}
+	return nil
+}
+
+// Demand returns the service demand D = visits × service time of class c at
+// station m.
+func (n *Network) Demand(c, m int) float64 {
+	return n.Classes[c].Visits[m] * n.Stations[m].ServiceTime
+}
+
+// TotalDemand returns the sum of demands of class c over all stations: the
+// zero-contention cycle time of the class.
+func (n *Network) TotalDemand(c int) float64 {
+	var d float64
+	for m := range n.Stations {
+		d += n.Demand(c, m)
+	}
+	return d
+}
+
+// MaxDemand returns the largest per-station effective FCFS demand of class c
+// (demand divided by the station's server count) and the station index
+// attaining it (-1 if the class has no FCFS demand). The bottleneck station
+// bounds the class's asymptotic throughput at 1/MaxDemand.
+func (n *Network) MaxDemand(c int) (float64, int) {
+	best, arg := 0.0, -1
+	for m := range n.Stations {
+		if n.Stations[m].Kind != FCFS {
+			continue
+		}
+		if d := n.Demand(c, m) / float64(n.Stations[m].ServerCount()); d > best {
+			best, arg = d, m
+		}
+	}
+	return best, arg
+}
+
+// TotalPopulation returns the number of customers over all classes.
+func (n *Network) TotalPopulation() int {
+	total := 0
+	for _, c := range n.Classes {
+		total += c.Population
+	}
+	return total
+}
+
+// Clone returns a deep copy of the network; mutating the copy (for example,
+// zeroing a subsystem's service time to build the ideal system) leaves the
+// original untouched.
+func (n *Network) Clone() *Network {
+	out := &Network{
+		Stations: append([]Station(nil), n.Stations...),
+		Classes:  make([]Class, len(n.Classes)),
+	}
+	for i, c := range n.Classes {
+		out.Classes[i] = Class{
+			Name:       c.Name,
+			Population: c.Population,
+			Visits:     append([]float64(nil), c.Visits...),
+		}
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+func twoStationNet() *Network {
+	return &Network{
+		Stations: []Station{
+			{Name: "cpu", Kind: FCFS, ServiceTime: 10},
+			{Name: "mem", Kind: FCFS, ServiceTime: 5},
+		},
+		Classes: []Class{
+			{Name: "a", Population: 3, Visits: []float64{1, 0.5}},
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := twoStationNet().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Network)
+	}{
+		{"no stations", func(n *Network) { n.Stations = nil }},
+		{"no classes", func(n *Network) { n.Classes = nil }},
+		{"negative service", func(n *Network) { n.Stations[0].ServiceTime = -1 }},
+		{"nan service", func(n *Network) { n.Stations[0].ServiceTime = math.NaN() }},
+		{"inf service", func(n *Network) { n.Stations[0].ServiceTime = math.Inf(1) }},
+		{"bad kind", func(n *Network) { n.Stations[1].Kind = StationKind(7) }},
+		{"negative population", func(n *Network) { n.Classes[0].Population = -2 }},
+		{"visit length", func(n *Network) { n.Classes[0].Visits = []float64{1} }},
+		{"negative visit", func(n *Network) { n.Classes[0].Visits[1] = -0.1 }},
+		{"nan visit", func(n *Network) { n.Classes[0].Visits[0] = math.NaN() }},
+		{"no visits", func(n *Network) { n.Classes[0].Visits = []float64{0, 0} }},
+	}
+	for _, c := range cases {
+		n := twoStationNet()
+		c.mutate(n)
+		if err := n.Validate(); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestZeroPopulationClassIsValid(t *testing.T) {
+	n := twoStationNet()
+	n.Classes[0].Population = 0
+	n.Classes[0].Visits = []float64{0, 0}
+	if err := n.Validate(); err != nil {
+		t.Errorf("zero-population class with no visits should validate: %v", err)
+	}
+}
+
+func TestDemands(t *testing.T) {
+	n := twoStationNet()
+	if d := n.Demand(0, 0); d != 10 {
+		t.Errorf("Demand(0,0) = %v, want 10", d)
+	}
+	if d := n.Demand(0, 1); d != 2.5 {
+		t.Errorf("Demand(0,1) = %v, want 2.5", d)
+	}
+	if d := n.TotalDemand(0); d != 12.5 {
+		t.Errorf("TotalDemand = %v, want 12.5", d)
+	}
+	d, m := n.MaxDemand(0)
+	if d != 10 || m != 0 {
+		t.Errorf("MaxDemand = (%v, %d), want (10, 0)", d, m)
+	}
+}
+
+func TestMaxDemandSkipsDelayStations(t *testing.T) {
+	n := twoStationNet()
+	n.Stations[0].Kind = Delay
+	d, m := n.MaxDemand(0)
+	if d != 2.5 || m != 1 {
+		t.Errorf("MaxDemand = (%v, %d), want (2.5, 1)", d, m)
+	}
+}
+
+func TestMaxDemandAllDelay(t *testing.T) {
+	n := twoStationNet()
+	n.Stations[0].Kind = Delay
+	n.Stations[1].Kind = Delay
+	if d, m := n.MaxDemand(0); d != 0 || m != -1 {
+		t.Errorf("MaxDemand = (%v, %d), want (0, -1)", d, m)
+	}
+}
+
+func TestTotalPopulation(t *testing.T) {
+	n := twoStationNet()
+	n.Classes = append(n.Classes, Class{Name: "b", Population: 4, Visits: []float64{1, 1}})
+	if p := n.TotalPopulation(); p != 7 {
+		t.Errorf("TotalPopulation = %d, want 7", p)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	n := twoStationNet()
+	c := n.Clone()
+	c.Stations[0].ServiceTime = 99
+	c.Classes[0].Visits[1] = 99
+	c.Classes[0].Population = 99
+	if n.Stations[0].ServiceTime != 10 || n.Classes[0].Visits[1] != 0.5 || n.Classes[0].Population != 3 {
+		t.Error("Clone shares state with the original")
+	}
+}
+
+func TestStationKindString(t *testing.T) {
+	if FCFS.String() != "FCFS" || Delay.String() != "delay" {
+		t.Error("kind strings")
+	}
+	if StationKind(9).String() != "StationKind(9)" {
+		t.Error("unknown kind string")
+	}
+}

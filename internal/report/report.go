@@ -1,0 +1,208 @@
+// Package report renders experiment output as aligned ASCII tables, CSV, 2-D
+// surfaces (the paper's 3-D plots, shown as value grids) and line series —
+// everything cmd/paperfigs prints.
+package report
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Table is a titled grid of cells with a header row.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// Add appends a row; missing cells are blank, extras are dropped.
+func (t *Table) Add(cells ...string) {
+	row := make([]string, len(t.Columns))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddF appends a row of floats formatted with the given precision per cell.
+func (t *Table) AddF(prec int, values ...float64) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		cells[i] = Float(v, prec)
+	}
+	t.Add(cells...)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	width := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		width[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > width[i] {
+				width[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", width[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := len(t.Columns)*2 - 2
+	for _, w := range width {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (title omitted; cells with
+// commas or quotes are quoted).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				cell = `"` + strings.ReplaceAll(cell, `"`, `""`) + `"`
+			}
+			b.WriteString(cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Float formats a float with the given number of decimals, trimming
+// needless trailing zeros only when prec < 0 (then %g is used).
+func Float(v float64, prec int) string {
+	if prec < 0 {
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'f', prec, 64)
+}
+
+// Surface is a sampled function of two variables — the textual counterpart
+// of the paper's 3-D plots. Z[yi][xi] corresponds to (Xs[xi], Ys[yi]).
+type Surface struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Xs     []float64
+	Ys     []float64
+	Z      [][]float64
+	Prec   int
+}
+
+// String renders the surface as a grid: one row per Y value, one column per
+// X value.
+func (s *Surface) String() string {
+	prec := s.Prec
+	if prec == 0 {
+		prec = 3
+	}
+	t := NewTable(fmt.Sprintf("%s  (rows: %s, cols: %s)", s.Title, s.YLabel, s.XLabel))
+	t.Columns = append(t.Columns, s.YLabel+`\`+s.XLabel)
+	for _, x := range s.Xs {
+		t.Columns = append(t.Columns, Float(x, -1))
+	}
+	for yi, y := range s.Ys {
+		cells := []string{Float(y, -1)}
+		for xi := range s.Xs {
+			cells = append(cells, Float(s.Z[yi][xi], prec))
+		}
+		t.Add(cells...)
+	}
+	return t.String()
+}
+
+// Series is one named line of a plot.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// RenderSeries renders several series sharing an X grid as one aligned
+// table; series with differing X values are rendered as separate blocks.
+func RenderSeries(title, xLabel string, prec int, series ...Series) string {
+	if len(series) == 0 {
+		return title + "\n(no data)\n"
+	}
+	if prec == 0 {
+		prec = 3
+	}
+	shared := true
+	for _, s := range series[1:] {
+		if !sameGrid(series[0].X, s.X) {
+			shared = false
+			break
+		}
+	}
+	if shared {
+		t := NewTable(title, xLabel)
+		for _, s := range series {
+			t.Columns = append(t.Columns, s.Name)
+		}
+		for i, x := range series[0].X {
+			cells := []string{Float(x, -1)}
+			for _, s := range series {
+				cells = append(cells, Float(s.Y[i], prec))
+			}
+			t.Add(cells...)
+		}
+		return t.String()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for _, s := range series {
+		t := NewTable(s.Name, xLabel, "value")
+		for i, x := range s.X {
+			t.Add(Float(x, -1), Float(s.Y[i], prec))
+		}
+		b.WriteString(t.String())
+	}
+	return b.String()
+}
+
+func sameGrid(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,123 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableString(t *testing.T) {
+	tab := NewTable("demo", "a", "bb")
+	tab.Add("1", "2")
+	tab.Add("333")
+	out := tab.String()
+	if !strings.HasPrefix(out, "demo\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Fatalf("lines: %q", lines)
+	}
+	if !strings.Contains(lines[1], "a") || !strings.Contains(lines[1], "bb") {
+		t.Errorf("header %q", lines[1])
+	}
+	// Missing cell padded blank, extra-wide cell aligns.
+	if !strings.Contains(lines[4], "333") {
+		t.Errorf("row %q", lines[4])
+	}
+}
+
+func TestTableAddDropsExtras(t *testing.T) {
+	tab := NewTable("", "only")
+	tab.Add("x", "dropped")
+	if len(tab.Rows[0]) != 1 || tab.Rows[0][0] != "x" {
+		t.Errorf("rows %v", tab.Rows)
+	}
+}
+
+func TestTableAddF(t *testing.T) {
+	tab := NewTable("", "v1", "v2")
+	tab.AddF(2, 1.234, 5.678)
+	if tab.Rows[0][0] != "1.23" || tab.Rows[0][1] != "5.68" {
+		t.Errorf("rows %v", tab.Rows)
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tab := NewTable("t", "x", "y")
+	tab.Add(`a,b`, `say "hi"`)
+	csv := tab.CSV()
+	want := "x,y\n\"a,b\",\"say \"\"hi\"\"\"\n"
+	if csv != want {
+		t.Errorf("csv = %q, want %q", csv, want)
+	}
+}
+
+func TestFloat(t *testing.T) {
+	if Float(1.23456, 2) != "1.23" {
+		t.Error("fixed precision")
+	}
+	if Float(1.5, -1) != "1.5" {
+		t.Error("compact format")
+	}
+	if Float(2, -1) != "2" {
+		t.Error("compact integer")
+	}
+}
+
+func TestSurfaceString(t *testing.T) {
+	s := &Surface{
+		Title: "U_p", XLabel: "p", YLabel: "nt",
+		Xs: []float64{0.1, 0.2},
+		Ys: []float64{1, 2},
+		Z:  [][]float64{{0.5, 0.4}, {0.7, 0.6}},
+	}
+	out := s.String()
+	for _, want := range []string{"U_p", "0.1", "0.2", "0.500", "0.600"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("surface missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderSeriesShared(t *testing.T) {
+	out := RenderSeries("fig", "x", 2,
+		Series{Name: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+		Series{Name: "b", X: []float64{1, 2}, Y: []float64{30, 40}},
+	)
+	for _, want := range []string{"fig", "a", "b", "10.00", "40.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// One shared block: only one header rule line.
+	if n := countRuleLines(out); n != 1 {
+		t.Errorf("expected one block, got %d rules:\n%s", n, out)
+	}
+}
+
+func countRuleLines(s string) int {
+	n := 0
+	for _, line := range strings.Split(s, "\n") {
+		if line != "" && strings.Trim(line, "-") == "" {
+			n++
+		}
+	}
+	return n
+}
+
+func TestRenderSeriesDisjoint(t *testing.T) {
+	out := RenderSeries("fig", "x", 2,
+		Series{Name: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+		Series{Name: "b", X: []float64{3}, Y: []float64{30}},
+	)
+	if strings.Count(out, "value") != 2 {
+		t.Errorf("expected two blocks:\n%s", out)
+	}
+}
+
+func TestRenderSeriesEmpty(t *testing.T) {
+	out := RenderSeries("fig", "x", 2)
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty render: %q", out)
+	}
+}

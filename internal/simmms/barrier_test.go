@@ -1,0 +1,62 @@
+package simmms
+
+import (
+	"testing"
+
+	"lattol/internal/mms"
+)
+
+func TestBarrierCostsUtilization(t *testing.T) {
+	// Frequent machine-wide barriers serialize the slowest thread's tail:
+	// U_p must fall as the interval shrinks, and approach the free-running
+	// value as it grows.
+	cfg := mms.DefaultConfig()
+	cfg.PRemote = 0.3
+	up := func(interval int) float64 {
+		opts := fastOpts(Direct, 81)
+		opts.BarrierInterval = interval
+		r, err := Run(cfg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Up
+	}
+	free := up(0)
+	tight := up(1)
+	loose := up(32)
+	if tight >= 0.8*free {
+		t.Errorf("barrier every access: U_p %v, want well below free-running %v", tight, free)
+	}
+	// Convergence to free-running is slow: the barrier waits for the
+	// machine-wide maximum of 128 step completions, so even interval 32
+	// keeps a visible tail.
+	if loose < 0.8*free {
+		t.Errorf("barrier every 32 accesses: U_p %v, want within 20%% of free-running %v", loose, free)
+	}
+	mid := up(4)
+	if !(tight < mid && mid < loose+0.02) {
+		t.Errorf("U_p not increasing in interval: %v, %v, %v", tight, mid, loose)
+	}
+}
+
+func TestBarrierConservesThreads(t *testing.T) {
+	// With barriers on, all threads still complete accesses (nobody parks
+	// forever).
+	cfg := mms.DefaultConfig()
+	opts := fastOpts(Direct, 82)
+	opts.BarrierInterval = 2
+	r, err := Run(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Accesses == 0 || r.Up <= 0 {
+		t.Errorf("barrier run made no progress: %+v", r)
+	}
+}
+
+func TestBarrierRejectedOnSTPN(t *testing.T) {
+	cfg := mms.DefaultConfig()
+	if _, err := Run(cfg, Options{Engine: STPN, BarrierInterval: 4}); err == nil {
+		t.Error("BarrierInterval on STPN should error")
+	}
+}

@@ -1,0 +1,73 @@
+package simmms
+
+import (
+	"math"
+	"testing"
+
+	"lattol/internal/mms"
+)
+
+func TestConfidenceIntervalsPopulated(t *testing.T) {
+	cfg := mms.DefaultConfig()
+	r, err := Run(cfg, fastOpts(Direct, 61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, ci := range map[string]float64{"Up": r.UpCI, "LambdaNet": r.LambdaNetCI, "SObs": r.SObsCI} {
+		if ci <= 0 {
+			t.Errorf("%s CI = %v, want > 0", name, ci)
+		}
+	}
+	// Half-widths should be small relative to the estimates at this horizon.
+	if r.UpCI > 0.1*r.Up {
+		t.Errorf("U_p CI %v too wide for estimate %v", r.UpCI, r.Up)
+	}
+	if r.SObsCI > 0.2*r.SObs {
+		t.Errorf("S_obs CI %v too wide for estimate %v", r.SObsCI, r.SObs)
+	}
+}
+
+func TestConfidenceIntervalsCoverModel(t *testing.T) {
+	// The analytical model should usually land within ~3 half-widths of the
+	// simulated estimate (3σ-style slack over the nominal 95% interval to
+	// keep the test stable, plus the model's own AMVA bias).
+	cfg := mms.DefaultConfig()
+	ana, err := mms.Solve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(cfg, Options{Engine: STPN, Seed: 62, Warmup: 10000, Duration: 150000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(r.LambdaNet - ana.LambdaNet); diff > 5*r.LambdaNetCI+0.05*ana.LambdaNet {
+		t.Errorf("model λ_net %v vs sim %v ± %v", ana.LambdaNet, r.LambdaNet, r.LambdaNetCI)
+	}
+}
+
+func TestCIShrinksWithHorizon(t *testing.T) {
+	cfg := mms.DefaultConfig()
+	short, err := Run(cfg, Options{Engine: Direct, Seed: 63, Warmup: 4000, Duration: 30000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Run(cfg, Options{Engine: Direct, Seed: 63, Warmup: 4000, Duration: 240000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.UpCI >= short.UpCI {
+		t.Errorf("U_p CI did not shrink: %v (short) -> %v (long)", short.UpCI, long.UpCI)
+	}
+}
+
+func TestZeroRemoteHasNoSObsCI(t *testing.T) {
+	cfg := mms.DefaultConfig()
+	cfg.PRemote = 0
+	r, err := Run(cfg, fastOpts(Direct, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SObsCI != 0 || r.LambdaNetCI != 0 {
+		t.Errorf("local-only run has network CIs: %+v", r)
+	}
+}

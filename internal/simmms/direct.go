@@ -1,0 +1,246 @@
+package simmms
+
+import (
+	"lattol/internal/des"
+	"lattol/internal/mms"
+	"lattol/internal/stats"
+	"lattol/internal/topology"
+)
+
+// directSim wires the MMS as des.Stations and measures the paper's metrics.
+type directSim struct {
+	engine  *des.Engine
+	cfg     mms.Config
+	opts    Options
+	routing *routing
+
+	proc []*des.Station
+	mem  []*des.Station
+	out  []*des.Station
+	in   []*des.Station
+
+	// Injection-window flow control (opts.NetworkWindow > 0): outstanding
+	// counts in-network remote accesses per PE; blocked holds requests
+	// waiting for a credit.
+	outstanding []int
+	blocked     [][]*message
+
+	// Barrier synchronization (opts.BarrierInterval > 0): threads that
+	// finish their superstep quota park here until all totalThreads arrive.
+	parked       []*message
+	totalThreads int
+
+	measuring  bool
+	warmup     float64
+	duration   float64
+	accesses   int64 // memory accesses issued while measuring
+	remoteMsgs int64 // remote requests injected while measuring
+	batchAcc   [batches]float64
+	batchNet   [batches]float64
+	batchSObs  [batches]stats.Summary
+	sObs       stats.Summary
+	lObs       stats.Summary
+	lObsLocal  stats.Summary
+	lObsRemote stats.Summary
+}
+
+func runDirect(model *mms.Model, opts Options) (Result, *directSim, error) {
+	cfg := model.Config()
+	rt, err := newRouting(model)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	s := &directSim{
+		engine:   des.NewEngine(opts.Seed),
+		cfg:      cfg,
+		opts:     opts,
+		routing:  rt,
+		warmup:   opts.Warmup,
+		duration: opts.Duration,
+	}
+	n := model.Torus().Nodes()
+	procDist := opts.ProcDist.Make(cfg.Runlength + cfg.ContextSwitch)
+	memDist := opts.MemDist.Make(cfg.MemoryTime)
+	swDist := opts.SwitchDist.Make(cfg.SwitchTime)
+	s.proc = make([]*des.Station, n)
+	s.mem = make([]*des.Station, n)
+	s.out = make([]*des.Station, n)
+	s.in = make([]*des.Station, n)
+	s.outstanding = make([]int, n)
+	s.blocked = make([][]*message, n)
+	for i := 0; i < n; i++ {
+		s.proc[i] = &des.Station{Name: "proc", Service: procDist, Done: s.procDone}
+		s.mem[i] = &des.Station{Name: "mem", Service: memDist, Done: s.memDone, Servers: ports(cfg.MemoryPorts)}
+		s.out[i] = &des.Station{Name: "out", Service: swDist, Done: s.switchDone, Servers: ports(cfg.SwitchPorts)}
+		s.in[i] = &des.Station{Name: "in", Service: swDist, Done: s.switchDone, Servers: ports(cfg.SwitchPorts)}
+		if opts.LocalMemPriority {
+			s.mem[i].Priority = func(job des.Job) int {
+				if m := job.(*message); m.dest == m.home {
+					return 1
+				}
+				return 0
+			}
+		}
+		for _, st := range []*des.Station{s.proc[i], s.mem[i], s.out[i], s.in[i]} {
+			st.Attach(s.engine)
+		}
+	}
+	// Populate: n_t ready threads per processor.
+	s.totalThreads = n * cfg.Threads
+	for i := 0; i < n; i++ {
+		for k := 0; k < cfg.Threads; k++ {
+			s.proc[i].Arrive(&message{home: topology.Node(i)})
+		}
+	}
+
+	s.engine.Run(opts.Warmup)
+	for i := 0; i < n; i++ {
+		s.proc[i].ResetStats()
+		s.mem[i].ResetStats()
+		s.out[i].ResetStats()
+		s.in[i].ResetStats()
+	}
+	s.measuring = true
+	s.engine.Run(opts.Warmup + opts.Duration)
+
+	res := Result{
+		SObs:       s.sObs.Mean(),
+		SObsStdDev: s.sObs.StdDev(),
+		LObs:       s.lObs.Mean(),
+		LObsLocal:  s.lObsLocal.Mean(),
+		LObsRemote: s.lObsRemote.Mean(),
+		Accesses:   s.accesses,
+		RemoteLegs: s.sObs.Count(),
+	}
+	var busy float64
+	for i := 0; i < n; i++ {
+		busy += s.proc[i].Utilization()
+	}
+	res.Up = busy / float64(n)
+	res.LambdaProc = float64(s.accesses) / float64(n) / opts.Duration
+	res.LambdaNet = float64(s.remoteMsgs) / float64(n) / opts.Duration
+	res.UpCI, res.LambdaNetCI, res.SObsCI = batchCIs(
+		s.batchAcc[:], s.batchNet[:], s.batchSObs[:],
+		float64(n), opts.Duration, cfg.Runlength+cfg.ContextSwitch)
+	return res, s, nil
+}
+
+// procDone fires when a thread finishes its runlength: it issues a memory
+// access, local or remote.
+func (s *directSim) procDone(job des.Job, _, now float64) {
+	m := job.(*message)
+	if s.measuring {
+		s.accesses++
+		s.batchAcc[batchIndex(now, s.warmup, s.duration)]++
+	}
+	if s.routing.chooser != nil && s.engine.Rand.Float64() < s.cfg.PRemote {
+		m.dest = topology.Node(s.routing.chooser[m.home].Choose(s.engine.Rand))
+		if s.opts.NetworkWindow > 0 && s.outstanding[m.home] >= s.opts.NetworkWindow {
+			s.blocked[m.home] = append(s.blocked[m.home], m)
+			return
+		}
+		s.inject(m, now)
+		return
+	}
+	m.dest = m.home
+	s.mem[m.home].Arrive(m)
+}
+
+// inject starts a remote request's network journey from its home node.
+func (s *directSim) inject(m *message, now float64) {
+	m.response = false
+	m.hop = 0
+	m.legStart = now
+	s.outstanding[m.home]++
+	if s.measuring {
+		s.remoteMsgs++
+		s.batchNet[batchIndex(now, s.warmup, s.duration)]++
+	}
+	s.out[m.home].Arrive(m)
+}
+
+// memDone fires when the memory module completes an access: local accesses
+// resume their thread; remote accesses start the response leg.
+func (s *directSim) memDone(job des.Job, arrived, now float64) {
+	m := job.(*message)
+	if s.measuring {
+		s.lObs.Add(now - arrived)
+		if m.dest == m.home {
+			s.lObsLocal.Add(now - arrived)
+		} else {
+			s.lObsRemote.Add(now - arrived)
+		}
+	}
+	if m.dest == m.home {
+		s.threadReady(m)
+		return
+	}
+	m.response = true
+	m.hop = 0
+	m.legStart = now
+	s.out[m.dest].Arrive(m)
+}
+
+// threadReady returns a thread to its processor's ready pool, or parks it at
+// the machine-wide barrier when it has used up its superstep quota. When the
+// last thread arrives, the barrier opens and every parked thread resumes.
+func (s *directSim) threadReady(m *message) {
+	if s.opts.BarrierInterval <= 0 {
+		s.proc[m.home].Arrive(m)
+		return
+	}
+	m.stepAccesses++
+	if m.stepAccesses < s.opts.BarrierInterval {
+		s.proc[m.home].Arrive(m)
+		return
+	}
+	m.stepAccesses = 0
+	s.parked = append(s.parked, m)
+	if len(s.parked) == s.totalThreads {
+		released := s.parked
+		s.parked = nil
+		for _, t := range released {
+			s.proc[t.home].Arrive(t)
+		}
+	}
+}
+
+// switchDone advances a message one hop along its dimension-order route; at
+// the final inbound switch it delivers to the memory (request) or back to
+// the processor (response).
+func (s *directSim) switchDone(job des.Job, _, now float64) {
+	m := job.(*message)
+	route := s.routing.route[m.home][m.dest]
+	if m.response {
+		route = s.routing.route[m.dest][m.home]
+	}
+	if m.hop < len(route) {
+		next := route[m.hop]
+		m.hop++
+		s.in[next].Arrive(m)
+		return
+	}
+	// Service at the final inbound switch (the destination's) has completed:
+	// the leg is over.
+	if s.measuring {
+		s.sObs.Add(now - m.legStart)
+		s.batchSObs[batchIndex(now, s.warmup, s.duration)].Add(now - m.legStart)
+	}
+	if m.response {
+		s.completeRemote(m, now)
+	} else {
+		s.mem[m.dest].Arrive(m)
+	}
+}
+
+// completeRemote delivers a response to its thread and releases one
+// injection credit, unblocking a waiting request if any.
+func (s *directSim) completeRemote(m *message, now float64) {
+	s.outstanding[m.home]--
+	s.threadReady(m)
+	if s.opts.NetworkWindow > 0 && len(s.blocked[m.home]) > 0 && s.outstanding[m.home] < s.opts.NetworkWindow {
+		next := s.blocked[m.home][0]
+		s.blocked[m.home] = s.blocked[m.home][1:]
+		s.inject(next, now)
+	}
+}

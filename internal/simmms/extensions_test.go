@@ -1,0 +1,147 @@
+package simmms
+
+import (
+	"math"
+	"testing"
+
+	"lattol/internal/mms"
+)
+
+func TestMemoryPortsSimMatchesModel(t *testing.T) {
+	cfg := mms.DefaultConfig()
+	cfg.MemoryPorts = 2
+	ana, err := mms.Solve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range []EngineKind{Direct, STPN} {
+		r, err := Run(cfg, fastOpts(eng, 31))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The analytical side uses the shadow-server approximation, so allow
+		// a wider band than the single-server comparison.
+		if rel := math.Abs(r.Up-ana.Up) / ana.Up; rel > 0.10 {
+			t.Errorf("%v: U_p %v vs model %v (rel %.3f)", eng, r.Up, ana.Up, rel)
+		}
+	}
+}
+
+func TestSwitchPortsReduceLatencyInSim(t *testing.T) {
+	cfg := mms.DefaultConfig()
+	cfg.PRemote = 0.5
+	base, err := Run(cfg, fastOpts(Direct, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SwitchPorts = 4
+	piped, err := Run(cfg, fastOpts(Direct, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if piped.SObs >= base.SObs {
+		t.Errorf("pipelined S_obs %v not below %v", piped.SObs, base.SObs)
+	}
+	if piped.Up <= base.Up {
+		t.Errorf("pipelined U_p %v not above %v at heavy load", piped.Up, base.Up)
+	}
+}
+
+func TestLocalPriorityShieldsLocalAccesses(t *testing.T) {
+	cfg := mms.DefaultConfig()
+	cfg.PRemote = 0.4
+	fcfs, err := Run(cfg, fastOpts(Direct, 33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := fastOpts(Direct, 33)
+	opts.LocalMemPriority = true
+	prio, err := Run(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prio.LObsLocal >= fcfs.LObsLocal {
+		t.Errorf("local residence with priority %v not below FCFS %v", prio.LObsLocal, fcfs.LObsLocal)
+	}
+	if prio.LObsRemote <= fcfs.LObsRemote {
+		t.Errorf("remote residence with priority %v not above FCFS %v", prio.LObsRemote, fcfs.LObsRemote)
+	}
+	// In the symmetric workload the overall U_p effect stays small.
+	if math.Abs(prio.Up-fcfs.Up)/fcfs.Up > 0.08 {
+		t.Errorf("U_p moved from %v to %v — expected near-neutral", fcfs.Up, prio.Up)
+	}
+}
+
+func TestLObsSplitConsistent(t *testing.T) {
+	cfg := mms.DefaultConfig()
+	cfg.PRemote = 0.4
+	r, err := Run(cfg, fastOpts(STPN, 34))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LObs must lie between the local and remote components.
+	lo := math.Min(r.LObsLocal, r.LObsRemote)
+	hi := math.Max(r.LObsLocal, r.LObsRemote)
+	if r.LObs < lo-1e-9 || r.LObs > hi+1e-9 {
+		t.Errorf("LObs %v outside [%v, %v]", r.LObs, lo, hi)
+	}
+}
+
+func TestNetworkWindowBoundsOutstanding(t *testing.T) {
+	// With window 1, S_obs approaches the unloaded latency: at most one
+	// message per PE is in the network, so queueing at switches collapses.
+	cfg := mms.DefaultConfig()
+	cfg.PRemote = 0.5
+	cfg.Threads = 10
+	unbounded, err := Run(cfg, fastOpts(Direct, 35))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := fastOpts(Direct, 35)
+	opts.NetworkWindow = 1
+	w1, err := Run(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.SObs >= unbounded.SObs*0.6 {
+		t.Errorf("window-1 S_obs %v, want well below unbounded %v", w1.SObs, unbounded.SObs)
+	}
+	// Throughput suffers: blocked requests stall threads.
+	if w1.Up >= unbounded.Up {
+		t.Errorf("window-1 U_p %v not below unbounded %v", w1.Up, unbounded.Up)
+	}
+}
+
+func TestNetworkWindowSaturatesSObsInThreads(t *testing.T) {
+	// Footnote 3: with finite buffering, S_obs stops growing with n_t.
+	cfg := mms.DefaultConfig()
+	cfg.PRemote = 0.5
+	sObsAt := func(nt, window int) float64 {
+		cfg.Threads = nt
+		opts := fastOpts(Direct, int64(40+nt))
+		opts.NetworkWindow = window
+		r, err := Run(cfg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.SObs
+	}
+	growthUnbounded := sObsAt(10, 0) / sObsAt(4, 0)
+	growthWindowed := sObsAt(10, 2) / sObsAt(4, 2)
+	if growthUnbounded < 1.4 {
+		t.Errorf("unbounded S_obs growth %v, want clearly increasing", growthUnbounded)
+	}
+	if growthWindowed > 1.15 {
+		t.Errorf("windowed S_obs growth %v, want saturated", growthWindowed)
+	}
+}
+
+func TestExtensionsRejectedOnSTPN(t *testing.T) {
+	cfg := mms.DefaultConfig()
+	if _, err := Run(cfg, Options{Engine: STPN, LocalMemPriority: true}); err == nil {
+		t.Error("LocalMemPriority on STPN should error")
+	}
+	if _, err := Run(cfg, Options{Engine: STPN, NetworkWindow: 2}); err == nil {
+		t.Error("NetworkWindow on STPN should error")
+	}
+}

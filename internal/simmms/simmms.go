@@ -1,0 +1,287 @@
+// Package simmms simulates the multithreaded multiprocessor system directly,
+// with two interchangeable engines:
+//
+//   - Direct: a discrete-event simulation of the closed queueing network
+//     (threads cycling through processor, memory and switch stations), and
+//   - STPN: a stochastic timed Petri net rendition of the same system, the
+//     substrate the paper uses for validation in Section 8.
+//
+// Both engines implement the same program-execution model as the analytical
+// framework: a thread computes for a runlength, issues a local or remote
+// memory access, travels the 2-D torus hop by hop under dimension-order
+// routing, and re-enters the processor's ready pool when the response
+// returns. Service-time distributions are configurable per subsystem
+// (exponential by default; the paper also studies deterministic memory and
+// switch service).
+package simmms
+
+import (
+	"fmt"
+	"math"
+
+	"lattol/internal/mms"
+	"lattol/internal/stats"
+	"lattol/internal/topology"
+)
+
+// EngineKind selects the simulation substrate.
+type EngineKind int
+
+const (
+	// Direct is the station-based discrete-event simulator.
+	Direct EngineKind = iota
+	// STPN is the stochastic-timed-Petri-net simulator.
+	STPN
+)
+
+func (e EngineKind) String() string {
+	switch e {
+	case Direct:
+		return "direct-des"
+	case STPN:
+		return "stpn"
+	default:
+		return fmt.Sprintf("EngineKind(%d)", int(e))
+	}
+}
+
+// DistKind selects a service-time distribution family.
+type DistKind int
+
+const (
+	// ExpDist is exponential service (the paper's default assumption).
+	ExpDist DistKind = iota
+	// DetDist is deterministic service (Section 8 sensitivity study).
+	DetDist
+	// Erlang4Dist is 4-stage Erlang service (intermediate variability).
+	Erlang4Dist
+)
+
+func (d DistKind) String() string {
+	switch d {
+	case ExpDist:
+		return "exponential"
+	case DetDist:
+		return "deterministic"
+	case Erlang4Dist:
+		return "erlang-4"
+	default:
+		return fmt.Sprintf("DistKind(%d)", int(d))
+	}
+}
+
+// Make builds the distribution with the given mean.
+func (d DistKind) Make(mean float64) stats.Dist {
+	switch d {
+	case DetDist:
+		return stats.Deterministic{V: mean}
+	case Erlang4Dist:
+		return stats.Erlang{K: 4, M: mean}
+	default:
+		return stats.Exponential{M: mean}
+	}
+}
+
+// Options configures a simulation run.
+type Options struct {
+	Engine EngineKind
+	Seed   int64
+	// Warmup is the simulated time discarded before measurement
+	// (default 20000 — about 2000 thread runlengths at R=10).
+	Warmup float64
+	// Duration is the measured simulated time after warm-up
+	// (default 200000; the paper simulates 1,000,000 time units).
+	Duration float64
+	// ProcDist, MemDist, SwitchDist pick the service distributions
+	// (default exponential everywhere, matching the analytical model).
+	ProcDist   DistKind
+	MemDist    DistKind
+	SwitchDist DistKind
+	// LocalMemPriority makes each memory module serve waiting local accesses
+	// before remote ones (the EM-4 design choice the paper's Section 7
+	// mentions). Direct engine only.
+	LocalMemPriority bool
+	// NetworkWindow bounds the number of outstanding remote accesses per PE
+	// (0 = unbounded). It models finite network buffering with end-point
+	// flow control: the paper's footnote 3 predicts S_obs then saturates
+	// with n_t instead of growing linearly. Direct engine only.
+	NetworkWindow int
+	// BarrierInterval makes the workload BSP-style: after this many completed
+	// memory accesses, a thread waits at a machine-wide barrier until every
+	// thread reaches it (0 = no barriers, the paper's free-running model).
+	// Real do-all loops separate parallel phases with exactly such barriers;
+	// this measures what the synchronization costs. Direct engine only.
+	BarrierInterval int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Warmup <= 0 {
+		o.Warmup = 20000
+	}
+	if o.Duration <= 0 {
+		o.Duration = 200000
+	}
+	return o
+}
+
+// Result holds the measured performance metrics, directly comparable to
+// mms.Metrics from the analytical model.
+type Result struct {
+	// Up is the measured processor utilization averaged over PEs.
+	Up float64
+	// LambdaProc is the measured per-processor memory-access rate.
+	LambdaProc float64
+	// LambdaNet is the measured per-processor message rate to the network.
+	LambdaNet float64
+	// SObs is the measured mean one-way network latency per remote leg
+	// (queueing + service over outbound plus all inbound hops).
+	SObs float64
+	// SObsStdDev is the sample standard deviation of the one-way latency.
+	SObsStdDev float64
+	// LObs is the measured mean memory residence per access.
+	LObs float64
+	// LObsLocal and LObsRemote split LObs by access origin: a PE's own
+	// (local) accesses vs accesses arriving over the network. Scheduling
+	// extensions (LocalMemPriority) trade one against the other.
+	LObsLocal  float64
+	LObsRemote float64
+	// Accesses / RemoteLegs are sample counts behind the estimates.
+	Accesses   int64
+	RemoteLegs int64
+	// UpCI, LambdaNetCI and SObsCI are 95% confidence half-widths computed
+	// by the method of batch means over `batches` equal sub-intervals of
+	// the measurement window.
+	UpCI        float64
+	LambdaNetCI float64
+	SObsCI      float64
+}
+
+// batches is the number of batch-means intervals used for confidence
+// intervals.
+const batches = 10
+
+// batchIndex maps an event time to its measurement batch.
+func batchIndex(now, warmup, duration float64) int {
+	b := int((now - warmup) / (duration / batches))
+	if b < 0 {
+		b = 0
+	}
+	if b >= batches {
+		b = batches - 1
+	}
+	return b
+}
+
+// halfCI returns the 95% half-width of the mean of vals.
+func halfCI(vals []float64) float64 {
+	var s stats.Summary
+	for _, v := range vals {
+		s.Add(v)
+	}
+	if s.Count() < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev() / math.Sqrt(float64(s.Count()))
+}
+
+// message is the token circulating through the system: one per thread.
+type message struct {
+	home topology.Node // the PE whose thread this is
+	dest topology.Node // memory module being accessed
+	// response is false on the request leg (processor → memory), true on
+	// the way back.
+	response bool
+	// hop indexes the current position along the route.
+	hop int
+	// legStart is when the message entered the network side (outbound
+	// queue) for the current leg.
+	legStart float64
+	// stepAccesses counts completed accesses since the last barrier.
+	stepAccesses int
+}
+
+// routing precomputes destination choosers and hop routes for a model.
+type routing struct {
+	torus *topology.Torus
+	// chooser[i] picks a remote destination for accesses from node i
+	// (nil when PRemote == 0).
+	chooser []*stats.DiscreteChooser
+	// route[a][b] is the node sequence from a to b (excluding a, including b).
+	route [][][]topology.Node
+}
+
+func newRouting(model *mms.Model) (*routing, error) {
+	t := model.Torus()
+	n := t.Nodes()
+	r := &routing{torus: t, route: make([][][]topology.Node, n)}
+	for a := 0; a < n; a++ {
+		r.route[a] = make([][]topology.Node, n)
+		for b := 0; b < n; b++ {
+			r.route[a][b] = t.Route(topology.Node(a), topology.Node(b))
+		}
+	}
+	if pat := model.Pattern(); pat != nil {
+		r.chooser = make([]*stats.DiscreteChooser, n)
+		for i := 0; i < n; i++ {
+			weights := make([]float64, n)
+			for j := 0; j < n; j++ {
+				weights[j] = pat.Prob(topology.Node(i), topology.Node(j))
+			}
+			c, err := stats.NewDiscreteChooser(weights)
+			if err != nil {
+				return nil, fmt.Errorf("simmms: destination weights for node %d: %w", i, err)
+			}
+			r.chooser[i] = c
+		}
+	}
+	return r, nil
+}
+
+// Run simulates the configured system and reports measured metrics.
+func Run(cfg mms.Config, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	model, err := mms.Build(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	if cfg.Threads == 0 {
+		return Result{}, nil
+	}
+	switch opts.Engine {
+	case Direct:
+		res, _, err := runDirect(model, opts)
+		return res, err
+	case STPN:
+		if opts.LocalMemPriority || opts.NetworkWindow > 0 || opts.BarrierInterval > 0 {
+			return Result{}, fmt.Errorf("simmms: LocalMemPriority, NetworkWindow and BarrierInterval are only supported by the Direct engine")
+		}
+		res, _, err := runSTPN(model, opts)
+		return res, err
+	default:
+		return Result{}, fmt.Errorf("simmms: unknown engine %d", int(opts.Engine))
+	}
+}
+
+func ports(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// batchCIs converts per-batch access counts, injection counts and latency
+// summaries into 95% half-widths for U_p (via λ·R), λ_net and S_obs.
+func batchCIs(acc, net []float64, sobs []stats.Summary, nodes, duration, runlength float64) (upCI, netCI, sObsCI float64) {
+	batchLen := duration / float64(len(acc))
+	ups := make([]float64, len(acc))
+	nets := make([]float64, len(acc))
+	var latencies []float64
+	for i := range acc {
+		ups[i] = acc[i] / nodes / batchLen * runlength
+		nets[i] = net[i] / nodes / batchLen
+		if sobs[i].Count() > 0 {
+			latencies = append(latencies, sobs[i].Mean())
+		}
+	}
+	return halfCI(ups), halfCI(nets), halfCI(latencies)
+}

@@ -1,0 +1,198 @@
+package simmms
+
+import (
+	"math"
+	"testing"
+
+	"lattol/internal/mms"
+)
+
+// fastOpts keeps unit-test runs cheap; validation experiments use longer
+// horizons.
+func fastOpts(engine EngineKind, seed int64) Options {
+	return Options{Engine: engine, Seed: seed, Warmup: 5000, Duration: 60000}
+}
+
+func TestEnginesAgreeWithModel(t *testing.T) {
+	// Section 8 validation in miniature: both engines within a few percent
+	// of the analytical model at the default operating point.
+	cfg := mms.DefaultConfig()
+	ana, err := mms.Solve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range []EngineKind{Direct, STPN} {
+		r, err := Run(cfg, fastOpts(eng, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(r.Up-ana.Up) / ana.Up; rel > 0.08 {
+			t.Errorf("%v: U_p %v vs model %v (rel %.3f)", eng, r.Up, ana.Up, rel)
+		}
+		if rel := math.Abs(r.LambdaNet-ana.LambdaNet) / ana.LambdaNet; rel > 0.08 {
+			t.Errorf("%v: λ_net %v vs model %v (rel %.3f)", eng, r.LambdaNet, ana.LambdaNet, rel)
+		}
+		if rel := math.Abs(r.SObs-ana.SObs) / ana.SObs; rel > 0.12 {
+			t.Errorf("%v: S_obs %v vs model %v (rel %.3f)", eng, r.SObs, ana.SObs, rel)
+		}
+		if rel := math.Abs(r.LObs-ana.LObs) / ana.LObs; rel > 0.12 {
+			t.Errorf("%v: L_obs %v vs model %v (rel %.3f)", eng, r.LObs, ana.LObs, rel)
+		}
+	}
+}
+
+func TestEnginesAgreeWithEachOther(t *testing.T) {
+	cfg := mms.DefaultConfig()
+	cfg.PRemote = 0.5
+	d, err := Run(cfg, fastOpts(Direct, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Run(cfg, fastOpts(STPN, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Up-s.Up)/d.Up > 0.05 {
+		t.Errorf("engines disagree on U_p: direct %v, stpn %v", d.Up, s.Up)
+	}
+	if math.Abs(d.SObs-s.SObs)/d.SObs > 0.08 {
+		t.Errorf("engines disagree on S_obs: direct %v, stpn %v", d.SObs, s.SObs)
+	}
+}
+
+func TestLocalOnlySimulation(t *testing.T) {
+	// p_remote = 0: no network traffic, U_p matches the closed form
+	// n/(n+1) for R = L.
+	cfg := mms.DefaultConfig()
+	cfg.PRemote = 0
+	cfg.K = 2 // small system is enough without remote traffic
+	r, err := Run(cfg, fastOpts(Direct, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RemoteLegs != 0 || r.LambdaNet != 0 || r.SObs != 0 {
+		t.Errorf("remote traffic in local-only run: %+v", r)
+	}
+	want := 8.0 / 9.0
+	if math.Abs(r.Up-want) > 0.03 {
+		t.Errorf("U_p %v, want ~%v", r.Up, want)
+	}
+}
+
+func TestZeroThreads(t *testing.T) {
+	cfg := mms.DefaultConfig()
+	cfg.Threads = 0
+	r, err := Run(cfg, fastOpts(STPN, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Up != 0 || r.Accesses != 0 {
+		t.Errorf("zero-thread run measured work: %+v", r)
+	}
+}
+
+func TestDeterministicMemoryCloseToExponential(t *testing.T) {
+	// Paper Section 8: switching the memory service distribution from
+	// exponential to deterministic moves S_obs by less than ~10%.
+	cfg := mms.DefaultConfig()
+	cfg.PRemote = 0.5
+	exp, err := Run(cfg, fastOpts(Direct, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := Run(cfg, Options{Engine: Direct, Seed: 5, Warmup: 5000, Duration: 60000, MemDist: DetDist})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(det.SObs-exp.SObs) / exp.SObs; rel > 0.12 {
+		t.Errorf("deterministic memory moved S_obs by %.1f%%: %v vs %v", rel*100, det.SObs, exp.SObs)
+	}
+}
+
+func TestFiniteNetworkRelievesMemoryContention(t *testing.T) {
+	// Paper Section 7: compared with an ideal (zero-delay) network, a finite
+	// network lowers the observed memory latency.
+	cfg := mms.DefaultConfig()
+	cfg.K = 4
+	real, err := Run(cfg, fastOpts(Direct, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SwitchTime = 0
+	ideal, err := Run(cfg, fastOpts(Direct, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if real.LObs >= ideal.LObs {
+		t.Errorf("finite network L_obs %v not below ideal-network L_obs %v", real.LObs, ideal.LObs)
+	}
+}
+
+func TestSeedReproducibility(t *testing.T) {
+	cfg := mms.DefaultConfig()
+	a, err := Run(cfg, fastOpts(Direct, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, fastOpts(Direct, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed, different results: %+v vs %+v", a, b)
+	}
+	c, err := Run(cfg, fastOpts(Direct, 43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different seeds produced identical results")
+	}
+}
+
+func TestUnknownEngine(t *testing.T) {
+	if _, err := Run(mms.DefaultConfig(), Options{Engine: EngineKind(9)}); err == nil {
+		t.Error("want error")
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	cfg := mms.DefaultConfig()
+	cfg.K = 0
+	if _, err := Run(cfg, Options{}); err == nil {
+		t.Error("want error")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Direct.String() != "direct-des" || STPN.String() != "stpn" || EngineKind(9).String() != "EngineKind(9)" {
+		t.Error("engine strings")
+	}
+	if ExpDist.String() != "exponential" || DetDist.String() != "deterministic" ||
+		Erlang4Dist.String() != "erlang-4" || DistKind(9).String() != "DistKind(9)" {
+		t.Error("dist strings")
+	}
+}
+
+func TestDistKindMake(t *testing.T) {
+	if (ExpDist).Make(3).Mean() != 3 || (DetDist).Make(3).Mean() != 3 || (Erlang4Dist).Make(3).Mean() != 3 {
+		t.Error("Make means")
+	}
+}
+
+func TestLambdaAccounting(t *testing.T) {
+	// λ_net ≈ p_remote·λ_proc within sampling noise.
+	cfg := mms.DefaultConfig()
+	cfg.PRemote = 0.4
+	r, err := Run(cfg, fastOpts(STPN, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.LambdaNet-0.4*r.LambdaProc)/r.LambdaNet > 0.05 {
+		t.Errorf("λ_net %v vs p·λ_proc %v", r.LambdaNet, 0.4*r.LambdaProc)
+	}
+	// Each remote access contributes two measured legs.
+	if r.RemoteLegs == 0 || r.Accesses == 0 {
+		t.Error("no samples measured")
+	}
+}

@@ -1,0 +1,178 @@
+package simmms
+
+import (
+	"lattol/internal/mms"
+	"lattol/internal/petri"
+	"lattol/internal/stats"
+	"lattol/internal/topology"
+)
+
+// stpnSim models the MMS as a stochastic timed Petri net: one ready-pool
+// place and processor transition per PE, one queue place and timed
+// transition per memory module and per switch — the paper's Section 8
+// validation model. Tokens are colored with the circulating message state.
+type stpnSim struct {
+	net     *petri.Net
+	cfg     mms.Config
+	routing *routing
+
+	readyQ []petri.PlaceID
+	memQ   []petri.PlaceID
+	outQ   []petri.PlaceID
+	inQ    []petri.PlaceID
+
+	procT []petri.TransitionID
+
+	measuring  bool
+	warmup     float64
+	duration   float64
+	accesses   int64
+	remoteMsgs int64
+	batchAcc   [batches]float64
+	batchNet   [batches]float64
+	batchSObs  [batches]stats.Summary
+	sObs       stats.Summary
+	lObs       stats.Summary
+	lObsLocal  stats.Summary
+	lObsRemote stats.Summary
+}
+
+func runSTPN(model *mms.Model, opts Options) (Result, *stpnSim, error) {
+	cfg := model.Config()
+	rt, err := newRouting(model)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	s := &stpnSim{
+		net:      petri.New(opts.Seed),
+		cfg:      cfg,
+		routing:  rt,
+		warmup:   opts.Warmup,
+		duration: opts.Duration,
+	}
+	n := model.Torus().Nodes()
+	procDist := opts.ProcDist.Make(cfg.Runlength + cfg.ContextSwitch)
+	memDist := opts.MemDist.Make(cfg.MemoryTime)
+	swDist := opts.SwitchDist.Make(cfg.SwitchTime)
+
+	for i := 0; i < n; i++ {
+		s.readyQ = append(s.readyQ, s.net.AddPlace("ready"))
+		s.memQ = append(s.memQ, s.net.AddPlace("memQ"))
+		s.outQ = append(s.outQ, s.net.AddPlace("outQ"))
+		s.inQ = append(s.inQ, s.net.AddPlace("inQ"))
+	}
+	for i := 0; i < n; i++ {
+		node := topology.Node(i)
+		s.procT = append(s.procT, s.net.MustAddTransition(petri.Transition{
+			Name: "proc", Inputs: []petri.PlaceID{s.readyQ[i]}, Delay: procDist,
+			Fire: func(f *petri.Firing) []petri.Output { return s.fireProc(node, f) },
+		}))
+		s.net.MustAddTransition(petri.Transition{
+			Name: "mem", Inputs: []petri.PlaceID{s.memQ[i]}, Delay: memDist,
+			Servers: ports(cfg.MemoryPorts),
+			Fire:    func(f *petri.Firing) []petri.Output { return s.fireMem(node, f) },
+		})
+		s.net.MustAddTransition(petri.Transition{
+			Name: "out", Inputs: []petri.PlaceID{s.outQ[i]}, Delay: swDist,
+			Servers: ports(cfg.SwitchPorts),
+			Fire:    func(f *petri.Firing) []petri.Output { return s.fireSwitch(f) },
+		})
+		s.net.MustAddTransition(petri.Transition{
+			Name: "in", Inputs: []petri.PlaceID{s.inQ[i]}, Delay: swDist,
+			Servers: ports(cfg.SwitchPorts),
+			Fire:    func(f *petri.Firing) []petri.Output { return s.fireSwitch(f) },
+		})
+	}
+	for i := 0; i < n; i++ {
+		for k := 0; k < cfg.Threads; k++ {
+			s.net.Put(s.readyQ[i], &message{home: topology.Node(i)})
+		}
+	}
+
+	s.net.Run(opts.Warmup)
+	s.net.ResetStats()
+	s.measuring = true
+	s.net.Run(opts.Warmup + opts.Duration)
+
+	res := Result{
+		SObs:       s.sObs.Mean(),
+		SObsStdDev: s.sObs.StdDev(),
+		LObs:       s.lObs.Mean(),
+		LObsLocal:  s.lObsLocal.Mean(),
+		LObsRemote: s.lObsRemote.Mean(),
+		Accesses:   s.accesses,
+		RemoteLegs: s.sObs.Count(),
+	}
+	var busy float64
+	for i := 0; i < n; i++ {
+		busy += s.net.Utilization(s.procT[i])
+	}
+	res.Up = busy / float64(n)
+	res.LambdaProc = float64(s.accesses) / float64(n) / opts.Duration
+	res.LambdaNet = float64(s.remoteMsgs) / float64(n) / opts.Duration
+	res.UpCI, res.LambdaNetCI, res.SObsCI = batchCIs(
+		s.batchAcc[:], s.batchNet[:], s.batchSObs[:],
+		float64(n), opts.Duration, cfg.Runlength+cfg.ContextSwitch)
+	return res, s, nil
+}
+
+func (s *stpnSim) fireProc(node topology.Node, f *petri.Firing) []petri.Output {
+	m := f.Tokens[0].Data.(*message)
+	if s.measuring {
+		s.accesses++
+		s.batchAcc[batchIndex(f.Now, s.warmup, s.duration)]++
+	}
+	if s.routing.chooser != nil && f.Rand.Float64() < s.cfg.PRemote {
+		m.dest = topology.Node(s.routing.chooser[node].Choose(f.Rand))
+		m.response = false
+		m.hop = 0
+		m.legStart = f.Now
+		if s.measuring {
+			s.remoteMsgs++
+			s.batchNet[batchIndex(f.Now, s.warmup, s.duration)]++
+		}
+		return []petri.Output{{Place: s.outQ[node], Data: m}}
+	}
+	m.dest = node
+	return []petri.Output{{Place: s.memQ[node], Data: m}}
+}
+
+func (s *stpnSim) fireMem(node topology.Node, f *petri.Firing) []petri.Output {
+	m := f.Tokens[0].Data.(*message)
+	if s.measuring {
+		s.lObs.Add(f.Now - f.Tokens[0].Deposited)
+		if m.dest == m.home {
+			s.lObsLocal.Add(f.Now - f.Tokens[0].Deposited)
+		} else {
+			s.lObsRemote.Add(f.Now - f.Tokens[0].Deposited)
+		}
+	}
+	if m.dest == m.home {
+		return []petri.Output{{Place: s.readyQ[m.home], Data: m}}
+	}
+	m.response = true
+	m.hop = 0
+	m.legStart = f.Now
+	return []petri.Output{{Place: s.outQ[node], Data: m}}
+}
+
+func (s *stpnSim) fireSwitch(f *petri.Firing) []petri.Output {
+	m := f.Tokens[0].Data.(*message)
+	route := s.routing.route[m.home][m.dest]
+	if m.response {
+		route = s.routing.route[m.dest][m.home]
+	}
+	if m.hop < len(route) {
+		next := route[m.hop]
+		m.hop++
+		return []petri.Output{{Place: s.inQ[next], Data: m}}
+	}
+	if s.measuring {
+		s.sObs.Add(f.Now - m.legStart)
+		s.batchSObs[batchIndex(f.Now, s.warmup, s.duration)].Add(f.Now - m.legStart)
+	}
+	if m.response {
+		return []petri.Output{{Place: s.readyQ[m.home], Data: m}}
+	}
+	return []petri.Output{{Place: s.memQ[m.dest], Data: m}}
+}

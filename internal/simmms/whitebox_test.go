@@ -1,0 +1,164 @@
+package simmms
+
+import (
+	"math"
+	"testing"
+
+	"lattol/internal/mms"
+)
+
+// TestVisitRatiosMatchAnalyticalModel is the strongest routing consistency
+// check: the measured per-station service counts in the direct simulator
+// must match the analytical visit ratios (λ·e per station per unit time).
+// If the simulator routed messages differently from the analytic visit-ratio
+// computation — wrong tie-breaks, wrong response paths, missed delivery
+// hops — this diverges immediately.
+func TestVisitRatiosMatchAnalyticalModel(t *testing.T) {
+	cfg := mms.DefaultConfig()
+	cfg.PRemote = 0.4
+	model, err := mms.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Engine: Direct, Seed: 71, Warmup: 10000, Duration: 200000}
+	res, sim, err := runDirect(model, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda := res.LambdaProc // measured accesses per PE per unit time
+	n := model.Torus().Nodes()
+
+	// Per symmetric theory the service *rates* per station are:
+	//   processor: λ; memory: λ·Σem = λ; outbound: λ·2p; inbound: λ·2p·d_avg.
+	wantPerUnit := map[string]float64{
+		"proc": lambda,
+		"mem":  lambda,
+		"out":  lambda * 2 * cfg.PRemote,
+		"in":   lambda * 2 * cfg.PRemote * model.MeanDistance(),
+	}
+	groups := map[string][]int64{}
+	for i := 0; i < n; i++ {
+		groups["proc"] = append(groups["proc"], sim.proc[i].Served)
+		groups["mem"] = append(groups["mem"], sim.mem[i].Served)
+		groups["out"] = append(groups["out"], sim.out[i].Served)
+		groups["in"] = append(groups["in"], sim.in[i].Served)
+	}
+	for name, served := range groups {
+		var total int64
+		for _, s := range served {
+			total += s
+		}
+		got := float64(total) / float64(n) / opts.Duration
+		want := wantPerUnit[name]
+		if rel := math.Abs(got-want) / want; rel > 0.03 {
+			t.Errorf("%s: measured rate %v vs analytic %v (rel %.3f)", name, got, want, rel)
+		}
+	}
+}
+
+// TestPerStationVisitDistribution checks individual inbound switches: on the
+// vertex-transitive torus every inbound switch must carry (statistically)
+// the same load.
+func TestPerStationVisitDistribution(t *testing.T) {
+	cfg := mms.DefaultConfig()
+	cfg.PRemote = 0.5
+	model, err := mms.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sim, err := runDirect(model, Options{Engine: Direct, Seed: 72, Warmup: 10000, Duration: 150000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var minServed, maxServed int64 = math.MaxInt64, 0
+	for i := range sim.in {
+		s := sim.in[i].Served
+		if s < minServed {
+			minServed = s
+		}
+		if s > maxServed {
+			maxServed = s
+		}
+	}
+	if float64(maxServed-minServed) > 0.15*float64(maxServed) {
+		t.Errorf("inbound load spread %d..%d too wide for a symmetric system", minServed, maxServed)
+	}
+}
+
+// TestSTPNUtilizationsMatchModel compares the STPN transition utilizations
+// with the analytical subsystem utilizations.
+func TestSTPNUtilizationsMatchModel(t *testing.T) {
+	cfg := mms.DefaultConfig()
+	cfg.PRemote = 0.3
+	model, err := mms.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ana, err := model.Solve(mms.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sim, err := runSTPN(model, Options{Engine: STPN, Seed: 73, Warmup: 10000, Duration: 150000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var procBusy float64
+	for i := range sim.procT {
+		procBusy += sim.net.Utilization(sim.procT[i])
+	}
+	procBusy /= float64(len(sim.procT))
+	if rel := math.Abs(procBusy-ana.Up) / ana.Up; rel > 0.05 {
+		t.Errorf("STPN processor utilization %v vs model %v", procBusy, ana.Up)
+	}
+}
+
+// TestMessagesConserved verifies no thread is ever lost: after any horizon
+// the number of circulating messages equals P·n_t.
+func TestMessagesConserved(t *testing.T) {
+	cfg := mms.DefaultConfig()
+	cfg.PRemote = 0.6
+	model, err := mms.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sim, err := runSTPN(model, Options{Engine: STPN, Seed: 74, Warmup: 1000, Duration: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := sim.net.TokensInTransit()
+	for i := 0; i < model.Torus().Nodes(); i++ {
+		count += sim.net.Marking(sim.readyQ[i]) + sim.net.Marking(sim.memQ[i]) +
+			sim.net.Marking(sim.outQ[i]) + sim.net.Marking(sim.inQ[i])
+	}
+	want := model.Torus().Nodes() * cfg.Threads
+	if count != want {
+		t.Errorf("circulating messages %d, want %d", count, want)
+	}
+}
+
+// TestRoutingMatchesTopology spot-checks that simulated messages follow the
+// same dimension-order routes the analytic model assumes by comparing the
+// total inbound hops traversed against 2·d_avg per remote access.
+func TestRoutingMatchesTopology(t *testing.T) {
+	cfg := mms.DefaultConfig()
+	cfg.PRemote = 1 // all remote: cleanest signal
+	cfg.Psw = 0.5
+	model, err := mms.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, sim, err := runDirect(model, Options{Engine: Direct, Seed: 75, Warmup: 5000, Duration: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inHops int64
+	for i := range sim.in {
+		inHops += sim.in[i].Served
+	}
+	n := float64(model.Torus().Nodes())
+	hopsPerRemote := float64(inHops) / (res.LambdaNet * n * 100000)
+	want := 2 * model.MeanDistance()
+	if math.Abs(hopsPerRemote-want)/want > 0.03 {
+		t.Errorf("hops per remote access %v, want %v (2·d_avg)", hopsPerRemote, want)
+	}
+}

@@ -1,0 +1,154 @@
+// Package stats provides the random-variate distributions and output
+// statistics used by the simulators: exponential and deterministic service
+// times (the paper's Section 8 studies both), streaming summaries, and
+// batch-means confidence intervals for steady-state estimates.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dist is a nonnegative random-variate distribution.
+type Dist interface {
+	// Sample draws one variate using the provided source.
+	Sample(rng *rand.Rand) float64
+	// Mean returns the distribution mean.
+	Mean() float64
+	// String describes the distribution.
+	String() string
+}
+
+// Exponential has the given mean (the paper's default service distribution).
+type Exponential struct{ M float64 }
+
+// Sample implements Dist.
+func (e Exponential) Sample(rng *rand.Rand) float64 {
+	if e.M == 0 {
+		return 0
+	}
+	return rng.ExpFloat64() * e.M
+}
+
+// Mean implements Dist.
+func (e Exponential) Mean() float64 { return e.M }
+
+func (e Exponential) String() string { return fmt.Sprintf("exp(%g)", e.M) }
+
+// Deterministic always returns V (Section 8 tests deterministic memory
+// service).
+type Deterministic struct{ V float64 }
+
+// Sample implements Dist.
+func (d Deterministic) Sample(*rand.Rand) float64 { return d.V }
+
+// Mean implements Dist.
+func (d Deterministic) Mean() float64 { return d.V }
+
+func (d Deterministic) String() string { return fmt.Sprintf("det(%g)", d.V) }
+
+// Uniform is uniform on [Lo, Hi].
+type Uniform struct{ Lo, Hi float64 }
+
+// Sample implements Dist.
+func (u Uniform) Sample(rng *rand.Rand) float64 {
+	return u.Lo + (u.Hi-u.Lo)*rng.Float64()
+}
+
+// Mean implements Dist.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+func (u Uniform) String() string { return fmt.Sprintf("uniform(%g,%g)", u.Lo, u.Hi) }
+
+// Erlang is the sum of K exponential stages with total mean M (coefficient of
+// variation 1/sqrt(K)); it interpolates between Exponential (K=1) and
+// Deterministic (K→∞) for service-distribution sensitivity studies.
+type Erlang struct {
+	K int
+	M float64
+}
+
+// Sample implements Dist.
+func (e Erlang) Sample(rng *rand.Rand) float64 {
+	if e.K <= 0 || e.M == 0 {
+		return 0
+	}
+	stage := e.M / float64(e.K)
+	var sum float64
+	for i := 0; i < e.K; i++ {
+		sum += rng.ExpFloat64() * stage
+	}
+	return sum
+}
+
+// Mean implements Dist.
+func (e Erlang) Mean() float64 { return e.M }
+
+func (e Erlang) String() string { return fmt.Sprintf("erlang(%d,%g)", e.K, e.M) }
+
+// DiscreteChooser draws an index from a fixed discrete distribution in O(1)
+// per draw after O(n) setup (Walker's alias method). The simulators use it
+// to pick remote destinations under the geometric pattern.
+type DiscreteChooser struct {
+	prob  []float64
+	alias []int
+}
+
+// NewDiscreteChooser builds a chooser over weights (nonnegative, not all
+// zero). Weights need not be normalized.
+func NewDiscreteChooser(weights []float64) (*DiscreteChooser, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("stats: no weights")
+	}
+	var total float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("stats: weight[%d] = %v", i, w)
+		}
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("stats: all weights are zero")
+	}
+	c := &DiscreteChooser{prob: make([]float64, n), alias: make([]int, n)}
+	scaled := make([]float64, n)
+	var small, large []int
+	for i, w := range weights {
+		scaled[i] = w / total * float64(n)
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		c.prob[s] = scaled[s]
+		c.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range append(small, large...) {
+		c.prob[i] = 1
+		c.alias[i] = i
+	}
+	return c, nil
+}
+
+// Choose draws one index.
+func (c *DiscreteChooser) Choose(rng *rand.Rand) int {
+	i := rng.Intn(len(c.prob))
+	if rng.Float64() < c.prob[i] {
+		return i
+	}
+	return c.alias[i]
+}

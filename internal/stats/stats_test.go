@@ -1,0 +1,263 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExponentialMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := Exponential{M: 10}
+	var s Summary
+	for i := 0; i < 200000; i++ {
+		s.Add(d.Sample(rng))
+	}
+	if math.Abs(s.Mean()-10) > 0.15 {
+		t.Errorf("mean %v, want ~10", s.Mean())
+	}
+	// Exponential: stddev == mean.
+	if math.Abs(s.StdDev()-10) > 0.3 {
+		t.Errorf("stddev %v, want ~10", s.StdDev())
+	}
+}
+
+func TestExponentialZeroMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if v := (Exponential{M: 0}).Sample(rng); v != 0 {
+		t.Errorf("exp(0) sample %v", v)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	d := Deterministic{V: 3.5}
+	if d.Sample(nil) != 3.5 || d.Mean() != 3.5 {
+		t.Error("deterministic")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := Uniform{Lo: 2, Hi: 6}
+	var s Summary
+	for i := 0; i < 100000; i++ {
+		v := d.Sample(rng)
+		if v < 2 || v > 6 {
+			t.Fatalf("sample %v out of range", v)
+		}
+		s.Add(v)
+	}
+	if math.Abs(s.Mean()-4) > 0.05 {
+		t.Errorf("mean %v, want ~4", s.Mean())
+	}
+	if d.Mean() != 4 {
+		t.Errorf("Mean() = %v", d.Mean())
+	}
+}
+
+func TestErlangVarianceShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var s1, s8 Summary
+	for i := 0; i < 100000; i++ {
+		s1.Add(Erlang{K: 1, M: 10}.Sample(rng))
+		s8.Add(Erlang{K: 8, M: 10}.Sample(rng))
+	}
+	if math.Abs(s1.Mean()-10) > 0.3 || math.Abs(s8.Mean()-10) > 0.3 {
+		t.Errorf("means %v, %v, want ~10", s1.Mean(), s8.Mean())
+	}
+	// CV of Erlang-8 is 1/sqrt(8): variance should be ~8x smaller.
+	if s8.Variance() > s1.Variance()/4 {
+		t.Errorf("Erlang-8 variance %v not well below exponential %v", s8.Variance(), s1.Variance())
+	}
+}
+
+func TestErlangDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if v := (Erlang{K: 0, M: 5}).Sample(rng); v != 0 {
+		t.Errorf("erlang(0) sample %v", v)
+	}
+}
+
+func TestDistStrings(t *testing.T) {
+	cases := map[string]Dist{
+		"exp(10)":      Exponential{M: 10},
+		"det(3)":       Deterministic{V: 3},
+		"uniform(1,2)": Uniform{Lo: 1, Hi: 2},
+		"erlang(4,10)": Erlang{K: 4, M: 10},
+	}
+	for want, d := range cases {
+		if d.String() != want {
+			t.Errorf("%T String = %q, want %q", d, d.String(), want)
+		}
+	}
+}
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.Count() != 8 {
+		t.Errorf("count %d", s.Count())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Errorf("mean %v", s.Mean())
+	}
+	// Unbiased variance of this classic set is 32/7.
+	if math.Abs(s.Variance()-32.0/7.0) > 1e-12 {
+		t.Errorf("variance %v", s.Variance())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryEmptyAndSingle(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 {
+		t.Error("empty summary not zero")
+	}
+	s.Add(7)
+	if s.Variance() != 0 || s.Mean() != 7 {
+		t.Error("single observation")
+	}
+}
+
+func TestSummaryMatchesDirectComputation(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				return true // skip pathological inputs
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		var s Summary
+		var sum float64
+		for _, x := range xs {
+			s.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		wantVar := ss / float64(len(xs)-1)
+		return math.Abs(s.Mean()-mean) < 1e-6 && math.Abs(s.Variance()-wantVar) < 1e-4*(1+wantVar)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeWeighted(t *testing.T) {
+	var w TimeWeighted
+	w.Set(0, 1) // busy from t=0
+	w.Set(4, 0) // idle from t=4
+	w.Set(6, 1)
+	if got := w.MeanAt(10); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("time average %v, want 0.8", got)
+	}
+}
+
+func TestTimeWeightedReset(t *testing.T) {
+	var w TimeWeighted
+	w.Set(0, 5)
+	w.Set(10, 1)
+	w.Reset(10) // warm-up discard
+	if got := w.MeanAt(20); math.Abs(got-1) > 1e-12 {
+		t.Errorf("post-reset average %v, want 1", got)
+	}
+}
+
+func TestTimeWeightedEmpty(t *testing.T) {
+	var w TimeWeighted
+	if w.MeanAt(5) != 0 {
+		t.Error("empty time average not 0")
+	}
+}
+
+func TestBatchMeans(t *testing.T) {
+	series := make([]float64, 1000)
+	rng := rand.New(rand.NewSource(4))
+	for i := range series {
+		series[i] = 5 + rng.NormFloat64()
+	}
+	bm, err := NewBatchMeans(series, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bm.Mean-5) > 0.2 {
+		t.Errorf("mean %v, want ~5", bm.Mean)
+	}
+	if bm.HalfCI <= 0 || bm.HalfCI > 0.5 {
+		t.Errorf("half CI %v", bm.HalfCI)
+	}
+	if bm.PerBatch != 100 {
+		t.Errorf("per batch %d", bm.PerBatch)
+	}
+}
+
+func TestBatchMeansErrors(t *testing.T) {
+	if _, err := NewBatchMeans([]float64{1, 2, 3}, 1); err == nil {
+		t.Error("want error for 1 batch")
+	}
+	if _, err := NewBatchMeans([]float64{1}, 2); err == nil {
+		t.Error("want error for too few observations")
+	}
+}
+
+func TestDiscreteChooserFrequencies(t *testing.T) {
+	weights := []float64{1, 2, 3, 0, 4}
+	c, err := NewDiscreteChooser(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	counts := make([]int, len(weights))
+	const n = 500000
+	for i := 0; i < n; i++ {
+		counts[c.Choose(rng)]++
+	}
+	if counts[3] != 0 {
+		t.Errorf("zero-weight index chosen %d times", counts[3])
+	}
+	for i, w := range weights {
+		want := w / 10
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.005 {
+			t.Errorf("index %d frequency %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestDiscreteChooserErrors(t *testing.T) {
+	if _, err := NewDiscreteChooser(nil); err == nil {
+		t.Error("want error for empty weights")
+	}
+	if _, err := NewDiscreteChooser([]float64{0, 0}); err == nil {
+		t.Error("want error for all-zero weights")
+	}
+	if _, err := NewDiscreteChooser([]float64{1, -1}); err == nil {
+		t.Error("want error for negative weight")
+	}
+	if _, err := NewDiscreteChooser([]float64{1, math.NaN()}); err == nil {
+		t.Error("want error for NaN weight")
+	}
+}
+
+func TestDiscreteChooserSingle(t *testing.T) {
+	c, err := NewDiscreteChooser([]float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		if c.Choose(rng) != 0 {
+			t.Fatal("single-weight chooser returned nonzero")
+		}
+	}
+}

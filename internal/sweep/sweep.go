@@ -1,0 +1,100 @@
+// Package sweep runs parameter sweeps in parallel: the experiment drivers
+// evaluate the analytical model (or a simulator) over grids of workload and
+// architecture parameters, and the points are independent, so they fan out
+// over a bounded worker pool.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Map evaluates f over every input, in parallel, preserving order. workers
+// <= 0 selects GOMAXPROCS. The first error encountered (by input order) is
+// returned, with the partial results.
+func Map[In, Out any](inputs []In, workers int, f func(In) (Out, error)) ([]Out, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(inputs) {
+		workers = len(inputs)
+	}
+	out := make([]Out, len(inputs))
+	errs := make([]error, len(inputs))
+	if workers <= 1 {
+		for i, in := range inputs {
+			out[i], errs[i] = f(in)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					out[i], errs[i] = f(inputs[i])
+				}
+			}()
+		}
+		for i := range inputs {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return out, fmt.Errorf("sweep: input %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// Grid2D evaluates f over the cross product xs × ys in parallel and returns
+// z[yi][xi].
+func Grid2D[X, Y, Out any](xs []X, ys []Y, workers int, f func(X, Y) (Out, error)) ([][]Out, error) {
+	type cell struct{ xi, yi int }
+	cells := make([]cell, 0, len(xs)*len(ys))
+	for yi := range ys {
+		for xi := range xs {
+			cells = append(cells, cell{xi, yi})
+		}
+	}
+	flat, err := Map(cells, workers, func(c cell) (Out, error) {
+		return f(xs[c.xi], ys[c.yi])
+	})
+	z := make([][]Out, len(ys))
+	for yi := range ys {
+		z[yi] = flat[yi*len(xs) : (yi+1)*len(xs)]
+	}
+	return z, err
+}
+
+// Linspace returns n evenly spaced values from lo to hi inclusive.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n <= 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi
+	return out
+}
+
+// IntRange returns lo, lo+step, ..., up to and including hi when it is on
+// the grid.
+func IntRange(lo, hi, step int) []int {
+	if step <= 0 {
+		step = 1
+	}
+	var out []int
+	for v := lo; v <= hi; v += step {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package sweep
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	in := []int{5, 3, 8, 1, 9, 2}
+	out, err := Map(in, 4, func(x int) (int, error) { return x * 2, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != in[i]*2 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapSerialAndParallelAgree(t *testing.T) {
+	in := make([]int, 100)
+	for i := range in {
+		in[i] = i
+	}
+	f := func(x int) (int, error) { return x * x, nil }
+	serial, err := Map(in, 1, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Map(in, 8, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestMapReportsFirstErrorByOrder(t *testing.T) {
+	in := []int{0, 1, 2, 3}
+	bad := errors.New("bad")
+	_, err := Map(in, 2, func(x int) (int, error) {
+		if x >= 2 {
+			return 0, bad
+		}
+		return x, nil
+	})
+	if err == nil || !errors.Is(err, bad) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMapRunsAll(t *testing.T) {
+	var count atomic.Int64
+	in := make([]struct{}, 57)
+	_, err := Map(in, 5, func(struct{}) (int, error) {
+		count.Add(1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 57 {
+		t.Errorf("ran %d times", count.Load())
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(nil, 4, func(int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty map: %v, %v", out, err)
+	}
+}
+
+func TestGrid2D(t *testing.T) {
+	xs := []int{1, 2, 3}
+	ys := []int{10, 20}
+	z, err := Grid2D(xs, ys, 4, func(x, y int) (int, error) { return x + y, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(z) != 2 || len(z[0]) != 3 {
+		t.Fatalf("shape %dx%d", len(z), len(z[0]))
+	}
+	if z[0][0] != 11 || z[1][2] != 23 {
+		t.Errorf("z = %v", z)
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	got := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	if len(got) != 5 {
+		t.Fatalf("len %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got[%d] = %v", i, got[i])
+		}
+	}
+	if one := Linspace(3, 9, 1); len(one) != 1 || one[0] != 3 {
+		t.Errorf("n=1: %v", one)
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	got := IntRange(2, 10, 2)
+	want := []int{2, 4, 6, 8, 10}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got %v", got)
+		}
+	}
+	if bad := IntRange(1, 3, 0); len(bad) != 3 {
+		t.Errorf("step<=0 should default to 1: %v", bad)
+	}
+}

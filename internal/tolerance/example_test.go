@@ -1,0 +1,38 @@
+package tolerance_test
+
+import (
+	"fmt"
+
+	"lattol/internal/mms"
+	"lattol/internal/tolerance"
+)
+
+// Quantify whether the default system tolerates its network and memory
+// latencies.
+func ExampleNetworkIndex() {
+	cfg := mms.DefaultConfig()
+	net, err := tolerance.NetworkIndex(cfg)
+	if err != nil {
+		panic(err)
+	}
+	mem, err := tolerance.MemoryIndex(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("tol_network = %.3f (%s)\n", net.Tol, net.Zone())
+	fmt.Printf("tol_memory  = %.3f (%s)\n", mem.Tol, mem.Zone())
+	// Output:
+	// tol_network = 0.922 (tolerated)
+	// tol_memory  = 0.865 (tolerated)
+}
+
+// The zone classification implements the paper's 0.8 / 0.5 thresholds.
+func ExampleClassify() {
+	for _, tol := range []float64{0.95, 0.65, 0.30} {
+		fmt.Println(tolerance.Classify(tol))
+	}
+	// Output:
+	// tolerated
+	// partially tolerated
+	// not tolerated
+}

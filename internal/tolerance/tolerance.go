@@ -1,0 +1,192 @@
+// Package tolerance implements the paper's primary contribution: the
+// tolerance index, which quantifies how close a multithreaded system's
+// processor utilization comes to that of an ideal system in which one
+// subsystem (memory or interconnection network) is ideal.
+//
+// Definition 4.3: tol_subsystem = U_p(subsystem) / U_p(ideal subsystem).
+//
+// The paper discusses two ways to obtain the ideal system's performance and
+// both are provided:
+//
+//   - ZeroDelay ("modify system parameters"): set the subsystem's delay to
+//     zero (S = 0 for the network, L = 0 for memory). This matches
+//     Definition 4.1 of an ideal subsystem.
+//   - ZeroRemote ("modify application parameters", network only): set
+//     p_remote = 0 so no access touches the network. The paper prefers this
+//     for the network because it is applicable to measurements of real
+//     machines such as EARTH.
+package tolerance
+
+import (
+	"fmt"
+
+	"lattol/internal/mms"
+)
+
+// Subsystem identifies whose latency is being judged.
+type Subsystem int
+
+const (
+	// Network judges the interconnection-network latency S_obs.
+	Network Subsystem = iota
+	// Memory judges the memory latency L_obs.
+	Memory
+)
+
+func (s Subsystem) String() string {
+	switch s {
+	case Network:
+		return "network"
+	case Memory:
+		return "memory"
+	default:
+		return fmt.Sprintf("Subsystem(%d)", int(s))
+	}
+}
+
+// IdealMode selects how the ideal system is derived from the real one.
+type IdealMode int
+
+const (
+	// ZeroDelay zeroes the subsystem's service time (S=0 or L=0).
+	ZeroDelay IdealMode = iota
+	// ZeroRemote zeroes p_remote; only meaningful for the Network subsystem.
+	ZeroRemote
+)
+
+func (m IdealMode) String() string {
+	switch m {
+	case ZeroDelay:
+		return "zero-delay"
+	case ZeroRemote:
+		return "zero-remote"
+	default:
+		return fmt.Sprintf("IdealMode(%d)", int(m))
+	}
+}
+
+// Zone is the paper's three-way classification of the tolerance index.
+type Zone int
+
+const (
+	// Tolerated: tol >= 0.8 — the latency is tolerated.
+	Tolerated Zone = iota
+	// PartiallyTolerated: 0.5 <= tol < 0.8.
+	PartiallyTolerated
+	// NotTolerated: tol < 0.5.
+	NotTolerated
+)
+
+func (z Zone) String() string {
+	switch z {
+	case Tolerated:
+		return "tolerated"
+	case PartiallyTolerated:
+		return "partially tolerated"
+	case NotTolerated:
+		return "not tolerated"
+	default:
+		return fmt.Sprintf("Zone(%d)", int(z))
+	}
+}
+
+// Paper Section 4 thresholds.
+const (
+	ToleratedThreshold = 0.8
+	PartialThreshold   = 0.5
+)
+
+// Classify maps a tolerance index to its zone.
+func Classify(tol float64) Zone {
+	switch {
+	case tol >= ToleratedThreshold:
+		return Tolerated
+	case tol >= PartialThreshold:
+		return PartiallyTolerated
+	default:
+		return NotTolerated
+	}
+}
+
+// Index is the result of a tolerance evaluation.
+type Index struct {
+	Subsystem Subsystem
+	Mode      IdealMode
+	// Tol is the tolerance index U_p / U_p,ideal. Values slightly above 1 are
+	// possible (paper Section 7: a finite network can relieve memory
+	// contention relative to an ideal network).
+	Tol float64
+	// Real and Ideal are the full metric sets of both systems.
+	Real, Ideal mms.Metrics
+}
+
+// Zone classifies the index.
+func (i Index) Zone() Zone { return Classify(i.Tol) }
+
+// IdealConfig derives the ideal system's configuration for a subsystem and
+// mode.
+func IdealConfig(cfg mms.Config, sub Subsystem, mode IdealMode) (mms.Config, error) {
+	switch mode {
+	case ZeroDelay:
+		switch sub {
+		case Network:
+			cfg.SwitchTime = 0
+		case Memory:
+			cfg.MemoryTime = 0
+		default:
+			return cfg, fmt.Errorf("tolerance: unknown subsystem %d", int(sub))
+		}
+	case ZeroRemote:
+		if sub != Network {
+			return cfg, fmt.Errorf("tolerance: ZeroRemote ideal is only defined for the network subsystem")
+		}
+		cfg.PRemote = 0
+	default:
+		return cfg, fmt.Errorf("tolerance: unknown ideal mode %d", int(mode))
+	}
+	return cfg, nil
+}
+
+// Compute evaluates the tolerance index of a subsystem for the given
+// configuration, solving both the real and the ideal system.
+func Compute(cfg mms.Config, sub Subsystem, mode IdealMode, opts mms.SolveOptions) (Index, error) {
+	idealCfg, err := IdealConfig(cfg, sub, mode)
+	if err != nil {
+		return Index{}, err
+	}
+	realModel, err := mms.Build(cfg)
+	if err != nil {
+		return Index{}, err
+	}
+	real, err := realModel.Solve(opts)
+	if err != nil {
+		return Index{}, fmt.Errorf("tolerance: solving real system: %w", err)
+	}
+	idealModel, err := mms.Build(idealCfg)
+	if err != nil {
+		return Index{}, err
+	}
+	ideal, err := idealModel.Solve(opts)
+	if err != nil {
+		return Index{}, fmt.Errorf("tolerance: solving ideal system: %w", err)
+	}
+	idx := Index{Subsystem: sub, Mode: mode, Real: real, Ideal: ideal}
+	if ideal.Up > 0 {
+		idx.Tol = real.Up / ideal.Up
+	} else if real.Up == 0 {
+		idx.Tol = 1 // zero threads: degenerate, define as fully tolerated
+	}
+	return idx, nil
+}
+
+// NetworkIndex computes tol_network with the paper's preferred ZeroRemote
+// ideal (Section 4: "modify application parameters").
+func NetworkIndex(cfg mms.Config) (Index, error) {
+	return Compute(cfg, Network, ZeroRemote, mms.SolveOptions{})
+}
+
+// MemoryIndex computes tol_memory with the ZeroDelay ideal (L = 0), the only
+// mode that isolates the memory subsystem.
+func MemoryIndex(cfg mms.Config) (Index, error) {
+	return Compute(cfg, Memory, ZeroDelay, mms.SolveOptions{})
+}

@@ -1,0 +1,222 @@
+package tolerance
+
+import (
+	"math"
+	"testing"
+
+	"lattol/internal/mms"
+)
+
+func TestClassifyZones(t *testing.T) {
+	cases := []struct {
+		tol  float64
+		want Zone
+	}{
+		{1.0, Tolerated}, {0.8, Tolerated}, {0.93, Tolerated}, {1.05, Tolerated},
+		{0.79, PartiallyTolerated}, {0.5, PartiallyTolerated}, {0.65, PartiallyTolerated},
+		{0.49, NotTolerated}, {0, NotTolerated}, {0.1, NotTolerated},
+	}
+	for _, c := range cases {
+		if got := Classify(c.tol); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.tol, got, c.want)
+		}
+	}
+}
+
+func TestIdealConfig(t *testing.T) {
+	cfg := mms.DefaultConfig()
+	netIdeal, err := IdealConfig(cfg, Network, ZeroDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if netIdeal.SwitchTime != 0 || netIdeal.MemoryTime != cfg.MemoryTime {
+		t.Errorf("network zero-delay ideal: %+v", netIdeal)
+	}
+	memIdeal, err := IdealConfig(cfg, Memory, ZeroDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memIdeal.MemoryTime != 0 || memIdeal.SwitchTime != cfg.SwitchTime {
+		t.Errorf("memory zero-delay ideal: %+v", memIdeal)
+	}
+	zr, err := IdealConfig(cfg, Network, ZeroRemote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zr.PRemote != 0 {
+		t.Errorf("zero-remote ideal keeps p_remote = %v", zr.PRemote)
+	}
+	if _, err := IdealConfig(cfg, Memory, ZeroRemote); err == nil {
+		t.Error("ZeroRemote for memory: want error")
+	}
+	if _, err := IdealConfig(cfg, Subsystem(9), ZeroDelay); err == nil {
+		t.Error("unknown subsystem: want error")
+	}
+	if _, err := IdealConfig(cfg, Network, IdealMode(9)); err == nil {
+		t.Error("unknown mode: want error")
+	}
+}
+
+func TestPaperTolNetworkOperatingPoint(t *testing.T) {
+	// Paper Section 5: "at p_remote = 0.2, n_t = 8 yields tol_network =
+	// 0.929" (R = 10). Our model should land within a few percent.
+	idx, err := NetworkIndex(mms.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Tol < 0.89 || idx.Tol > 0.96 {
+		t.Errorf("tol_network = %v, want ≈0.93", idx.Tol)
+	}
+	if idx.Zone() != Tolerated {
+		t.Errorf("zone = %v, want tolerated", idx.Zone())
+	}
+}
+
+func TestTolNetworkDropsWithPRemote(t *testing.T) {
+	cfg := mms.DefaultConfig()
+	prev := math.Inf(1)
+	for _, p := range []float64{0.05, 0.2, 0.4, 0.6, 0.9} {
+		cfg.PRemote = p
+		idx, err := NetworkIndex(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx.Tol > prev+1e-9 {
+			t.Errorf("p=%v: tol %v rose above %v", p, idx.Tol, prev)
+		}
+		prev = idx.Tol
+	}
+	// At heavy remote traffic the network latency is not tolerated.
+	cfg.PRemote = 0.9
+	cfg.Threads = 8
+	idx, err := NetworkIndex(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Zone() == Tolerated {
+		t.Errorf("p=0.9: tol %v should not be tolerated", idx.Tol)
+	}
+}
+
+func TestHigherRunlengthImprovesTolerance(t *testing.T) {
+	// Paper: increasing R improves tol_network (and raises the critical
+	// p_remote).
+	cfg := mms.DefaultConfig()
+	cfg.PRemote = 0.4
+	cfg.Runlength = 10
+	r10, err := NetworkIndex(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Runlength = 20
+	r20, err := NetworkIndex(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r20.Tol <= r10.Tol {
+		t.Errorf("tol at R=20 (%v) not above R=10 (%v)", r20.Tol, r10.Tol)
+	}
+}
+
+func TestMemoryToleranceSaturatesAtHighR(t *testing.T) {
+	// Paper Section 6: for R >= 2L and n_t <= 6, tol_memory saturates near 1.
+	cfg := mms.DefaultConfig()
+	cfg.Runlength = 40
+	cfg.Threads = 4
+	idx, err := MemoryIndex(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Tol < 0.9 {
+		t.Errorf("tol_memory = %v, want > 0.9 at R=40", idx.Tol)
+	}
+}
+
+func TestMemoryToleranceDropsWithL(t *testing.T) {
+	cfg := mms.DefaultConfig()
+	cfg.MemoryTime = 10
+	l10, err := MemoryIndex(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MemoryTime = 20
+	l20, err := MemoryIndex(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l20.Tol >= l10.Tol {
+		t.Errorf("tol_memory at L=20 (%v) not below L=10 (%v)", l20.Tol, l10.Tol)
+	}
+}
+
+func TestBothModesAgreeQualitatively(t *testing.T) {
+	// ZeroDelay and ZeroRemote ideals give close tol_network values in
+	// moderate-traffic regimes (paper Section 4 presents them as
+	// alternatives).
+	cfg := mms.DefaultConfig()
+	zd, err := Compute(cfg, Network, ZeroDelay, mms.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zr, err := Compute(cfg, Network, ZeroRemote, mms.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(zd.Tol-zr.Tol) > 0.05 {
+		t.Errorf("modes diverge: zero-delay %v vs zero-remote %v", zd.Tol, zr.Tol)
+	}
+}
+
+func TestZeroThreadsDegenerate(t *testing.T) {
+	cfg := mms.DefaultConfig()
+	cfg.Threads = 0
+	idx, err := NetworkIndex(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Tol != 1 {
+		t.Errorf("zero-thread tol = %v, want 1", idx.Tol)
+	}
+}
+
+func TestComputeRejectsBadConfig(t *testing.T) {
+	cfg := mms.DefaultConfig()
+	cfg.K = 0
+	if _, err := NetworkIndex(cfg); err == nil {
+		t.Error("want error for invalid config")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Network.String() != "network" || Memory.String() != "memory" ||
+		Subsystem(9).String() != "Subsystem(9)" {
+		t.Error("subsystem strings")
+	}
+	if ZeroDelay.String() != "zero-delay" || ZeroRemote.String() != "zero-remote" ||
+		IdealMode(9).String() != "IdealMode(9)" {
+		t.Error("mode strings")
+	}
+	if Tolerated.String() != "tolerated" || PartiallyTolerated.String() != "partially tolerated" ||
+		NotTolerated.String() != "not tolerated" || Zone(9).String() != "Zone(9)" {
+		t.Error("zone strings")
+	}
+}
+
+func TestTolNetworkRisesWithThreads(t *testing.T) {
+	// Paper: with more threads there is more work to overlap, tol_network
+	// rises (until saturation).
+	cfg := mms.DefaultConfig()
+	cfg.PRemote = 0.2
+	prev := 0.0
+	for _, nt := range []int{1, 2, 4, 8} {
+		cfg.Threads = nt
+		idx, err := NetworkIndex(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx.Tol < prev-0.02 {
+			t.Errorf("n_t=%d: tol %v fell well below previous %v", nt, idx.Tol, prev)
+		}
+		prev = idx.Tol
+	}
+}

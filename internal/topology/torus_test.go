@@ -1,0 +1,232 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTorusRejectsBadK(t *testing.T) {
+	for _, k := range []int{0, -1, -100} {
+		if _, err := NewTorus(k); err == nil {
+			t.Errorf("NewTorus(%d): want error", k)
+		}
+	}
+}
+
+func TestCoordRoundTrip(t *testing.T) {
+	tor := MustTorus(5)
+	for n := 0; n < tor.Nodes(); n++ {
+		x, y := tor.Coord(Node(n))
+		if got := tor.NodeAt(x, y); got != Node(n) {
+			t.Fatalf("NodeAt(Coord(%d)) = %d", n, got)
+		}
+	}
+}
+
+func TestNodeAtWraps(t *testing.T) {
+	tor := MustTorus(4)
+	cases := []struct {
+		x, y int
+		want Node
+	}{
+		{4, 0, 0}, {-1, 0, 3}, {0, 4, 0}, {0, -1, 12}, {5, 5, 5},
+	}
+	for _, c := range cases {
+		if got := tor.NodeAt(c.x, c.y); got != c.want {
+			t.Errorf("NodeAt(%d,%d) = %d, want %d", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestDistance4x4(t *testing.T) {
+	tor := MustTorus(4)
+	cases := []struct {
+		a, b Node
+		want int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 3, 1},  // wraparound in x
+		{0, 12, 1}, // wraparound in y
+		{0, 2, 2},
+		{0, 5, 2},
+		{0, 10, 4}, // (2,2): max distance
+		{5, 10, 2},
+	}
+	for _, c := range cases {
+		if got := tor.Distance(c.a, c.b); got != c.want {
+			t.Errorf("Distance(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDistanceHistogram4x4(t *testing.T) {
+	// Known histogram for a 4x4 torus: 1,4,6,4,1 over h=0..4.
+	got := MustTorus(4).DistanceHistogram()
+	want := []int{1, 4, 6, 4, 1}
+	if len(got) != len(want) {
+		t.Fatalf("histogram length %d, want %d", len(got), len(want))
+	}
+	for h := range want {
+		if got[h] != want[h] {
+			t.Errorf("count[%d] = %d, want %d", h, got[h], want[h])
+		}
+	}
+}
+
+func TestDistanceHistogramSumsToP(t *testing.T) {
+	for k := 1; k <= 11; k++ {
+		tor := MustTorus(k)
+		sum := 0
+		for _, c := range tor.DistanceHistogram() {
+			sum += c
+		}
+		if sum != tor.Nodes() {
+			t.Errorf("k=%d: histogram sums to %d, want %d", k, sum, tor.Nodes())
+		}
+	}
+}
+
+func TestMaxDistance(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 2, 3: 2, 4: 4, 5: 4, 10: 10, 11: 10}
+	for k, want := range cases {
+		if got := MustTorus(k).MaxDistance(); got != want {
+			t.Errorf("k=%d: MaxDistance = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestMaxDistanceIsAttained(t *testing.T) {
+	for k := 1; k <= 8; k++ {
+		tor := MustTorus(k)
+		max := 0
+		for n := 0; n < tor.Nodes(); n++ {
+			if d := tor.Distance(0, Node(n)); d > max {
+				max = d
+			}
+		}
+		if max != tor.MaxDistance() {
+			t.Errorf("k=%d: attained max %d, MaxDistance() %d", k, max, tor.MaxDistance())
+		}
+	}
+}
+
+func TestMeanDistanceUniform(t *testing.T) {
+	// Paper quotes d_avg rising "from 2.13 to 5.05" as k goes 4 -> 10 for the
+	// uniform pattern.
+	cases := []struct {
+		k    int
+		want float64
+	}{
+		{4, 32.0 / 15.0},
+		{10, 500.0 / 99.0},
+	}
+	for _, c := range cases {
+		got := MustTorus(c.k).MeanDistanceUniform()
+		if diff := got - c.want; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("k=%d: MeanDistanceUniform = %g, want %g", c.k, got, c.want)
+		}
+	}
+}
+
+func TestRouteLengthMatchesDistance(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 4, 5, 8} {
+		tor := MustTorus(k)
+		for a := 0; a < tor.Nodes(); a++ {
+			for b := 0; b < tor.Nodes(); b++ {
+				route := tor.Route(Node(a), Node(b))
+				if len(route) != tor.Distance(Node(a), Node(b)) {
+					t.Fatalf("k=%d: |Route(%d,%d)| = %d, want %d",
+						k, a, b, len(route), tor.Distance(Node(a), Node(b)))
+				}
+			}
+		}
+	}
+}
+
+func TestRouteEndsAtDestination(t *testing.T) {
+	tor := MustTorus(5)
+	for a := 0; a < tor.Nodes(); a++ {
+		for b := 0; b < tor.Nodes(); b++ {
+			if a == b {
+				continue
+			}
+			route := tor.Route(Node(a), Node(b))
+			if route[len(route)-1] != Node(b) {
+				t.Fatalf("Route(%d,%d) ends at %d", a, b, route[len(route)-1])
+			}
+		}
+	}
+}
+
+func TestRouteHopsAreAdjacent(t *testing.T) {
+	tor := MustTorus(6)
+	for a := 0; a < tor.Nodes(); a++ {
+		for b := 0; b < tor.Nodes(); b++ {
+			prev := Node(a)
+			for _, hop := range tor.Route(Node(a), Node(b)) {
+				if tor.Distance(prev, hop) != 1 {
+					t.Fatalf("Route(%d,%d): hop %d -> %d is not adjacent", a, b, prev, hop)
+				}
+				prev = hop
+			}
+		}
+	}
+}
+
+func TestRouteSelfIsEmpty(t *testing.T) {
+	tor := MustTorus(3)
+	for n := 0; n < tor.Nodes(); n++ {
+		if route := tor.Route(Node(n), Node(n)); len(route) != 0 {
+			t.Errorf("Route(%d,%d) = %v, want empty", n, n, route)
+		}
+	}
+}
+
+func TestDistanceSymmetry(t *testing.T) {
+	// Property: Distance(a,b) == Distance(b,a) on random tori.
+	f := func(kRaw uint8, aRaw, bRaw uint16) bool {
+		k := int(kRaw%10) + 1
+		tor := MustTorus(k)
+		a := Node(int(aRaw) % tor.Nodes())
+		b := Node(int(bRaw) % tor.Nodes())
+		return tor.Distance(a, b) == tor.Distance(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceTriangleInequality(t *testing.T) {
+	f := func(kRaw uint8, aRaw, bRaw, cRaw uint16) bool {
+		k := int(kRaw%8) + 1
+		tor := MustTorus(k)
+		a := Node(int(aRaw) % tor.Nodes())
+		b := Node(int(bRaw) % tor.Nodes())
+		c := Node(int(cRaw) % tor.Nodes())
+		return tor.Distance(a, c) <= tor.Distance(a, b)+tor.Distance(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceTranslationInvariance(t *testing.T) {
+	// Vertex transitivity: shifting both endpoints by the same offset
+	// preserves distance. The symmetric solver relies on this.
+	f := func(kRaw uint8, aRaw, bRaw, sRaw uint16) bool {
+		k := int(kRaw%9) + 1
+		tor := MustTorus(k)
+		a := Node(int(aRaw) % tor.Nodes())
+		b := Node(int(bRaw) % tor.Nodes())
+		sx, sy := tor.Coord(Node(int(sRaw) % tor.Nodes()))
+		ax, ay := tor.Coord(a)
+		bx, by := tor.Coord(b)
+		a2 := tor.NodeAt(ax+sx, ay+sy)
+		b2 := tor.NodeAt(bx+sx, by+sy)
+		return tor.Distance(a, b) == tor.Distance(a2, b2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

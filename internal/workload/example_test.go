@@ -1,0 +1,29 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"lattol/internal/mms"
+	"lattol/internal/workload"
+)
+
+// Choose a thread partitioning for a do-all loop: 40 iterations of 3 cycles
+// per processor on the paper's default machine.
+func ExampleDoAll_Best() {
+	loop := workload.DoAll{
+		Iterations:         40,
+		CyclesPerIteration: 3,
+		Machine:            mms.DefaultConfig(),
+	}
+	best, err := loop.Best(workload.MinThreads)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("coalesce %d iterations per thread\n", best.Grouping)
+	fmt.Printf("n_t = %d threads of R = %g cycles\n", best.Threads, best.Runlength)
+	fmt.Printf("U_p = %.3f, tol_network = %.3f\n", best.Metrics.Up, best.TolNetwork)
+	// Output:
+	// coalesce 10 iterations per thread
+	// n_t = 4 threads of R = 30 cycles
+	// U_p = 0.938, tol_network = 0.966
+}

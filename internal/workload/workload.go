@@ -1,0 +1,171 @@
+// Package workload maps the paper's program model — a do-all loop whose
+// iterations become threads — onto model configurations, and searches for
+// the best thread partitioning. Section 5 of the paper evaluates exactly
+// this compiler decision: given a fixed amount of exposed computation per
+// processor (n_t·R = const), how many threads should the loop be split into?
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"lattol/internal/mms"
+	"lattol/internal/tolerance"
+)
+
+// DoAll describes one processor's share of a do-all loop.
+type DoAll struct {
+	// Iterations is the number of loop iterations assigned to each
+	// processor.
+	Iterations int
+	// CyclesPerIteration is the computation per iteration, in processor
+	// cycles; grouping g iterations into one thread gives runlength
+	// R = g·CyclesPerIteration.
+	CyclesPerIteration float64
+	// Machine carries the architecture and locality parameters; its Threads
+	// and Runlength fields are overwritten by each candidate partitioning.
+	Machine mms.Config
+}
+
+// Validate reports the first invalid field.
+func (d DoAll) Validate() error {
+	if d.Iterations < 1 {
+		return fmt.Errorf("workload: Iterations = %d, want >= 1", d.Iterations)
+	}
+	if d.CyclesPerIteration <= 0 || math.IsNaN(d.CyclesPerIteration) || math.IsInf(d.CyclesPerIteration, 0) {
+		return fmt.Errorf("workload: CyclesPerIteration = %v, want > 0", d.CyclesPerIteration)
+	}
+	return nil
+}
+
+// Partition is one candidate split of the loop into threads.
+type Partition struct {
+	// Grouping is the number of iterations coalesced into each thread.
+	Grouping int
+	// Threads and Runlength are the resulting workload parameters.
+	Threads   int
+	Runlength float64
+	// Metrics is the solved performance of this partitioning.
+	Metrics mms.Metrics
+	// TolNetwork and TolMemory are the tolerance indices.
+	TolNetwork float64
+	TolMemory  float64
+}
+
+// Config returns the model configuration of this partitioning given the
+// machine description.
+func (d DoAll) config(grouping int) mms.Config {
+	cfg := d.Machine
+	cfg.Threads = (d.Iterations + grouping - 1) / grouping
+	cfg.Runlength = float64(grouping) * d.CyclesPerIteration
+	return cfg
+}
+
+// Partitions evaluates every grouping that divides the iteration count
+// evenly (plus the fully-coalesced single thread), in increasing grouping
+// order.
+func (d DoAll) Partitions() ([]Partition, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	var out []Partition
+	for g := 1; g <= d.Iterations; g++ {
+		if d.Iterations%g != 0 {
+			continue
+		}
+		cfg := d.config(g)
+		met, err := mms.Solve(cfg)
+		if err != nil {
+			return nil, err
+		}
+		netIdx, err := tolerance.NetworkIndex(cfg)
+		if err != nil {
+			return nil, err
+		}
+		memIdx, err := tolerance.MemoryIndex(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Partition{
+			Grouping:   g,
+			Threads:    cfg.Threads,
+			Runlength:  cfg.Runlength,
+			Metrics:    met,
+			TolNetwork: netIdx.Tol,
+			TolMemory:  memIdx.Tol,
+		})
+	}
+	return out, nil
+}
+
+// Objective ranks partitionings.
+type Objective int
+
+const (
+	// MaxUtilization picks the partitioning with the highest U_p.
+	MaxUtilization Objective = iota
+	// MaxNetworkTolerance picks the highest tol_network.
+	MaxNetworkTolerance
+	// MinThreads picks the fewest threads that stay within 2% of the best
+	// U_p — the paper's recommendation (coalesce once tolerance saturates;
+	// fewer threads mean less state and smaller memory footprint).
+	MinThreads
+)
+
+func (o Objective) String() string {
+	switch o {
+	case MaxUtilization:
+		return "max-utilization"
+	case MaxNetworkTolerance:
+		return "max-network-tolerance"
+	case MinThreads:
+		return "min-threads"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// Best evaluates all partitionings and returns the winner under the
+// objective.
+func (d DoAll) Best(obj Objective) (Partition, error) {
+	parts, err := d.Partitions()
+	if err != nil {
+		return Partition{}, err
+	}
+	switch obj {
+	case MaxUtilization:
+		best := parts[0]
+		for _, p := range parts[1:] {
+			if p.Metrics.Up > best.Metrics.Up {
+				best = p
+			}
+		}
+		return best, nil
+	case MaxNetworkTolerance:
+		best := parts[0]
+		for _, p := range parts[1:] {
+			if p.TolNetwork > best.TolNetwork {
+				best = p
+			}
+		}
+		return best, nil
+	case MinThreads:
+		bestUp := 0.0
+		for _, p := range parts {
+			if p.Metrics.Up > bestUp {
+				bestUp = p.Metrics.Up
+			}
+		}
+		// parts are in increasing grouping order = decreasing thread count;
+		// take the last (fewest threads) within 2% of the best.
+		var pick *Partition
+		for i := range parts {
+			if parts[i].Metrics.Up >= 0.98*bestUp {
+				pick = &parts[i]
+			}
+		}
+		return *pick, nil
+	default:
+		return Partition{}, fmt.Errorf("workload: unknown objective %d", int(obj))
+	}
+}

@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"lattol/internal/mms"
+)
+
+func loop() DoAll {
+	return DoAll{
+		Iterations:         40,
+		CyclesPerIteration: 2,
+		Machine:            mms.DefaultConfig(),
+	}
+}
+
+func TestValidate(t *testing.T) {
+	d := loop()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d.Iterations = 0
+	if err := d.Validate(); err == nil {
+		t.Error("want error for zero iterations")
+	}
+	d = loop()
+	d.CyclesPerIteration = 0
+	if err := d.Validate(); err == nil {
+		t.Error("want error for zero cycle count")
+	}
+	d.CyclesPerIteration = math.NaN()
+	if err := d.Validate(); err == nil {
+		t.Error("want error for NaN cycle count")
+	}
+}
+
+func TestPartitionsEnumerateDivisors(t *testing.T) {
+	parts, err := loop().Partitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Divisors of 40: 1,2,4,5,8,10,20,40.
+	if len(parts) != 8 {
+		t.Fatalf("%d partitions, want 8", len(parts))
+	}
+	for _, p := range parts {
+		if p.Threads*p.Grouping != 40 {
+			t.Errorf("grouping %d gives %d threads", p.Grouping, p.Threads)
+		}
+		if p.Runlength != float64(p.Grouping)*2 {
+			t.Errorf("grouping %d: R = %v", p.Grouping, p.Runlength)
+		}
+		if p.Metrics.Up <= 0 || p.Metrics.Up > 1 {
+			t.Errorf("grouping %d: U_p = %v", p.Grouping, p.Metrics.Up)
+		}
+	}
+	// Work exposure is constant: n_t·R = Iterations·CyclesPerIteration.
+	for _, p := range parts {
+		if w := float64(p.Threads) * p.Runlength; math.Abs(w-80) > 1e-12 {
+			t.Errorf("grouping %d: n_t·R = %v, want 80", p.Grouping, w)
+		}
+	}
+}
+
+func TestBestObjectives(t *testing.T) {
+	d := loop()
+	maxUp, err := d.Best(MaxUtilization)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxTol, err := d.Best(MaxNetworkTolerance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minThreads, err := d.Best(MinThreads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := d.Partitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range parts {
+		if p.Metrics.Up > maxUp.Metrics.Up+1e-12 {
+			t.Errorf("MaxUtilization missed a better partition: %v > %v", p.Metrics.Up, maxUp.Metrics.Up)
+		}
+		if p.TolNetwork > maxTol.TolNetwork+1e-12 {
+			t.Errorf("MaxNetworkTolerance missed a better partition")
+		}
+	}
+	// MinThreads stays within 2% of the best and never uses more threads
+	// than the utilization winner.
+	if minThreads.Metrics.Up < 0.98*maxUp.Metrics.Up {
+		t.Errorf("MinThreads U_p %v too far below best %v", minThreads.Metrics.Up, maxUp.Metrics.Up)
+	}
+	if minThreads.Threads > maxUp.Threads {
+		t.Errorf("MinThreads picked more threads (%d) than MaxUtilization (%d)", minThreads.Threads, maxUp.Threads)
+	}
+}
+
+func TestBestRejectsUnknownObjective(t *testing.T) {
+	if _, err := loop().Best(Objective(9)); err == nil {
+		t.Error("want error")
+	}
+}
+
+func TestPartitionsPropagateConfigErrors(t *testing.T) {
+	d := loop()
+	d.Machine.K = -1
+	if _, err := d.Partitions(); err == nil {
+		t.Error("want error for invalid machine config")
+	}
+}
+
+func TestObjectiveStrings(t *testing.T) {
+	if MaxUtilization.String() != "max-utilization" ||
+		MaxNetworkTolerance.String() != "max-network-tolerance" ||
+		MinThreads.String() != "min-threads" ||
+		Objective(9).String() != "Objective(9)" {
+		t.Error("objective strings")
+	}
+}
+
+func TestPaperGuidanceHolds(t *testing.T) {
+	// With remote-heavy traffic the recommended partitioning keeps at least
+	// 2 threads but far fewer than the iteration count (coalesce, don't
+	// shred).
+	d := loop()
+	d.Machine.PRemote = 0.4
+	best, err := d.Best(MinThreads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Threads < 2 {
+		t.Errorf("recommended %d threads; full coalescing loses overlap", best.Threads)
+	}
+	if best.Threads > 10 {
+		t.Errorf("recommended %d threads; expected coalescing well below 40", best.Threads)
+	}
+}
