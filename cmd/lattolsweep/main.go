@@ -13,11 +13,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"os"
+	"os/signal"
+	"time"
 
 	"lattol/internal/mms"
 	"lattol/internal/report"
@@ -29,11 +32,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lattolsweep: ")
 	var (
-		param = flag.String("sweep", "premote", "parameter to sweep: nt, r, l, s, premote, psw, k, memports, swports")
-		from  = flag.Float64("from", 0.05, "range start")
-		to    = flag.Float64("to", 0.9, "range end")
-		steps = flag.Int("steps", 10, "number of points")
-		csv   = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		param   = flag.String("sweep", "premote", "parameter to sweep: nt, r, l, s, premote, psw, k, memports, swports")
+		from    = flag.Float64("from", 0.05, "range start")
+		to      = flag.Float64("to", 0.9, "range end")
+		steps   = flag.Int("steps", 10, "number of points")
+		csv     = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		quiet   = flag.Bool("quiet", false, "suppress the live stderr progress counter")
 
 		k   = flag.Int("k", 4, "PEs per torus dimension")
 		nt  = flag.Int("nt", 8, "threads per processor")
@@ -61,7 +66,19 @@ func main() {
 		tolNet float64
 		tolMem float64
 	}
-	rows, err := sweep.Map(values, 0, func(v float64) (row, error) {
+	// Ctrl-C cancels the sweep cleanly: no new points are scheduled and the
+	// aggregate error reports how far it got.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	var counters sweep.Counters
+	opts := sweep.Options{Workers: *workers, Counters: &counters}
+	if !*quiet {
+		opts.OnPoint = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rlattolsweep: %d/%d points (%d failed, %s/point)   ",
+				done, total, counters.Failed.Load(), counters.MeanPointTime().Round(time.Microsecond))
+		}
+	}
+	rows, err := sweep.Run(ctx, values, opts, func(v float64) (row, error) {
 		cfg := base
 		if err := apply(&cfg, v); err != nil {
 			return row{}, err
@@ -80,6 +97,9 @@ func main() {
 		}
 		return row{value: v, met: met, tolNet: netIdx.Tol, tolMem: memIdx.Tol}, nil
 	})
+	if !*quiet {
+		fmt.Fprintln(os.Stderr)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

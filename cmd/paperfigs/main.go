@@ -24,10 +24,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("paperfigs: ")
 	var (
-		only = flag.String("only", "", "render only the exhibit with this ID")
-		list = flag.Bool("list", false, "list exhibit IDs and exit")
-		full = flag.Bool("full", false, "use paper-length simulation horizons (slow)")
-		ext  = flag.Bool("extensions", false, "also render the extension studies")
+		only  = flag.String("only", "", "render only the exhibit with this ID")
+		list  = flag.Bool("list", false, "list exhibit IDs and exit")
+		full  = flag.Bool("full", false, "use paper-length simulation horizons (slow)")
+		ext   = flag.Bool("extensions", false, "also render the extension studies")
+		quiet = flag.Bool("quiet", false, "suppress the live stderr progress counter")
 	)
 	flag.Parse()
 
@@ -65,14 +66,30 @@ func main() {
 		return
 	}
 
+	// Live sweep progress: every driver reports finished points through the
+	// experiments progress hook; paint them as a transient stderr counter.
+	current := "warmup"
+	if !*quiet {
+		experiments.SetProgress(func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rpaperfigs: %s %d/%d points   ", current, done, total)
+		})
+	}
+	clearProgress := func() {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "\r%60s\r", "")
+		}
+	}
+
 	found := false
 	for _, e := range exhibits {
 		if *only != "" && e.ID != *only {
 			continue
 		}
 		found = true
+		current = e.ID
 		start := time.Now()
 		out, err := e.Render()
+		clearProgress()
 		if err != nil {
 			log.Fatalf("%s: %v", e.ID, err)
 		}

@@ -7,6 +7,8 @@
 package crossval
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -16,6 +18,7 @@ import (
 	"lattol/internal/petri"
 	"lattol/internal/queueing"
 	"lattol/internal/stats"
+	"lattol/internal/sweep"
 )
 
 // randomCycle generates a random closed cyclic network: N jobs visit
@@ -128,31 +131,50 @@ func TestRandomCyclesSolversVsSimulators(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation cross-validation skipped in -short mode")
 	}
+	// Network generation shares one rng stream, so it stays sequential; the
+	// trials themselves are independent and fan out over the sweep runner.
+	// Simulation seeds are derived from the trial index, so results are
+	// identical at any worker count.
 	rng := rand.New(rand.NewSource(99))
-	for trial := 0; trial < 6; trial++ {
-		net := randomCycle(rng)
+	nets := make([]*queueing.Network, 6)
+	trials := make([]int, len(nets))
+	for i := range nets {
+		nets[i] = randomCycle(rng)
+		trials[i] = i
+	}
+	type outcome struct {
+		want, conv, des, petri float64
+	}
+	outcomes, err := sweep.Run(context.Background(), trials, sweep.Options{}, func(trial int) (outcome, error) {
+		net := nets[trial]
 		exact, err := mva.ExactSingleClassLD(net)
 		if err != nil {
-			t.Fatal(err)
+			return outcome{}, err
 		}
-		want := exact.Throughput[0]
-
-		// Convolution must agree analytically.
 		x, err := mva.Convolution(net)
 		if err != nil {
-			t.Fatal(err)
+			return outcome{}, err
 		}
-		if math.Abs(x-want) > 1e-9*(1+want) {
-			t.Errorf("trial %d: convolution %v != LD MVA %v", trial, x, want)
+		const horizon = 60000.0
+		return outcome{
+			want:  exact.Throughput[0],
+			conv:  x,
+			des:   simulateCycleDES(t, net, sweep.DeriveSeed(99, int64(trial), 1), horizon),
+			petri: simulateCyclePetri(t, net, sweep.DeriveSeed(99, int64(trial), 2), horizon),
+		}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial, o := range outcomes {
+		// Convolution must agree analytically.
+		if math.Abs(o.conv-o.want) > 1e-9*(1+o.want) {
+			t.Errorf("trial %d: convolution %v != LD MVA %v", trial, o.conv, o.want)
 		}
-
-		horizon := 60000.0
-		desX := simulateCycleDES(t, net, int64(trial)+1, horizon)
-		petriX := simulateCyclePetri(t, net, int64(trial)+1000, horizon)
-		for name, got := range map[string]float64{"des": desX, "petri": petriX} {
-			if rel := math.Abs(got-want) / want; rel > 0.06 {
+		for name, got := range map[string]float64{"des": o.des, "petri": o.petri} {
+			if rel := math.Abs(got-o.want) / o.want; rel > 0.06 {
 				t.Errorf("trial %d (%+v): %s throughput %v vs exact %v (rel %.3f)",
-					trial, net.Stations, name, got, want, rel)
+					trial, nets[trial].Stations, name, got, o.want, rel)
 			}
 		}
 	}
@@ -166,33 +188,48 @@ func TestAMVAOnRandomCycles(t *testing.T) {
 	// 2-server station is the bottleneck at small population — characterize
 	// both regimes.
 	rng := rand.New(rand.NewSource(7))
-	for trial := 0; trial < 25; trial++ {
-		net := randomCycle(rng)
-		multi := false
+	nets := make([]*queueing.Network, 25)
+	for i := range nets {
+		nets[i] = randomCycle(rng)
+	}
+	type outcome struct {
+		multi         bool
+		exact, approx float64
+	}
+	outcomes, err := sweep.Run(context.Background(), nets, sweep.Options{}, func(net *queueing.Network) (outcome, error) {
+		var o outcome
 		for _, st := range net.Stations {
 			if st.Kind == queueing.FCFS && st.ServerCount() > 1 {
-				multi = true
+				o.multi = true
 			}
 		}
 		exact, err := mva.ExactSingleClassLD(net)
 		if err != nil {
-			t.Fatal(err)
+			return o, fmt.Errorf("exact LD MVA: %w", err)
 		}
 		approx, err := mva.ApproxMultiClass(net, mva.AMVAOptions{})
 		if err != nil {
-			t.Fatal(err)
+			return o, fmt.Errorf("AMVA: %w", err)
 		}
-		rel := math.Abs(approx.Throughput[0]-exact.Throughput[0]) / exact.Throughput[0]
-		if multi {
+		o.exact = exact.Throughput[0]
+		o.approx = approx.Throughput[0]
+		return o, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial, o := range outcomes {
+		rel := math.Abs(o.approx-o.exact) / o.exact
+		if o.multi {
 			if rel > 0.35 {
-				t.Errorf("trial %d: shadow+AMVA error %.1f%% on %+v", trial, rel*100, net.Stations)
+				t.Errorf("trial %d: shadow+AMVA error %.1f%% on %+v", trial, rel*100, nets[trial].Stations)
 			}
-			if approx.Throughput[0] > exact.Throughput[0]*1.05 {
+			if o.approx > o.exact*1.05 {
 				t.Errorf("trial %d: shadow approximation should be pessimistic: %v > %v",
-					trial, approx.Throughput[0], exact.Throughput[0])
+					trial, o.approx, o.exact)
 			}
 		} else if rel > 0.16 {
-			t.Errorf("trial %d: AMVA error %.1f%% on %+v", trial, rel*100, net.Stations)
+			t.Errorf("trial %d: AMVA error %.1f%% on %+v", trial, rel*100, nets[trial].Stations)
 		}
 	}
 }

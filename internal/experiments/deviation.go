@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"lattol/internal/mms"
@@ -49,15 +50,19 @@ func DeviationStudy(opts ValidationOptions) (*DeviationData, error) {
 			}
 		}
 	}
-	rows, err := sweep.Map(pts, 0, func(p point) (DeviationRow, error) {
+	rows, err := sweep.Run(context.Background(), pts, sweepOptions(), func(p point) (DeviationRow, error) {
 		cfg := mms.DefaultConfig()
 		cfg.K = p.k
 		cfg.Psw = p.psw
+		// The seed depends on (k, psw) only: the finite and ideal networks
+		// — and both switch-service distributions — run on common random
+		// numbers, so their ratio isolates the network effect.
+		seed := sweep.DeriveSeed(opts.Seed, int64(p.k), int64(p.psw*100))
 		run := func(s float64) (simmms.Result, error) {
 			c := cfg
 			c.SwitchTime = s
 			return simmms.Run(c, simmms.Options{
-				Engine: simmms.Direct, Seed: opts.Seed + int64(p.k*100) + int64(p.psw*10),
+				Engine: simmms.Direct, Seed: seed,
 				Warmup: opts.Warmup, Duration: opts.Duration,
 				SwitchDist: p.dist,
 			})

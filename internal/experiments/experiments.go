@@ -11,11 +11,40 @@ package experiments
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"lattol/internal/mms"
 	"lattol/internal/report"
+	"lattol/internal/sweep"
 	"lattol/internal/tolerance"
 )
+
+// progress holds the optional live-progress callback shared by every sweep
+// in this package; cmd/paperfigs installs one to draw stderr counters.
+var progress atomic.Pointer[func(done, total int)]
+
+// SetProgress installs fn as the callback invoked after every finished
+// sweep point of every driver, with the finished count and the point total
+// of the current sweep. nil uninstalls it. Calls are serialized by the
+// sweep runner; fn must not block.
+func SetProgress(fn func(done, total int)) {
+	if fn == nil {
+		progress.Store(nil)
+		return
+	}
+	progress.Store(&fn)
+}
+
+// sweepOptions returns the runner options shared by the drivers in this
+// package: abort on the first failing point (the exhibits are
+// all-or-nothing) and report live progress when a callback is installed.
+func sweepOptions() sweep.Options {
+	opts := sweep.Options{FailFast: true}
+	if p := progress.Load(); p != nil {
+		opts.OnPoint = *p
+	}
+	return opts
+}
 
 // Exhibit is one reproducible paper exhibit.
 type Exhibit struct {

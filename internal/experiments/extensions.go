@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -174,29 +175,41 @@ type PriorityData struct{ Rows []PriorityRow }
 // with a very fast network flooding remote memories.
 func ExtensionLocalPriority(opts ValidationOptions) (*PriorityData, error) {
 	opts = opts.withDefaults()
-	out := &PriorityData{}
+	type variant struct {
+		ideal, prio bool
+	}
+	var pts []variant
 	for _, ideal := range []bool{false, true} {
 		for _, prio := range []bool{false, true} {
-			cfg := mms.DefaultConfig()
-			cfg.PRemote = 0.4 // enough remote traffic for scheduling to matter
-			if ideal {
-				cfg.SwitchTime = 0
-			}
-			r, err := simmms.Run(cfg, simmms.Options{
-				Engine: simmms.Direct, Seed: opts.Seed + 17,
-				Warmup: opts.Warmup, Duration: opts.Duration,
-				LocalMemPriority: prio,
-			})
-			if err != nil {
-				return nil, err
-			}
-			out.Rows = append(out.Rows, PriorityRow{
-				IdealNetwork: ideal, Priority: prio,
-				Up: r.Up, LObsLocal: r.LObsLocal, LObsRemote: r.LObsRemote,
-			})
+			pts = append(pts, variant{ideal, prio})
 		}
 	}
-	return out, nil
+	// All four variants share one seed (common random numbers), so the
+	// scheduling-discipline effect is a paired comparison.
+	seed := sweep.DeriveSeed(opts.Seed, 17)
+	rows, err := sweep.Run(context.Background(), pts, sweepOptions(), func(v variant) (PriorityRow, error) {
+		cfg := mms.DefaultConfig()
+		cfg.PRemote = 0.4 // enough remote traffic for scheduling to matter
+		if v.ideal {
+			cfg.SwitchTime = 0
+		}
+		r, err := simmms.Run(cfg, simmms.Options{
+			Engine: simmms.Direct, Seed: seed,
+			Warmup: opts.Warmup, Duration: opts.Duration,
+			LocalMemPriority: v.prio,
+		})
+		if err != nil {
+			return PriorityRow{}, err
+		}
+		return PriorityRow{
+			IdealNetwork: v.ideal, Priority: v.prio,
+			Up: r.Up, LObsLocal: r.LObsLocal, LObsRemote: r.LObsRemote,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &PriorityData{Rows: rows}, nil
 }
 
 // Up returns the measured U_p for a variant.
@@ -262,22 +275,36 @@ type BuffersData struct {
 func ExtensionFiniteBuffers(opts ValidationOptions) (*BuffersData, error) {
 	opts = opts.withDefaults()
 	out := &BuffersData{Threads: sweep.IntRange(1, 10, 1)}
-	for _, window := range []int{0, 4, 2, 1} {
-		series := BufferSeries{Window: window}
+	windows := []int{0, 4, 2, 1}
+	type point struct {
+		window, nt int
+	}
+	var pts []point
+	for _, window := range windows {
 		for _, nt := range out.Threads {
-			cfg := mms.DefaultConfig()
-			cfg.PRemote = 0.5
-			cfg.Threads = nt
-			r, err := simmms.Run(cfg, simmms.Options{
-				Engine: simmms.Direct, Seed: opts.Seed + int64(100*window+nt),
-				Warmup: opts.Warmup, Duration: opts.Duration,
-				NetworkWindow: window,
-			})
-			if err != nil {
-				return nil, err
-			}
-			series.SObs = append(series.SObs, r.SObs)
-			series.Up = append(series.Up, r.Up)
+			pts = append(pts, point{window, nt})
+		}
+	}
+	results, err := sweep.Run(context.Background(), pts, sweepOptions(), func(p point) (simmms.Result, error) {
+		cfg := mms.DefaultConfig()
+		cfg.PRemote = 0.5
+		cfg.Threads = p.nt
+		return simmms.Run(cfg, simmms.Options{
+			Engine: simmms.Direct, Seed: sweep.DeriveSeed(opts.Seed, int64(p.window), int64(p.nt)),
+			Warmup: opts.Warmup, Duration: opts.Duration,
+			NetworkWindow: p.window,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, window := range windows {
+		series := BufferSeries{Window: window}
+		for range out.Threads {
+			series.SObs = append(series.SObs, results[i].SObs)
+			series.Up = append(series.Up, results[i].Up)
+			i++
 		}
 		out.Series = append(out.Series, series)
 	}
@@ -548,21 +575,26 @@ type BarrierData struct{ Rows []BarrierRow }
 // a barrier after `interval` accesses per thread.
 func ExtensionBarrier(opts ValidationOptions) (*BarrierData, error) {
 	opts = opts.withDefaults()
-	out := &BarrierData{}
-	for _, interval := range []int{0, 1, 2, 4, 8, 16, 32} {
+	// Every interval runs on the same seed (common random numbers), so the
+	// superstep granularity is the only thing that varies between rows.
+	seed := sweep.DeriveSeed(opts.Seed, 91)
+	rows, err := sweep.Run(context.Background(), []int{0, 1, 2, 4, 8, 16, 32}, sweepOptions(), func(interval int) (BarrierRow, error) {
 		cfg := mms.DefaultConfig()
 		cfg.PRemote = 0.3
 		r, err := simmms.Run(cfg, simmms.Options{
-			Engine: simmms.Direct, Seed: opts.Seed + 91,
+			Engine: simmms.Direct, Seed: seed,
 			Warmup: opts.Warmup, Duration: opts.Duration,
 			BarrierInterval: interval,
 		})
 		if err != nil {
-			return nil, err
+			return BarrierRow{}, err
 		}
-		out.Rows = append(out.Rows, BarrierRow{Interval: interval, Up: r.Up, SObs: r.SObs})
+		return BarrierRow{Interval: interval, Up: r.Up, SObs: r.SObs}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &BarrierData{Rows: rows}, nil
 }
 
 // Render prints the barrier table.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -45,7 +46,7 @@ func workloadSurfaces(r float64) (*WorkloadSurfaces, error) {
 	threads, ps := workloadGrid()
 	w := &WorkloadSurfaces{Runlength: r, Threads: threads, PRemote: ps}
 	type cell struct{ up, sobs, lnet, tol float64 }
-	z, err := sweep.Grid2D(ps, threads, 0, func(p float64, nt int) (cell, error) {
+	z, err := sweep.Grid2DCtx(context.Background(), ps, threads, sweepOptions(), func(p float64, nt int) (cell, error) {
 		cfg := mms.DefaultConfig()
 		cfg.Runlength = r
 		cfg.Threads = nt
@@ -134,7 +135,12 @@ type Table2Data struct {
 // the values quoted in the paper), then reports the very different tolerance
 // indices at those matched latencies.
 func Table2() (*Table2Data, error) {
-	var data Table2Data
+	type pt struct {
+		r      float64
+		target float64
+		nt     int
+	}
+	var pts []pt
 	for _, grp := range []struct {
 		r      float64
 		target float64
@@ -144,14 +150,16 @@ func Table2() (*Table2Data, error) {
 		{20, 56, []int{3, 4, 6, 8}},
 	} {
 		for _, nt := range grp.nts {
-			row, err := matchSObs(grp.r, nt, grp.target)
-			if err != nil {
-				return nil, err
-			}
-			data.Rows = append(data.Rows, row)
+			pts = append(pts, pt{grp.r, grp.target, nt})
 		}
 	}
-	return &data, nil
+	rows, err := sweep.Run(context.Background(), pts, sweepOptions(), func(p pt) (MatchedRow, error) {
+		return matchSObs(p.r, p.nt, p.target)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Table2Data{Rows: rows}, nil
 }
 
 // matchSObs binary-searches p_remote in (0, 0.95] so the solved S_obs hits

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -35,7 +36,7 @@ func Figure6() (*TolSurfaces, error) {
 		Values: []float64{0.2, 0.4}, Threads: threads, Runs: runs,
 	}
 	for _, p := range out.Values {
-		z, err := sweep.Grid2D(runs, threads, 0, func(r float64, nt int) (float64, error) {
+		z, err := sweep.Grid2DCtx(context.Background(), runs, threads, sweepOptions(), func(r float64, nt int) (float64, error) {
 			cfg := mms.DefaultConfig()
 			cfg.Runlength = r
 			cfg.Threads = nt
@@ -60,7 +61,7 @@ func Figure8() (*TolSurfaces, error) {
 		Values: []float64{10, 20}, Threads: threads, Runs: runs,
 	}
 	for _, l := range out.Values {
-		z, err := sweep.Grid2D(runs, threads, 0, func(r float64, nt int) (float64, error) {
+		z, err := sweep.Grid2DCtx(context.Background(), runs, threads, sweepOptions(), func(r float64, nt int) (float64, error) {
 			cfg := mms.DefaultConfig()
 			cfg.Runlength = r
 			cfg.Threads = nt
@@ -117,7 +118,7 @@ func Figure7() (*PartitionCurves, error) {
 		var curves []report.Series
 		for _, work := range out.Works {
 			splits := workSplits(work)
-			tols, err := sweep.Map(splits, 0, func(s [2]int) (float64, error) {
+			tols, err := sweep.Run(context.Background(), splits, sweepOptions(), func(s [2]int) (float64, error) {
 				cfg := mms.DefaultConfig()
 				cfg.Threads = s[0]
 				cfg.Runlength = float64(s[1])
@@ -193,23 +194,35 @@ func Table3() (*PartitionTable, error) {
 		Title:   "Table 3: thread partitioning (n_t·R = 40) and network latency tolerance",
 		Columns: []string{"p_remote", "n_t", "R", "L_obs", "S_obs", "lambda_net", "U_p", "tol_network"},
 	}
+	type pt struct {
+		p     float64
+		split [2]int
+	}
+	var pts []pt
 	for _, p := range []float64{0.2, 0.4} {
 		for _, s := range workSplits(40) {
-			cfg := mms.DefaultConfig()
-			cfg.PRemote = p
-			cfg.Threads = s[0]
-			cfg.Runlength = float64(s[1])
-			met, tolNet, tolMem, err := solveWithTol(cfg)
-			if err != nil {
-				return nil, err
-			}
-			out.Rows = append(out.Rows, PartitionRow{
-				PRemote: p, L: cfg.MemoryTime, Threads: s[0], R: float64(s[1]),
-				LObs: met.LObs, SObs: met.SObs, LamNet: met.LambdaNet,
-				Up: met.Up, TolNet: tolNet, TolMem: tolMem,
-			})
+			pts = append(pts, pt{p, s})
 		}
 	}
+	rows, err := sweep.Run(context.Background(), pts, sweepOptions(), func(c pt) (PartitionRow, error) {
+		cfg := mms.DefaultConfig()
+		cfg.PRemote = c.p
+		cfg.Threads = c.split[0]
+		cfg.Runlength = float64(c.split[1])
+		met, tolNet, tolMem, err := solveWithTol(cfg)
+		if err != nil {
+			return PartitionRow{}, err
+		}
+		return PartitionRow{
+			PRemote: c.p, L: cfg.MemoryTime, Threads: c.split[0], R: float64(c.split[1]),
+			LObs: met.LObs, SObs: met.SObs, LamNet: met.LambdaNet,
+			Up: met.Up, TolNet: tolNet, TolMem: tolMem,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = rows
 	return out, nil
 }
 
@@ -220,23 +233,35 @@ func Table4() (*PartitionTable, error) {
 		Title:   "Table 4: thread partitioning (n_t·R = 40) and memory latency tolerance, p_remote = 0.2",
 		Columns: []string{"L", "n_t", "R", "L_obs", "S_obs", "U_p", "tol_memory"},
 	}
+	type pt struct {
+		l     float64
+		split [2]int
+	}
+	var pts []pt
 	for _, l := range []float64{10, 20} {
 		for _, s := range workSplits(40) {
-			cfg := mms.DefaultConfig()
-			cfg.MemoryTime = l
-			cfg.Threads = s[0]
-			cfg.Runlength = float64(s[1])
-			met, tolNet, tolMem, err := solveWithTol(cfg)
-			if err != nil {
-				return nil, err
-			}
-			out.Rows = append(out.Rows, PartitionRow{
-				PRemote: cfg.PRemote, L: l, Threads: s[0], R: float64(s[1]),
-				LObs: met.LObs, SObs: met.SObs, LamNet: met.LambdaNet,
-				Up: met.Up, TolNet: tolNet, TolMem: tolMem,
-			})
+			pts = append(pts, pt{l, s})
 		}
 	}
+	rows, err := sweep.Run(context.Background(), pts, sweepOptions(), func(c pt) (PartitionRow, error) {
+		cfg := mms.DefaultConfig()
+		cfg.MemoryTime = c.l
+		cfg.Threads = c.split[0]
+		cfg.Runlength = float64(c.split[1])
+		met, tolNet, tolMem, err := solveWithTol(cfg)
+		if err != nil {
+			return PartitionRow{}, err
+		}
+		return PartitionRow{
+			PRemote: cfg.PRemote, L: c.l, Threads: c.split[0], R: float64(c.split[1]),
+			LObs: met.LObs, SObs: met.SObs, LamNet: met.LambdaNet,
+			Up: met.Up, TolNet: tolNet, TolMem: tolMem,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = rows
 	return out, nil
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -50,7 +51,7 @@ func Figure9() (*ScalingCurves, error) {
 			}
 		}
 	}
-	tols, err := sweep.Map(pts, 0, func(p point) (float64, error) {
+	tols, err := sweep.Run(context.Background(), pts, sweepOptions(), func(p point) (float64, error) {
 		cfg := mms.DefaultConfig()
 		cfg.Runlength = p.r
 		cfg.K = p.k
@@ -119,43 +120,52 @@ type ThroughputScaling struct {
 // Figure10 sweeps k = 2..10.
 func Figure10() (*ThroughputScaling, error) {
 	ks := []int{2, 4, 6, 8, 10}
-	out := &ThroughputScaling{}
-	for _, k := range ks {
-		out.Ps = append(out.Ps, k*k)
+	type sizePoint struct {
+		geo, ideal, uni mms.Metrics
+	}
+	points, err := sweep.Run(context.Background(), ks, sweepOptions(), func(k int) (sizePoint, error) {
 		base := mms.DefaultConfig()
 		base.K = k
 
 		geo, err := mms.Solve(base)
 		if err != nil {
-			return nil, err
+			return sizePoint{}, err
 		}
 		idealCfg := base
 		idealCfg.SwitchTime = 0
 		ideal, err := mms.Solve(idealCfg)
 		if err != nil {
-			return nil, err
+			return sizePoint{}, err
 		}
 		uniCfg := base
 		u, err := access.NewUniform(topology.MustTorus(k))
 		if err != nil {
-			return nil, err
+			return sizePoint{}, err
 		}
 		uniCfg.Pattern = u
 		uni, err := mms.Solve(uniCfg)
 		if err != nil {
-			return nil, err
+			return sizePoint{}, err
 		}
-
+		return sizePoint{geo: geo, ideal: ideal, uni: uni}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &ThroughputScaling{}
+	for i, k := range ks {
+		pt := points[i]
 		p := float64(k * k)
+		out.Ps = append(out.Ps, k*k)
 		out.Linear = append(out.Linear, p)
-		out.Ideal = append(out.Ideal, geoThroughput(ideal, p))
-		out.Geometric = append(out.Geometric, geoThroughput(geo, p))
-		out.Uniform = append(out.Uniform, geoThroughput(uni, p))
-		out.SObsGeometric = append(out.SObsGeometric, geo.SObs)
-		out.SObsUniform = append(out.SObsUniform, uni.SObs)
-		out.LObsIdeal = append(out.LObsIdeal, ideal.LObs)
-		out.LObsGeometric = append(out.LObsGeometric, geo.LObs)
-		out.LObsUniform = append(out.LObsUniform, uni.LObs)
+		out.Ideal = append(out.Ideal, geoThroughput(pt.ideal, p))
+		out.Geometric = append(out.Geometric, geoThroughput(pt.geo, p))
+		out.Uniform = append(out.Uniform, geoThroughput(pt.uni, p))
+		out.SObsGeometric = append(out.SObsGeometric, pt.geo.SObs)
+		out.SObsUniform = append(out.SObsUniform, pt.uni.SObs)
+		out.LObsIdeal = append(out.LObsIdeal, pt.ideal.LObs)
+		out.LObsGeometric = append(out.LObsGeometric, pt.geo.LObs)
+		out.LObsUniform = append(out.LObsUniform, pt.uni.LObs)
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -65,7 +66,7 @@ func Figure11(opts ValidationOptions) (*ValidationData, error) {
 			pts = append(pts, pt{nt, s})
 		}
 	}
-	points, err := sweep.Map(pts, 0, func(p pt) (ValidationPoint, error) {
+	points, err := sweep.Run(context.Background(), pts, sweepOptions(), func(p pt) (ValidationPoint, error) {
 		cfg := mms.DefaultConfig()
 		cfg.PRemote = 0.5
 		cfg.SwitchTime = p.s
@@ -74,14 +75,16 @@ func Figure11(opts ValidationOptions) (*ValidationData, error) {
 		if err != nil {
 			return ValidationPoint{}, err
 		}
+		// Seeds depend on n_t but not on S: the S = 10 and S = 20 curves
+		// run on common random numbers, per engine.
 		stpn, err := simmms.Run(cfg, simmms.Options{
-			Engine: simmms.STPN, Seed: opts.Seed + int64(p.nt), Warmup: opts.Warmup, Duration: opts.Duration,
+			Engine: simmms.STPN, Seed: sweep.DeriveSeed(opts.Seed, int64(p.nt)), Warmup: opts.Warmup, Duration: opts.Duration,
 		})
 		if err != nil {
 			return ValidationPoint{}, err
 		}
 		direct, err := simmms.Run(cfg, simmms.Options{
-			Engine: simmms.Direct, Seed: opts.Seed + 1000 + int64(p.nt), Warmup: opts.Warmup, Duration: opts.Duration,
+			Engine: simmms.Direct, Seed: sweep.DeriveSeed(opts.Seed, int64(p.nt), 1), Warmup: opts.Warmup, Duration: opts.Duration,
 		})
 		if err != nil {
 			return ValidationPoint{}, err
@@ -171,20 +174,24 @@ func ValidationDeterministic(opts ValidationOptions) (*DetSensitivity, error) {
 	if len(threads) > 4 {
 		threads = []int{2, 4, 6, 8}
 	}
-	out := &DetSensitivity{}
-	for _, nt := range threads {
+	perThread, err := sweep.Run(context.Background(), threads, sweepOptions(), func(nt int) ([]DetSensitivityRow, error) {
 		cfg := mms.DefaultConfig()
 		cfg.PRemote = 0.5
 		cfg.Threads = nt
+		// One seed per thread count, shared by the baseline and both
+		// alternative distributions: a paired (common-random-numbers)
+		// comparison isolates the distribution effect.
+		seed := sweep.DeriveSeed(opts.Seed, int64(nt))
 		base, err := simmms.Run(cfg, simmms.Options{
-			Engine: simmms.STPN, Seed: opts.Seed + int64(nt), Warmup: opts.Warmup, Duration: opts.Duration,
+			Engine: simmms.STPN, Seed: seed, Warmup: opts.Warmup, Duration: opts.Duration,
 		})
 		if err != nil {
 			return nil, err
 		}
+		var rows []DetSensitivityRow
 		for _, dist := range []simmms.DistKind{simmms.DetDist, simmms.Erlang4Dist} {
 			r, err := simmms.Run(cfg, simmms.Options{
-				Engine: simmms.STPN, Seed: opts.Seed + int64(nt), Warmup: opts.Warmup, Duration: opts.Duration,
+				Engine: simmms.STPN, Seed: seed, Warmup: opts.Warmup, Duration: opts.Duration,
 				MemDist: dist,
 			})
 			if err != nil {
@@ -194,8 +201,16 @@ func ValidationDeterministic(opts ValidationOptions) (*DetSensitivity, error) {
 			if base.SObs > 0 {
 				row.RelDiff = math.Abs(r.SObs-base.SObs) / base.SObs
 			}
-			out.Rows = append(out.Rows, row)
+			rows = append(rows, row)
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &DetSensitivity{}
+	for _, rows := range perThread {
+		out.Rows = append(out.Rows, rows...)
 	}
 	return out, nil
 }

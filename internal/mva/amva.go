@@ -18,7 +18,11 @@ type AMVAOptions struct {
 	MaxIterations int
 	// Damping in [0,1) blends each new queue-length estimate with the
 	// previous one: n ← (1-d)·n_new + d·n_old. 0 (default) reproduces the
-	// plain Bard–Schweitzer iteration of the paper's Figure 3.
+	// plain Bard–Schweitzer iteration of the paper's Figure 3. Values
+	// outside [0,1) are rejected by ApproxMultiClass: d = 1 would freeze
+	// the iterate (the first iteration sees no change and "converges" to
+	// the uniform initial guess), and d > 1 or d < 0 extrapolates instead
+	// of damping.
 	Damping float64
 }
 
@@ -46,6 +50,9 @@ func (o AMVAOptions) withDefaults() AMVAOptions {
 func ApproxMultiClass(net *queueing.Network, opts AMVAOptions) (*Result, error) {
 	if err := net.Validate(); err != nil {
 		return nil, err
+	}
+	if d := opts.Damping; d < 0 || d >= 1 {
+		return nil, fmt.Errorf("mva: Damping must be in [0,1), got %g", d)
 	}
 	opts = opts.withDefaults()
 	nc := len(net.Classes)

@@ -260,6 +260,36 @@ func TestAMVADamping(t *testing.T) {
 	}
 }
 
+func TestAMVARejectsInvalidDamping(t *testing.T) {
+	// Regression: Damping >= 1 used to freeze the iterate — every blended
+	// update equalled the previous value, so maxDelta was 0 on iteration 1
+	// and the solver "converged" instantly, silently returning the uniform
+	// initial spread as the answer. Negative damping extrapolates instead
+	// of damping. Both are now rejected up front.
+	net := twoClassNet()
+	for _, d := range []float64{1, 1.5, -0.25} {
+		if _, err := ApproxMultiClass(net, AMVAOptions{Damping: d}); err == nil {
+			t.Errorf("Damping = %g accepted; want error", d)
+		}
+	}
+	// Near the upper boundary the damped fixed point still matches the
+	// undamped one — the invalid range starts exactly at 1.
+	plain, err := ApproxMultiClass(net, AMVAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := ApproxMultiClass(net, AMVAOptions{Damping: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range net.Classes {
+		if math.Abs(plain.Throughput[c]-heavy.Throughput[c]) > 1e-6 {
+			t.Errorf("class %d: Damping=0.95 fixed point %v differs from plain %v",
+				c, heavy.Throughput[c], plain.Throughput[c])
+		}
+	}
+}
+
 func TestAMVAIterationLimit(t *testing.T) {
 	net := twoClassNet()
 	if _, err := ApproxMultiClass(net, AMVAOptions{MaxIterations: 1}); err == nil {

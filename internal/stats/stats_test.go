@@ -180,6 +180,54 @@ func TestTimeWeightedEmpty(t *testing.T) {
 	}
 }
 
+func TestTimeWeightedResetBeforeSet(t *testing.T) {
+	// Reset before the signal ever starts only clears the (already empty)
+	// accumulators; the signal starts at the first Set, not at the Reset
+	// time.
+	var w TimeWeighted
+	w.Reset(100)
+	if got := w.MeanAt(200); got != 0 {
+		t.Errorf("reset-before-set average %v, want 0", got)
+	}
+	w.Set(200, 3)
+	if got := w.MeanAt(300); math.Abs(got-3) > 1e-12 {
+		t.Errorf("post-start average %v, want 3", got)
+	}
+}
+
+func TestTimeWeightedMeanBeforeSegmentStart(t *testing.T) {
+	// MeanAt with t at or before the open segment's start must not
+	// fabricate a negative duration — with nothing accumulated it is 0.
+	var w TimeWeighted
+	w.Set(50, 7)
+	if got := w.MeanAt(10); got != 0 {
+		t.Errorf("average before segment start %v, want 0", got)
+	}
+	if got := w.MeanAt(50); got != 0 {
+		t.Errorf("zero-length average %v, want 0", got)
+	}
+	// After a warm-up Reset moved the clock past t, the same guard holds.
+	w.Set(60, 7)
+	w.Reset(80)
+	if got := w.MeanAt(70); got != 0 {
+		t.Errorf("average before reset point %v, want 0", got)
+	}
+	// And the accumulator still works forward from the reset.
+	if got := w.MeanAt(90); math.Abs(got-7) > 1e-12 {
+		t.Errorf("post-reset average %v, want 7", got)
+	}
+}
+
+func TestTimeWeightedBackwardsClockIgnored(t *testing.T) {
+	var w TimeWeighted
+	w.Set(0, 2)
+	w.Set(10, 4) // area 20 over [0,10]
+	w.Set(5, 6)  // clock ran backwards: open segment dropped, restart at 5
+	if got := w.MeanAt(15); math.Abs(got-(20+60)/20.0) > 1e-12 {
+		t.Errorf("average with backwards clock %v, want 4", got)
+	}
+}
+
 func TestBatchMeans(t *testing.T) {
 	series := make([]float64, 1000)
 	rng := rand.New(rand.NewSource(4))
@@ -207,6 +255,34 @@ func TestBatchMeansErrors(t *testing.T) {
 	}
 	if _, err := NewBatchMeans([]float64{1}, 2); err == nil {
 		t.Error("want error for too few observations")
+	}
+}
+
+func TestBatchMeansShortSeries(t *testing.T) {
+	// With len(series) < 2*batches each batch degenerates to a single
+	// observation and the remainder is discarded — valid, but the half-CI
+	// then reflects raw observation noise, not batch-mean noise.
+	series := []float64{1, 2, 3, 4, 5, 6, 7} // 7 obs, 4 batches -> per = 1, 3 dropped
+	bm, err := NewBatchMeans(series, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm.PerBatch != 1 || bm.Batches != 4 {
+		t.Fatalf("per=%d batches=%d, want 1 and 4", bm.PerBatch, bm.Batches)
+	}
+	if math.Abs(bm.Mean-2.5) > 1e-12 { // mean of the first 4 observations
+		t.Errorf("mean %v, want 2.5", bm.Mean)
+	}
+	if bm.HalfCI <= 0 {
+		t.Errorf("half CI %v, want > 0", bm.HalfCI)
+	}
+	// Exactly at the boundary: 8 obs in 4 batches of 2, nothing dropped.
+	bm, err = NewBatchMeans([]float64{1, 2, 3, 4, 5, 6, 7, 8}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm.PerBatch != 2 || math.Abs(bm.Mean-4.5) > 1e-12 {
+		t.Errorf("per=%d mean=%v, want 2 and 4.5", bm.PerBatch, bm.Mean)
 	}
 }
 

@@ -58,6 +58,11 @@ func (s *Summary) Max() float64 { return s.max }
 
 // TimeWeighted accumulates a time-average of a piecewise-constant signal,
 // e.g. a queue length or a busy indicator.
+//
+// The accumulator expects a non-decreasing clock: segments whose timestamps
+// run backwards contribute nothing (they are dropped rather than producing
+// negative durations). Before the first Set the signal is undefined — Reset
+// is then a no-op on the (already empty) accumulators, and MeanAt returns 0.
 type TimeWeighted struct {
 	lastT    float64
 	lastV    float64
@@ -66,7 +71,9 @@ type TimeWeighted struct {
 	started  bool
 }
 
-// Set records that the signal takes value v from time t onward.
+// Set records that the signal takes value v from time t onward. A t at or
+// before the previous timestamp discards the open segment (no negative
+// duration is ever accumulated) and restarts the signal at t.
 func (w *TimeWeighted) Set(t, v float64) {
 	if w.started {
 		dt := t - w.lastT
@@ -79,7 +86,9 @@ func (w *TimeWeighted) Set(t, v float64) {
 }
 
 // Reset discards accumulated area but keeps the current value, so
-// measurement can start after a warm-up period.
+// measurement can start after a warm-up period. Called before any Set it
+// only clears the (already empty) accumulators; the signal stays unset
+// until the first Set.
 func (w *TimeWeighted) Reset(t float64) {
 	if w.started {
 		w.lastT = t
@@ -88,14 +97,17 @@ func (w *TimeWeighted) Reset(t float64) {
 }
 
 // MeanAt returns the time-average over the observed span, closing the last
-// segment at time t.
+// segment at time t. With nothing observed — no Set yet, a span of zero
+// length, or a closing time at or before the segment start (e.g. a clock
+// reset moved lastT past t) — it returns 0, never a negative-duration
+// artifact.
 func (w *TimeWeighted) MeanAt(t float64) float64 {
 	area, dur := w.area, w.duration
 	if w.started && t > w.lastT {
 		area += w.lastV * (t - w.lastT)
 		dur += t - w.lastT
 	}
-	if dur == 0 {
+	if dur <= 0 {
 		return 0
 	}
 	return area / dur

@@ -2,29 +2,181 @@
 // evaluate the analytical model (or a simulator) over grids of workload and
 // architecture parameters, and the points are independent, so they fan out
 // over a bounded worker pool.
+//
+// The runner is crash-safe and cancellable: a panicking point function is
+// recovered into a per-point error (it can never wedge or kill the sweep),
+// a context cancels scheduling promptly, and per-point failures are
+// aggregated with their input indices so a single bad point in a
+// multi-hundred-point campaign is locatable. Live progress is available
+// through Options.OnPoint and Options.Counters.
 package sweep
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
-// Map evaluates f over every input, in parallel, preserving order. workers
-// <= 0 selects GOMAXPROCS. The first error encountered (by input order) is
-// returned, with the partial results.
-func Map[In, Out any](inputs []In, workers int, f func(In) (Out, error)) ([]Out, error) {
+// Options configures a Run.
+type Options struct {
+	// Workers bounds the number of points evaluated concurrently. <= 0
+	// selects GOMAXPROCS; values above len(inputs) are clamped.
+	Workers int
+
+	// FailFast cancels the sweep as soon as any point fails: no further
+	// points are scheduled, in-flight points finish, and the returned error
+	// aggregates the failures observed before the drain completed. Without
+	// FailFast every point runs and all failures are collected.
+	FailFast bool
+
+	// OnPoint, when non-nil, is called after every finished point
+	// (successful or failed) with the number of finished points so far and
+	// the total. Calls are serialized, so the callback may update shared
+	// state (e.g. a progress line) without its own locking; it must not
+	// block and must not call back into the same sweep.
+	OnPoint func(done, total int)
+
+	// Counters, when non-nil, is updated atomically while the sweep runs,
+	// so a monitoring goroutine can read live completed/failed counts and
+	// cumulative point wall-clock without synchronizing with the sweep.
+	Counters *Counters
+}
+
+// Counters exposes live atomic progress metrics of a running sweep.
+type Counters struct {
+	// Completed counts points that returned without error.
+	Completed atomic.Int64
+	// Failed counts points that returned an error or panicked.
+	Failed atomic.Int64
+	// PointNanos accumulates per-point wall-clock time in nanoseconds
+	// (summed across workers, so it exceeds elapsed time when parallel).
+	PointNanos atomic.Int64
+}
+
+// Done returns the number of finished points (completed + failed).
+func (c *Counters) Done() int64 { return c.Completed.Load() + c.Failed.Load() }
+
+// MeanPointTime returns the mean wall-clock time per finished point.
+func (c *Counters) MeanPointTime() time.Duration {
+	done := c.Done()
+	if done == 0 {
+		return 0
+	}
+	return time.Duration(c.PointNanos.Load() / done)
+}
+
+// PointError records the failure of one sweep point: its input index, a
+// rendering of the input value, and the underlying error.
+type PointError struct {
+	Index int
+	Input string
+	Err   error
+}
+
+func (e *PointError) Error() string {
+	if e.Input != "" {
+		return fmt.Sprintf("sweep: input %d (%s): %v", e.Index, e.Input, e.Err)
+	}
+	return fmt.Sprintf("sweep: input %d: %v", e.Index, e.Err)
+}
+
+func (e *PointError) Unwrap() error { return e.Err }
+
+// PanicError wraps a panic recovered from a point function, with the stack
+// of the panicking worker.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v\n%s", e.Value, e.Stack)
+}
+
+// maxInputChars bounds the rendered input stored in a PointError so huge
+// inputs do not bloat error messages.
+const maxInputChars = 96
+
+func renderInput(v any) string {
+	s := fmt.Sprint(v)
+	if len(s) > maxInputChars {
+		s = s[:maxInputChars] + "..."
+	}
+	return s
+}
+
+// Run evaluates f over every input on a bounded worker pool, preserving
+// input order in the result slice.
+//
+// Failure semantics: a panic inside f is recovered into a *PanicError for
+// that point — it never crashes or deadlocks the sweep. Per-point failures
+// are wrapped in *PointError (carrying the input index) and aggregated with
+// errors.Join, so errors.Is/As reach every underlying error. The result
+// slice always has len(inputs) entries; entries for failed or unscheduled
+// points hold the zero value (partial results).
+//
+// Cancellation: when ctx is done, no further points are scheduled,
+// in-flight points finish, and the aggregate error additionally reports the
+// context error. With Options.FailFast the first failing point cancels
+// scheduling the same way (without reporting a context error).
+func Run[In, Out any](ctx context.Context, inputs []In, opts Options, f func(In) (Out, error)) ([]Out, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(inputs) {
 		workers = len(inputs)
 	}
-	out := make([]Out, len(inputs))
-	errs := make([]error, len(inputs))
+	total := len(inputs)
+	out := make([]Out, total)
+	errs := make([]error, total)
+
+	runCtx := ctx
+	var cancel context.CancelFunc
+	if opts.FailFast {
+		runCtx, cancel = context.WithCancel(ctx)
+		defer cancel()
+	}
+
+	var mu sync.Mutex // serializes finished-count updates and OnPoint calls
+	finished := 0
+	runPoint := func(i int) {
+		start := time.Now()
+		out[i], errs[i] = safeCall(f, inputs[i])
+		elapsed := time.Since(start)
+		if c := opts.Counters; c != nil {
+			if errs[i] != nil {
+				c.Failed.Add(1)
+			} else {
+				c.Completed.Add(1)
+			}
+			c.PointNanos.Add(int64(elapsed))
+		}
+		if errs[i] != nil && cancel != nil {
+			cancel()
+		}
+		mu.Lock()
+		finished++
+		if opts.OnPoint != nil {
+			opts.OnPoint(finished, total)
+		}
+		mu.Unlock()
+	}
+
 	if workers <= 1 {
-		for i, in := range inputs {
-			out[i], errs[i] = f(in)
+		for i := range inputs {
+			if runCtx.Err() != nil {
+				break
+			}
+			runPoint(i)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -34,27 +186,74 @@ func Map[In, Out any](inputs []In, workers int, f func(In) (Out, error)) ([]Out,
 			go func() {
 				defer wg.Done()
 				for i := range next {
-					out[i], errs[i] = f(inputs[i])
+					if runCtx.Err() != nil {
+						continue // drain promptly after cancellation
+					}
+					runPoint(i)
 				}
 			}()
 		}
+	producer:
 		for i := range inputs {
-			next <- i
+			select {
+			case next <- i:
+			case <-runCtx.Done():
+				break producer
+			}
 		}
 		close(next)
 		wg.Wait()
 	}
+
+	var all []error
 	for i, err := range errs {
 		if err != nil {
-			return out, fmt.Errorf("sweep: input %d: %w", i, err)
+			all = append(all, &PointError{Index: i, Input: renderInput(inputs[i]), Err: err})
 		}
+	}
+	// Report cancellation of the caller's context, not the internal
+	// fail-fast cancel.
+	if err := ctx.Err(); err != nil {
+		mu.Lock()
+		done := finished
+		mu.Unlock()
+		all = append(all, fmt.Errorf("sweep: canceled after %d of %d points: %w", done, total, err))
+	}
+	if len(all) > 0 {
+		return out, errors.Join(all...)
 	}
 	return out, nil
 }
 
+// safeCall invokes f and converts a panic into a *PanicError.
+func safeCall[In, Out any](f func(In) (Out, error), in In) (out Out, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return f(in)
+}
+
+// Map evaluates f over every input, in parallel, preserving order. workers
+// <= 0 selects GOMAXPROCS. It is Run with a background context and default
+// options: panics become per-point errors, every point runs, and all
+// failures are aggregated (errors.Is/As see each one).
+func Map[In, Out any](inputs []In, workers int, f func(In) (Out, error)) ([]Out, error) {
+	return Run(context.Background(), inputs, Options{Workers: workers}, f)
+}
+
 // Grid2D evaluates f over the cross product xs × ys in parallel and returns
-// z[yi][xi].
+// z[yi][xi]. It is Grid2DCtx with a background context and default options.
 func Grid2D[X, Y, Out any](xs []X, ys []Y, workers int, f func(X, Y) (Out, error)) ([][]Out, error) {
+	return Grid2DCtx(context.Background(), xs, ys, Options{Workers: workers}, f)
+}
+
+// Grid2DCtx evaluates f over the cross product xs × ys with the given
+// context and options and returns z[yi][xi]. A failing cell's error is
+// wrapped with its grid coordinates (xi, yi) and the x/y values, so a bad
+// point on a large surface is locatable.
+func Grid2DCtx[X, Y, Out any](ctx context.Context, xs []X, ys []Y, opts Options, f func(X, Y) (Out, error)) ([][]Out, error) {
 	type cell struct{ xi, yi int }
 	cells := make([]cell, 0, len(xs)*len(ys))
 	for yi := range ys {
@@ -62,8 +261,13 @@ func Grid2D[X, Y, Out any](xs []X, ys []Y, workers int, f func(X, Y) (Out, error
 			cells = append(cells, cell{xi, yi})
 		}
 	}
-	flat, err := Map(cells, workers, func(c cell) (Out, error) {
-		return f(xs[c.xi], ys[c.yi])
+	flat, err := Run(ctx, cells, opts, func(c cell) (Out, error) {
+		out, err := f(xs[c.xi], ys[c.yi])
+		if err != nil {
+			return out, fmt.Errorf("grid cell (xi=%d, yi=%d) (x=%v, y=%v): %w",
+				c.xi, c.yi, xs[c.xi], ys[c.yi], err)
+		}
+		return out, nil
 	})
 	z := make([][]Out, len(ys))
 	for yi := range ys {
