@@ -308,6 +308,22 @@ func BenchmarkSolveK10(b *testing.B) {
 	}
 }
 
+// BenchmarkSolveK10Workspace is BenchmarkSolveK10 with an explicit reused
+// workspace, the configuration sweep workers run in: steady state must be
+// allocation-free.
+func BenchmarkSolveK10Workspace(b *testing.B) {
+	cfg := mms.DefaultConfig()
+	cfg.K = 10
+	model, err := mms.Build(cfg)
+	benchErr(b, err)
+	ws := new(mms.Workspace)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := model.Solve(mms.SolveOptions{Workspace: ws})
+		benchErr(b, err)
+	}
+}
+
 func BenchmarkBuildModelK10(b *testing.B) {
 	cfg := mms.DefaultConfig()
 	cfg.K = 10

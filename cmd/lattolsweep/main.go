@@ -78,25 +78,32 @@ func main() {
 				done, total, counters.Failed.Load(), counters.MeanPointTime().Round(time.Microsecond))
 		}
 	}
-	rows, err := sweep.Run(ctx, values, opts, func(v float64) (row, error) {
-		cfg := base
-		if err := apply(&cfg, v); err != nil {
-			return row{}, err
-		}
-		met, err := mms.Solve(cfg)
-		if err != nil {
-			return row{}, err
-		}
-		netIdx, err := tolerance.NetworkIndex(cfg)
-		if err != nil {
-			return row{}, err
-		}
-		memIdx, err := tolerance.MemoryIndex(cfg)
-		if err != nil {
-			return row{}, err
-		}
-		return row{value: v, met: met, tolNet: netIdx.Tol, tolMem: memIdx.Tol}, nil
-	})
+	rows, err := sweep.RunWithWorker(ctx, values, opts,
+		func() *mms.Workspace { return new(mms.Workspace) },
+		func(ws *mms.Workspace, v float64) (row, error) {
+			cfg := base
+			if err := apply(&cfg, v); err != nil {
+				return row{}, err
+			}
+			solveOpts := mms.SolveOptions{Workspace: ws}
+			model, err := mms.Build(cfg)
+			if err != nil {
+				return row{}, err
+			}
+			met, err := model.Solve(solveOpts)
+			if err != nil {
+				return row{}, err
+			}
+			netIdx, err := tolerance.Compute(cfg, tolerance.Network, tolerance.ZeroRemote, solveOpts)
+			if err != nil {
+				return row{}, err
+			}
+			memIdx, err := tolerance.Compute(cfg, tolerance.Memory, tolerance.ZeroDelay, solveOpts)
+			if err != nil {
+				return row{}, err
+			}
+			return row{value: v, met: met, tolNet: netIdx.Tol, tolMem: memIdx.Tol}, nil
+		})
 	if !*quiet {
 		fmt.Fprintln(os.Stderr)
 	}

@@ -1,0 +1,52 @@
+package des
+
+import (
+	"testing"
+)
+
+// BenchmarkEngineSchedule measures the raw schedule+dispatch cycle: batches of
+// events pushed into a pre-sized calendar and drained with a no-op handler.
+// Steady state must be allocation-free.
+func BenchmarkEngineSchedule(b *testing.B) {
+	const batch = 1024
+	e := NewEngine(1)
+	e.Reserve(batch)
+	drop := func(_ *Engine, _ Event) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n += batch {
+		base := e.Now()
+		for i := 0; i < batch; i++ {
+			// 97 is coprime to the batch size, so insertion order is far from
+			// sorted and the heap does real sifting work.
+			e.ScheduleEvent(base+float64(i%97), drop, Event{})
+		}
+		if got := e.Run(base + 97); got != batch {
+			b.Fatalf("drained %d events, want %d", got, batch)
+		}
+	}
+}
+
+// BenchmarkEngineRun measures the steady-state event loop the simulators sit
+// on: a population of self-rescheduling handlers, exactly like stations
+// rescheduling service completions. Must report 0 allocs/op.
+func BenchmarkEngineRun(b *testing.B) {
+	const population = 256
+	e := NewEngine(1)
+	e.Reserve(population + 1)
+	var tick Handler
+	tick = func(e *Engine, ev Event) {
+		e.AfterEvent(0.1+e.Rand.Float64()*10, tick, ev)
+	}
+	for i := 0; i < population; i++ {
+		e.AfterEvent(e.Rand.Float64()*10, tick, Event{})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := 0
+	horizon := e.Now()
+	for done < b.N {
+		horizon += 1000
+		done += e.Run(horizon)
+	}
+}

@@ -1,22 +1,73 @@
 // Package des is a small discrete-event-simulation kernel: a simulation
-// clock, a binary-heap event calendar with deterministic FIFO tie-breaking,
-// and a single-server FCFS station primitive. The MMS simulators (direct and
-// Petri-net based) are built on it.
+// clock, a 4-ary min-heap event calendar with deterministic FIFO
+// tie-breaking, and a single-server FCFS station primitive. The MMS
+// simulators (direct and Petri-net based) are built on it.
+//
+// The calendar stores events by value (no per-event allocation) and
+// dispatches through a (handler, Event) pair instead of a closure, so the
+// steady-state simulation loop — ScheduleEvent, Run, handler, ScheduleEvent —
+// performs zero heap allocations once the calendar has grown to its working
+// size (pre-size it with Reserve). The closure-based Schedule/After entry
+// points remain for convenience; they cost nothing extra per event because a
+// func value is pointer-shaped and boxes into Event.Data without allocating
+// (the closure itself still allocates at its creation site if it captures).
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
 
+// Handler processes a dispatched event. Handlers are typically package-level
+// functions (or method expressions) that recover their receiver from
+// Event.Actor, so scheduling an event captures no closure.
+type Handler func(e *Engine, ev Event)
+
+// Event is the compact payload carried by a calendar entry: an actor (the
+// object the event concerns, e.g. a *Station), an opaque data word (e.g. the
+// job in service), and an auxiliary time. All fields are optional; unused
+// fields are zero. Actor and Data hold pointer-shaped values without
+// allocating.
+type Event struct {
+	Actor any
+	Data  any
+	// T is an auxiliary timestamp payload (e.g. a job's arrival time).
+	T float64
+}
+
 // Engine drives a simulation: schedule events, run until a horizon.
+//
+// The calendar is split into a heap of compact 24-byte keys (time, sequence,
+// slot index) and a parallel stable slot array holding the (handler, Event)
+// payloads, so sifting moves only keys — the payload is written once at
+// schedule time and read once at dispatch.
 type Engine struct {
-	now    float64
-	queue  eventHeap
-	seq    uint64
-	Rand   *rand.Rand
-	nextID int
+	now   float64
+	keys  []key     // 4-ary min-heap ordered by (at, seq)
+	slots []payload // stable payload storage, indexed by key.slot
+	free  []int32   // recycled slot indices
+	seq   uint64
+	// hole marks a deferred root removal: keys[0] has been dispatched but
+	// not yet removed, so the next push can fill it with a single sift-down
+	// instead of a remove-last-and-sift plus a sift-up. (at, seq) is a total
+	// order, so the pop sequence is independent of the heap's internal
+	// layout and the deferral cannot change event order.
+	hole bool
+	Rand *rand.Rand
+}
+
+// key is a heap entry: the event's time and FIFO tie-break sequence, plus
+// the index of its payload slot.
+type key struct {
+	at   float64
+	seq  uint64
+	slot int32
+}
+
+// payload is the dispatch half of a calendar entry.
+type payload struct {
+	h  Handler
+	ev Event
 }
 
 // NewEngine creates an engine with its own random stream.
@@ -27,15 +78,64 @@ func NewEngine(seed int64) *Engine {
 // Now returns the current simulation time.
 func (e *Engine) Now() float64 { return e.now }
 
-// Schedule runs fn at time `at` (>= Now). Events at equal times fire in
-// scheduling order. It panics on attempts to schedule in the past, which
-// always indicates a model bug.
-func (e *Engine) Schedule(at float64, fn func()) {
+// Reserve grows the calendar's backing arrays to hold at least n pending
+// events without reallocating. Simulators that know their concurrency bound
+// (e.g. total thread count plus in-flight services) call it once at setup so
+// the steady-state loop never grows the heap.
+func (e *Engine) Reserve(n int) {
+	if cap(e.keys) < n {
+		grown := make([]key, len(e.keys), n)
+		copy(grown, e.keys)
+		e.keys = grown
+	}
+	if cap(e.free) < n {
+		grown := make([]int32, len(e.free), n)
+		copy(grown, e.free)
+		e.free = grown
+	}
+	if cap(e.slots) < n {
+		grown := make([]payload, len(e.slots), n)
+		copy(grown, e.slots)
+		e.slots = grown
+	}
+}
+
+// ScheduleEvent dispatches h(e, ev) at time `at` (>= Now). Events at equal
+// times fire in scheduling order. It panics on attempts to schedule in the
+// past, which always indicates a model bug.
+func (e *Engine) ScheduleEvent(at float64, h Handler, ev Event) {
 	if at < e.now {
 		panic(fmt.Sprintf("des: scheduling at %v before now %v", at, e.now))
 	}
+	if h == nil {
+		panic("des: ScheduleEvent with nil handler")
+	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+	var slot int32
+	if k := len(e.free); k > 0 {
+		slot = e.free[k-1]
+		e.free = e.free[:k-1]
+	} else {
+		e.slots = append(e.slots, payload{})
+		slot = int32(len(e.slots) - 1)
+	}
+	e.slots[slot] = payload{h: h, ev: ev}
+	e.push(key{at: at, seq: e.seq, slot: slot})
+}
+
+// AfterEvent dispatches h(e, ev) after a delay from now.
+func (e *Engine) AfterEvent(delay float64, h Handler, ev Event) {
+	e.ScheduleEvent(e.now+delay, h, ev)
+}
+
+// runClosure is the dispatch shim behind the closure-based Schedule/After
+// convenience API.
+func runClosure(_ *Engine, ev Event) { ev.Data.(func())() }
+
+// Schedule runs fn at time `at` (>= Now). Events at equal times fire in
+// scheduling order.
+func (e *Engine) Schedule(at float64, fn func()) {
+	e.ScheduleEvent(at, runClosure, Event{Data: fn})
 }
 
 // After runs fn after a delay from now.
@@ -47,18 +147,20 @@ func (e *Engine) After(delay float64, fn func()) {
 // horizon; it returns the number of events processed. The clock is left at
 // the last processed event (or at horizon if the calendar drained early —
 // callers measuring time averages want a definite end time, so Run advances
-// the clock to horizon when it exhausts events before it).
+// the clock to horizon when it exhausts events before it). An event
+// scheduled exactly at the horizon fires.
 func (e *Engine) Run(horizon float64) int {
 	n := 0
-	for len(e.queue) > 0 {
-		ev := e.queue[0]
-		if ev.at > horizon {
+	for len(e.keys) > 0 {
+		if e.keys[0].at > horizon {
 			e.now = horizon
 			return n
 		}
-		heap.Pop(&e.queue)
-		e.now = ev.at
-		ev.fn()
+		h, ev := e.dispatchMin()
+		h(e, ev)
+		if e.hole {
+			e.fixHole()
+		}
 		n++
 	}
 	if e.now < horizon {
@@ -68,42 +170,124 @@ func (e *Engine) Run(horizon float64) int {
 }
 
 // Step processes exactly one event if any is pending and reports whether one
-// was processed.
+// was processed. Step takes no horizon: consistently with Run's
+// empty-calendar behavior being the only thing that stops it, Step fires the
+// next pending event unconditionally, even one past the horizon of an
+// earlier Run call, and advances the clock to the event's timestamp.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	if len(e.keys) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*event)
-	e.now = ev.at
-	ev.fn()
+	h, ev := e.dispatchMin()
+	h(e, ev)
+	if e.hole {
+		e.fixHole()
+	}
 	return true
 }
 
 // Pending returns the number of scheduled events.
-func (e *Engine) Pending() int { return len(e.queue) }
-
-type event struct {
-	at  float64
-	seq uint64
-	fn  func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (e *Engine) Pending() int {
+	n := len(e.keys)
+	if e.hole {
+		n--
 	}
-	return h[i].seq < h[j].seq
+	return n
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+
+// The calendar is a 4-ary min-heap ordered by (at, seq): children of node i
+// live at 4i+1..4i+4. A wider node fans the tree out to ~half the depth of a
+// binary heap, trading slightly more comparisons per level for fewer levels
+// and fewer cache misses — the classic d-ary layout for event calendars with
+// cheap comparisons. (at, seq) is a total order (seq is unique), so the pop
+// sequence is fully deterministic.
+
+func (a *key) less(b *key) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) push(k key) {
+	if e.hole {
+		// Fill the deferred root removal directly: the new key sinks from
+		// the root, replacing the dispatched entry in one sift instead of a
+		// remove-last-and-sift plus a sift-up.
+		e.hole = false
+		e.siftDown(k)
+		return
+	}
+	i := len(e.keys)
+	e.keys = append(e.keys, k)
+	for i > 0 {
+		p := (i - 1) / 4
+		if !k.less(&e.keys[p]) {
+			break
+		}
+		e.keys[i] = e.keys[p]
+		i = p
+	}
+	e.keys[i] = k
+}
+
+// dispatchMin advances the clock to the minimum calendar entry, recycles its
+// payload slot, marks the root as a pending hole (see Engine.hole) and
+// returns the handler and payload. The slot is not zeroed — the stale
+// (handler, Event) lingers until the slot is reused, which is fine because
+// events only reference long-lived simulation objects; skipping the clear
+// saves a pointer-bearing store (and its write barriers) per event.
+func (e *Engine) dispatchMin() (Handler, Event) {
+	min := e.keys[0]
+	p := e.slots[min.slot]
+	e.free = append(e.free, min.slot)
+	e.hole = true
+	e.now = min.at
+	return p.h, p.ev
+}
+
+// fixHole completes a deferred root removal that no push filled: the last
+// key replaces the dispatched root and sinks to its place.
+func (e *Engine) fixHole() {
+	e.hole = false
+	n := len(e.keys) - 1
+	last := e.keys[n]
+	e.keys = e.keys[:n]
+	if n > 0 {
+		e.siftDown(last)
+	}
+}
+
+// siftDown places `hole` (the former last element) starting from the root,
+// sliding smaller children up until the heap order holds. The current
+// minimum child's (at, seq) is kept in registers so the inner scan does one
+// indexed load per child instead of re-reading keys[min].
+func (e *Engine) siftDown(hole key) {
+	ks := e.keys
+	n := len(ks)
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		min := first
+		minAt, minSeq := ks[first].at, ks[first].seq
+		for j := first + 1; j < end; j++ {
+			at := ks[j].at
+			if at < minAt || (at == minAt && ks[j].seq < minSeq) {
+				min, minAt, minSeq = j, at, ks[j].seq
+			}
+		}
+		if minAt > hole.at || (minAt == hole.at && minSeq >= hole.seq) {
+			break
+		}
+		ks[i] = ks[min]
+		i = min
+	}
+	ks[i] = hole
 }

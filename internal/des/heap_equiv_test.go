@@ -1,0 +1,213 @@
+package des
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The tests in this file check the hand-rolled 4-ary calendar against the
+// straightforward container/heap implementation it replaced: under randomized
+// schedules full of ties, both must dispatch the exact same (time, FIFO)
+// sequence — the engine's determinism guarantee.
+
+type refEvent struct {
+	at  float64
+	seq uint64
+	id  int
+}
+
+type refCalendar []refEvent
+
+func (c refCalendar) Len() int { return len(c) }
+func (c refCalendar) Less(i, j int) bool {
+	if c[i].at != c[j].at {
+		return c[i].at < c[j].at
+	}
+	return c[i].seq < c[j].seq
+}
+func (c refCalendar) Swap(i, j int)      { c[i], c[j] = c[j], c[i] }
+func (c *refCalendar) Push(x any)        { *c = append(*c, x.(refEvent)) }
+func (c *refCalendar) Pop() any {
+	old := *c
+	n := len(old) - 1
+	ev := old[n]
+	*c = old[:n]
+	return ev
+}
+
+// refEngine is the oracle: a minimal event loop over container/heap with the
+// same (at, seq) order.
+type refEngine struct {
+	now float64
+	cal refCalendar
+	seq uint64
+}
+
+func (e *refEngine) schedule(at float64, id int) {
+	e.seq++
+	heap.Push(&e.cal, refEvent{at: at, seq: e.seq, id: id})
+}
+
+func (e *refEngine) step() (int, bool) {
+	if len(e.cal) == 0 {
+		return 0, false
+	}
+	ev := heap.Pop(&e.cal).(refEvent)
+	e.now = ev.at
+	return ev.id, true
+}
+
+// program is a pre-generated workload: when event id fires it schedules
+// len(children[id]) new events after the given delays (zero delays included,
+// so same-time FIFO ordering is exercised). Ids beyond the program are leaves.
+type program struct {
+	initial  []float64 // schedule times of the seed events (ids 0..len-1)
+	children [][]float64
+}
+
+func makeProgram(rng *rand.Rand, seeds, spawners int) program {
+	p := program{
+		initial:  make([]float64, seeds),
+		children: make([][]float64, spawners),
+	}
+	for i := range p.initial {
+		// Coarse grid => many exact ties.
+		p.initial[i] = float64(rng.Intn(10)) / 2
+	}
+	for i := range p.children {
+		kids := make([]float64, rng.Intn(3))
+		for k := range kids {
+			kids[k] = float64(rng.Intn(8)) / 2 // delay 0 included
+		}
+		p.children[i] = kids
+	}
+	return p
+}
+
+type firing struct {
+	id int
+	at float64
+}
+
+// runEngine replays the program on the production Engine. step=true drives it
+// one Step at a time, otherwise a single Run to exhaustion.
+func runEngine(p program, step bool) []firing {
+	e := NewEngine(0)
+	var log []firing
+	nextID := len(p.initial)
+	var fire Handler
+	fire = func(e *Engine, ev Event) {
+		id := int(ev.T)
+		log = append(log, firing{id: id, at: e.Now()})
+		if id < len(p.children) {
+			for _, d := range p.children[id] {
+				cid := nextID
+				nextID++
+				e.AfterEvent(d, fire, Event{T: float64(cid)})
+			}
+		}
+	}
+	for id, at := range p.initial {
+		e.ScheduleEvent(at, fire, Event{T: float64(id)})
+	}
+	if step {
+		for e.Step() {
+		}
+	} else {
+		e.Run(math.Inf(1))
+	}
+	if e.Pending() != 0 {
+		panic("pending events after drain")
+	}
+	return log
+}
+
+// runRef replays the program on the container/heap oracle.
+func runRef(p program) []firing {
+	e := &refEngine{}
+	var log []firing
+	nextID := len(p.initial)
+	for id, at := range p.initial {
+		e.schedule(at, id)
+	}
+	for {
+		id, ok := e.step()
+		if !ok {
+			break
+		}
+		log = append(log, firing{id: id, at: e.now})
+		if id < len(p.children) {
+			for _, d := range p.children[id] {
+				e.schedule(e.now+d, nextID)
+				nextID++
+			}
+		}
+	}
+	return log
+}
+
+func diffLogs(t *testing.T, want, got []firing, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: fired %d events, oracle fired %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: dispatch %d differs: engine fired id=%d at %v, oracle id=%d at %v",
+				label, i, got[i].id, got[i].at, want[i].id, want[i].at)
+		}
+	}
+}
+
+func TestCalendarMatchesContainerHeap(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := makeProgram(rng, 64, 1500)
+		want := runRef(p)
+		if len(want) < 64 {
+			t.Fatalf("seed %d: oracle fired only %d events", seed, len(want))
+		}
+		diffLogs(t, want, runEngine(p, false), "Run")
+		diffLogs(t, want, runEngine(p, true), "Step")
+	}
+}
+
+// TestCalendarInterleavedHorizons drives the engine through many short Run
+// horizons with fresh events injected between them — mixing external
+// schedules (which can land in a freshly vacated root hole) with horizon
+// stops — and checks the total dispatch order and Pending() against the
+// oracle fed the identical injection schedule.
+func TestCalendarInterleavedHorizons(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	e := NewEngine(0)
+	ref := &refEngine{}
+	var gotLog, wantLog []firing
+	var fire Handler = func(e *Engine, ev Event) {
+		gotLog = append(gotLog, firing{id: int(ev.T), at: e.Now()})
+	}
+	id := 0
+	for round := 0; round < 40; round++ {
+		horizon := float64(round+1) * 3
+		n := rng.Intn(6)
+		for k := 0; k < n; k++ {
+			at := e.Now() + float64(rng.Intn(20))/2
+			e.ScheduleEvent(at, fire, Event{T: float64(id)})
+			ref.schedule(at, id)
+			id++
+		}
+		e.Run(horizon)
+		for len(ref.cal) > 0 && ref.cal[0].at <= horizon {
+			rid, _ := ref.step()
+			wantLog = append(wantLog, firing{id: rid, at: ref.now})
+		}
+		if ref.now < horizon {
+			ref.now = horizon
+		}
+		if got, want := e.Pending(), len(ref.cal); got != want {
+			t.Fatalf("round %d: Pending() = %d, oracle has %d", round, got, want)
+		}
+	}
+	diffLogs(t, wantLog, gotLog, "interleaved")
+}

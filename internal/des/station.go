@@ -27,8 +27,10 @@ type Station struct {
 	Done func(job Job, arrived, now float64)
 
 	engine *Engine
-	queue  []queuedJob
+	queue  jobRing
 	inUse  int
+	// nsrv caches servers() (set by Attach) so the hot path skips the branch.
+	nsrv int
 
 	// Busy tracks the fraction of servers in use; QueueLen tracks the
 	// time-average number in system (queue + service).
@@ -36,7 +38,7 @@ type Station struct {
 	QueueLen stats.TimeWeighted
 	inSystem int
 	// Residence accumulates per-job residence times (queueing + service).
-	Residence stats.Summary
+	Residence stats.Mean
 	// Served counts completed services since the last ResetStats.
 	Served int64
 }
@@ -44,6 +46,55 @@ type Station struct {
 type queuedJob struct {
 	job     Job
 	arrived float64
+}
+
+// jobRing is a FIFO of queued jobs backed by a circular buffer: the
+// steady-state arrive/serve cycle neither allocates nor memmoves the
+// remaining queue, unlike a slice whose head is repeatedly cut off.
+type jobRing struct {
+	buf  []queuedJob
+	head int
+	n    int
+}
+
+func (r *jobRing) idx(i int) int {
+	j := r.head + i
+	if j >= len(r.buf) {
+		j -= len(r.buf)
+	}
+	return j
+}
+
+func (r *jobRing) at(i int) *queuedJob { return &r.buf[r.idx(i)] }
+
+func (r *jobRing) push(j queuedJob) {
+	if r.n == len(r.buf) {
+		nb := make([]queuedJob, 2*len(r.buf)+4)
+		for i := 0; i < r.n; i++ {
+			nb[i] = r.buf[r.idx(i)]
+		}
+		r.buf = nb
+		r.head = 0
+	}
+	r.buf[r.idx(r.n)] = j
+	r.n++
+}
+
+// removeAt removes and returns the i-th queued job (0 = head), preserving
+// the FIFO order of the rest. Removing the head is O(1); interior removals
+// (priority selection) shift the elements before i back by one.
+func (r *jobRing) removeAt(i int) queuedJob {
+	out := r.buf[r.idx(i)]
+	for k := i; k > 0; k-- {
+		r.buf[r.idx(k)] = r.buf[r.idx(k-1)]
+	}
+	r.buf[r.head] = queuedJob{}
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.n--
+	return out
 }
 
 func (s *Station) servers() int {
@@ -56,62 +107,80 @@ func (s *Station) servers() int {
 // Attach binds the station to an engine. It must be called before Arrive.
 func (s *Station) Attach(e *Engine) {
 	s.engine = e
+	s.nsrv = s.servers()
 	s.Busy.Set(e.Now(), 0)
 	s.QueueLen.Set(e.Now(), 0)
 }
 
-// Arrive enqueues a job at the current simulation time.
+// Arrive enqueues a job at the current simulation time. When a server is
+// free and nothing is waiting, the job starts service immediately without a
+// round-trip through the queue buffer.
 func (s *Station) Arrive(job Job) {
 	now := s.engine.Now()
 	s.inSystem++
 	s.QueueLen.Set(now, float64(s.inSystem))
-	s.queue = append(s.queue, queuedJob{job: job, arrived: now})
-	if s.inUse < s.servers() {
-		s.startNext()
+	if s.inUse < s.nsrv && s.queue.n == 0 {
+		s.startJob(job, now, now)
+		return
+	}
+	s.queue.push(queuedJob{job: job, arrived: now})
+	if s.inUse < s.nsrv {
+		s.startNext(now)
 	}
 }
 
 // pickNext removes and returns the next job to serve: the head of the queue,
 // or the highest-priority job when a Priority function is set.
 func (s *Station) pickNext() queuedJob {
+	if s.Priority == nil {
+		return s.queue.removeAt(0)
+	}
 	best := 0
-	if s.Priority != nil {
-		bestPrio := s.Priority(s.queue[0].job)
-		for i := 1; i < len(s.queue); i++ {
-			if p := s.Priority(s.queue[i].job); p > bestPrio {
-				best, bestPrio = i, p
-			}
+	bestPrio := s.Priority(s.queue.at(0).job)
+	for i := 1; i < s.queue.n; i++ {
+		if p := s.Priority(s.queue.at(i).job); p > bestPrio {
+			best, bestPrio = i, p
 		}
 	}
-	head := s.queue[best]
-	s.queue = append(s.queue[:best], s.queue[best+1:]...)
-	return head
+	return s.queue.removeAt(best)
 }
 
-func (s *Station) startNext() {
-	if len(s.queue) == 0 || s.inUse >= s.servers() {
-		s.Busy.Set(s.engine.Now(), float64(s.inUse)/float64(s.servers()))
+func (s *Station) startNext(now float64) {
+	if s.queue.n == 0 || s.inUse >= s.nsrv {
+		s.Busy.Set(now, float64(s.inUse)/float64(s.nsrv))
 		return
 	}
 	head := s.pickNext()
+	s.startJob(head.job, head.arrived, now)
+}
+
+// startJob seizes a server for job (which arrived at `arrived`) and schedules
+// its completion.
+func (s *Station) startJob(job Job, arrived, now float64) {
 	s.inUse++
-	s.Busy.Set(s.engine.Now(), float64(s.inUse)/float64(s.servers()))
+	s.Busy.Set(now, float64(s.inUse)/float64(s.nsrv))
 	delay := s.Service.Sample(s.engine.Rand)
-	s.engine.After(delay, func() {
-		now := s.engine.Now()
-		s.inUse--
-		s.inSystem--
-		s.QueueLen.Set(now, float64(s.inSystem))
-		s.Residence.Add(now - head.arrived)
-		s.Served++
-		// Hand the job off before starting the next service so downstream
-		// arrivals at this instant queue behind the new service start in a
-		// deterministic order.
-		if s.Done != nil {
-			s.Done(head.job, head.arrived, now)
-		}
-		s.startNext()
-	})
+	s.engine.AfterEvent(delay, serviceDone, Event{Actor: s, Data: job, T: arrived})
+}
+
+// serviceDone is the dispatch target for service completions: Actor is the
+// station, Data the job, T its arrival time. A package-level handler keeps
+// the per-service schedule allocation-free.
+func serviceDone(e *Engine, ev Event) {
+	s := ev.Actor.(*Station)
+	now := e.Now()
+	s.inUse--
+	s.inSystem--
+	s.QueueLen.Set(now, float64(s.inSystem))
+	s.Residence.Add(now - ev.T)
+	s.Served++
+	// Hand the job off before starting the next service so downstream
+	// arrivals at this instant queue behind the new service start in a
+	// deterministic order.
+	if s.Done != nil {
+		s.Done(ev.Data, ev.T, now)
+	}
+	s.startNext(now)
 }
 
 // ResetStats discards accumulated statistics (for warm-up) without touching
@@ -120,7 +189,7 @@ func (s *Station) ResetStats() {
 	now := s.engine.Now()
 	s.Busy.Reset(now)
 	s.QueueLen.Reset(now)
-	s.Residence = stats.Summary{}
+	s.Residence = stats.Mean{}
 	s.Served = 0
 }
 
@@ -136,4 +205,4 @@ func (s *Station) MeanQueueLen() float64 {
 }
 
 // Waiting returns the number of jobs queued (not in service) right now.
-func (s *Station) Waiting() int { return len(s.queue) }
+func (s *Station) Waiting() int { return s.queue.n }

@@ -46,21 +46,30 @@ func workloadSurfaces(r float64) (*WorkloadSurfaces, error) {
 	threads, ps := workloadGrid()
 	w := &WorkloadSurfaces{Runlength: r, Threads: threads, PRemote: ps}
 	type cell struct{ up, sobs, lnet, tol float64 }
-	z, err := sweep.Grid2DCtx(context.Background(), ps, threads, sweepOptions(), func(p float64, nt int) (cell, error) {
-		cfg := mms.DefaultConfig()
-		cfg.Runlength = r
-		cfg.Threads = nt
-		cfg.PRemote = p
-		met, err := mms.Solve(cfg)
-		if err != nil {
-			return cell{}, err
-		}
-		idx, err := tolerance.NetworkIndex(cfg)
-		if err != nil {
-			return cell{}, err
-		}
-		return cell{up: met.Up, sobs: met.SObs, lnet: met.LambdaNet, tol: idx.Tol}, nil
-	})
+	// Each sweep worker owns one solver workspace, reused across all its
+	// grid cells (and inside tolerance.Compute's real + ideal solves).
+	z, err := sweep.Grid2DCtxWithWorker(context.Background(), ps, threads, sweepOptions(),
+		func() *mms.Workspace { return new(mms.Workspace) },
+		func(ws *mms.Workspace, p float64, nt int) (cell, error) {
+			cfg := mms.DefaultConfig()
+			cfg.Runlength = r
+			cfg.Threads = nt
+			cfg.PRemote = p
+			solveOpts := mms.SolveOptions{Workspace: ws}
+			model, err := mms.Build(cfg)
+			if err != nil {
+				return cell{}, err
+			}
+			met, err := model.Solve(solveOpts)
+			if err != nil {
+				return cell{}, err
+			}
+			idx, err := tolerance.Compute(cfg, tolerance.Network, tolerance.ZeroRemote, solveOpts)
+			if err != nil {
+				return cell{}, err
+			}
+			return cell{up: met.Up, sobs: met.SObs, lnet: met.LambdaNet, tol: idx.Tol}, nil
+		})
 	if err != nil {
 		return nil, err
 	}

@@ -118,14 +118,16 @@ func Figure7() (*PartitionCurves, error) {
 		var curves []report.Series
 		for _, work := range out.Works {
 			splits := workSplits(work)
-			tols, err := sweep.Run(context.Background(), splits, sweepOptions(), func(s [2]int) (float64, error) {
-				cfg := mms.DefaultConfig()
-				cfg.Threads = s[0]
-				cfg.Runlength = float64(s[1])
-				cfg.PRemote = p
-				idx, err := tolerance.NetworkIndex(cfg)
-				return idx.Tol, err
-			})
+			tols, err := sweep.RunWithWorker(context.Background(), splits, sweepOptions(),
+				func() *mms.Workspace { return new(mms.Workspace) },
+				func(ws *mms.Workspace, s [2]int) (float64, error) {
+					cfg := mms.DefaultConfig()
+					cfg.Threads = s[0]
+					cfg.Runlength = float64(s[1])
+					cfg.PRemote = p
+					idx, err := tolerance.Compute(cfg, tolerance.Network, tolerance.ZeroRemote, mms.SolveOptions{Workspace: ws})
+					return idx.Tol, err
+				})
 			if err != nil {
 				return nil, err
 			}

@@ -81,7 +81,14 @@ func (h *HeteroModel) Solve(opts SolveOptions) (HeteroMetrics, error) {
 		out.MinUp, out.MaxUp = 0, 0
 		return out, nil
 	}
-	res, err := mva.ApproxMultiClass(net, mva.AMVAOptions{
+	ws := opts.Workspace
+	if ws == nil {
+		ws = getWorkspace()
+		defer putWorkspace(ws)
+	}
+	// res aliases the workspace; it is consumed before the workspace is
+	// released.
+	res, err := ws.mvaWS.ApproxMultiClass(net, mva.AMVAOptions{
 		Tolerance:     opts.Tolerance,
 		MaxIterations: opts.MaxIterations,
 	})

@@ -134,7 +134,14 @@ func (h *HotSpotModel) Solve(opts SolveOptions) (HotSpotMetrics, error) {
 		return HotSpotMetrics{}, nil
 	}
 	net := h.Network()
-	res, err := mva.ApproxMultiClass(net, mva.AMVAOptions{
+	ws := opts.Workspace
+	if ws == nil {
+		ws = getWorkspace()
+		defer putWorkspace(ws)
+	}
+	// res aliases the workspace; it is consumed before the workspace is
+	// released.
+	res, err := ws.mvaWS.ApproxMultiClass(net, mva.AMVAOptions{
 		Tolerance:     opts.Tolerance,
 		MaxIterations: opts.MaxIterations,
 	})

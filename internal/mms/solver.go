@@ -46,6 +46,11 @@ type SolveOptions struct {
 	Solver        Solver
 	Tolerance     float64 // convergence threshold on queue lengths (default 1e-10)
 	MaxIterations int     // default 200000
+	// Workspace, when non-nil, supplies reusable solver scratch buffers;
+	// sweeps hand each worker its own so repeated solves allocate nothing.
+	// When nil, a workspace is borrowed from a process-wide pool for the
+	// duration of the call. See the Workspace reuse contract.
+	Workspace *Workspace
 }
 
 func (o SolveOptions) withDefaults() SolveOptions {
@@ -106,11 +111,16 @@ func (m *Model) Solve(opts SolveOptions) (Metrics, error) {
 	if m.cfg.Threads == 0 {
 		return Metrics{}, nil
 	}
+	ws := opts.Workspace
+	if ws == nil {
+		ws = getWorkspace()
+		defer putWorkspace(ws)
+	}
 	switch opts.Solver {
 	case SymmetricAMVA:
-		return m.solveSymmetric(opts)
+		return m.solveSymmetric(opts, ws)
 	case FullAMVA, ExactMVA:
-		return m.solveFull(opts)
+		return m.solveFull(opts, ws)
 	default:
 		return Metrics{}, fmt.Errorf("mms: unknown solver %d", int(opts.Solver))
 	}
@@ -125,17 +135,15 @@ func (m *Model) Solve(opts SolveOptions) (Metrics, error) {
 //	Σ_i n_i[mem_j]  = Σ_d n_0[mem_d]       (independent of j)
 //
 // and likewise for switches.
-func (m *Model) solveSymmetric(opts SolveOptions) (Metrics, error) {
+func (m *Model) solveSymmetric(opts SolveOptions, ws *Workspace) (Metrics, error) {
 	nNodes := m.torus.Nodes()
 	nt := float64(m.cfg.Threads)
 
 	// Flatten class-0 stations: 0 = processor, then [1, 1+n) memories,
 	// [1+n, 1+2n) outbound, [1+2n, 1+3n) inbound.
 	nStations := 1 + 3*nNodes
-	e := make([]float64, nStations)
-	s := make([]float64, nStations)
-	role := make([]StationRole, nStations)
-	srv := make([]float64, nStations)
+	ws.ensureSym(nStations)
+	e, s, role, srv := ws.e, ws.s, ws.role, ws.srv
 	e[0], s[0], role[0] = 1, m.cfg.processorService(), Processor
 	for j := 0; j < nNodes; j++ {
 		e[1+j], s[1+j], role[1+j] = m.visitMem[j], m.cfg.MemoryTime, Memory
@@ -147,7 +155,7 @@ func (m *Model) solveSymmetric(opts SolveOptions) (Metrics, error) {
 	}
 
 	// Initialize: spread the class population over visited stations.
-	q := make([]float64, nStations)
+	q := ws.q
 	visited := 0
 	for _, ev := range e {
 		if ev > 0 {
@@ -157,10 +165,12 @@ func (m *Model) solveSymmetric(opts SolveOptions) (Metrics, error) {
 	for i, ev := range e {
 		if ev > 0 {
 			q[i] = nt / float64(visited)
+		} else {
+			q[i] = 0
 		}
 	}
 
-	w := make([]float64, nStations)
+	w := ws.w
 	var lambda float64
 	var iterations int
 	for iter := 1; iter <= opts.MaxIterations; iter++ {
@@ -202,32 +212,28 @@ func (m *Model) solveSymmetric(opts SolveOptions) (Metrics, error) {
 		}
 	}
 
-	met := m.metricsFromClass0(lambda, func(role StationRole, node topology.Node) float64 {
-		switch role {
-		case Processor:
-			return w[0]
-		case Memory:
-			return w[1+int(node)]
-		case Outbound:
-			return w[1+nNodes+int(node)]
-		default:
-			return w[1+2*nNodes+int(node)]
-		}
-	})
+	// Class-0 latency sums, read directly off the flat residence vector —
+	// no per-solve closure.
+	var lObs, sObsSum float64
+	for j := 0; j < nNodes; j++ {
+		lObs += m.visitMem[j] * w[1+j]
+		sObsSum += m.visitOut[j]*w[1+nNodes+j] + m.visitIn[j]*w[1+2*nNodes+j]
+	}
+	met := m.assembleMetrics(lambda, lObs, sObsSum)
 	met.Iterations = iterations
 	return met, nil
 }
 
 // solveFull solves the complete multiclass network and reads class 0's
 // measures off the result.
-func (m *Model) solveFull(opts SolveOptions) (Metrics, error) {
+func (m *Model) solveFull(opts SolveOptions, ws *Workspace) (Metrics, error) {
 	net := m.Network()
 	var res *mva.Result
 	var err error
 	if opts.Solver == ExactMVA {
 		res, err = mva.ExactMultiClass(net, 0)
 	} else {
-		res, err = mva.ApproxMultiClass(net, mva.AMVAOptions{
+		res, err = ws.mvaWS.ApproxMultiClass(net, mva.AMVAOptions{
 			Tolerance:     opts.Tolerance,
 			MaxIterations: opts.MaxIterations,
 		})
@@ -235,28 +241,27 @@ func (m *Model) solveFull(opts SolveOptions) (Metrics, error) {
 	if err != nil {
 		return Metrics{}, err
 	}
-	met := m.metricsFromClass0(res.Throughput[0], func(role StationRole, node topology.Node) float64 {
-		return res.Wait[0][m.stationIndex(role, node)]
-	})
+	nNodes := m.torus.Nodes()
+	var lObs, sObsSum float64
+	for j := 0; j < nNodes; j++ {
+		node := topology.Node(j)
+		lObs += m.visitMem[j] * res.Wait[0][m.stationIndex(Memory, node)]
+		sObsSum += m.visitOut[j]*res.Wait[0][m.stationIndex(Outbound, node)] +
+			m.visitIn[j]*res.Wait[0][m.stationIndex(Inbound, node)]
+	}
+	met := m.assembleMetrics(res.Throughput[0], lObs, sObsSum)
 	met.Iterations = res.Iterations
 	return met, nil
 }
 
-// metricsFromClass0 assembles the paper's measures from class-0 throughput λ
-// and per-station residence times.
-func (m *Model) metricsFromClass0(lambda float64, wait func(StationRole, topology.Node) float64) Metrics {
+// assembleMetrics builds the paper's measures from class-0 throughput λ and
+// the visit-weighted latency sums Σ e_m·w_m (memory) and Σ e·w (switches).
+func (m *Model) assembleMetrics(lambda, lObs, sObsSum float64) Metrics {
 	cfg := m.cfg
-	nNodes := m.torus.Nodes()
 	met := Metrics{
 		LambdaProc: lambda,
 		LambdaNet:  lambda * cfg.PRemote,
 		Up:         lambda * cfg.processorService(),
-	}
-	var lObs, sObsSum float64
-	for j := 0; j < nNodes; j++ {
-		node := topology.Node(j)
-		lObs += m.visitMem[j] * wait(Memory, node)
-		sObsSum += m.visitOut[j]*wait(Outbound, node) + m.visitIn[j]*wait(Inbound, node)
 	}
 	met.LObs = lObs
 	if cfg.PRemote > 0 {

@@ -140,7 +140,14 @@ func (m *TopoModel) Solve(opts SolveOptions) (TopoMetrics, error) {
 		return out, nil
 	}
 	net := m.Network()
-	res, err := mva.ApproxMultiClass(net, mva.AMVAOptions{
+	ws := opts.Workspace
+	if ws == nil {
+		ws = getWorkspace()
+		defer putWorkspace(ws)
+	}
+	// res aliases the workspace; it is consumed before the workspace is
+	// released.
+	res, err := ws.mvaWS.ApproxMultiClass(net, mva.AMVAOptions{
 		Tolerance:     opts.Tolerance,
 		MaxIterations: opts.MaxIterations,
 	})

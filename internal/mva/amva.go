@@ -36,6 +36,25 @@ func (o AMVAOptions) withDefaults() AMVAOptions {
 	return o
 }
 
+// NonConvergenceError reports that the Bard–Schweitzer fixed point did not
+// stabilize within the iteration budget, with the diagnostics of the last
+// iteration: how many iterations ran and how far from the tolerance the
+// iterate still was.
+type NonConvergenceError struct {
+	// Iterations is the number of fixed-point iterations performed.
+	Iterations int
+	// MaxDelta is the largest absolute queue-length change observed in the
+	// final iteration (the quantity compared against Tolerance).
+	MaxDelta float64
+	// Tolerance is the convergence threshold that was not reached.
+	Tolerance float64
+}
+
+func (e *NonConvergenceError) Error() string {
+	return fmt.Sprintf("mva: Bard–Schweitzer did not converge within %d iterations (tol %g, last max delta %g)",
+		e.Iterations, e.Tolerance, e.MaxDelta)
+}
+
 // ApproxMultiClass solves a closed multiclass network with the
 // Bard–Schweitzer approximate MVA — the algorithm of the paper's Figure 3.
 //
@@ -46,8 +65,20 @@ func (o AMVAOptions) withDefaults() AMVAOptions {
 //	λ_i        = N_i / Σ_m e_{i,m}·w_{i,m}                        (step 3)
 //	n_{i,m}    = λ_i·e_{i,m}·w_{i,m}                              (step 4)
 //
-// until queue lengths stabilize (step 5).
+// until queue lengths stabilize (step 5). On non-convergence the returned
+// error is a *NonConvergenceError carrying the last iteration's diagnostics.
+//
+// The returned Result is freshly allocated and owned by the caller. For
+// repeated solves that should reuse buffers, use (*Workspace).ApproxMultiClass.
 func ApproxMultiClass(net *queueing.Network, opts AMVAOptions) (*Result, error) {
+	var ws Workspace
+	return ws.ApproxMultiClass(net, opts)
+}
+
+// ApproxMultiClass runs the Bard–Schweitzer solver using the workspace's
+// buffers. The returned Result aliases the workspace and is valid until the
+// next solve on it; see the Workspace reuse contract.
+func (ws *Workspace) ApproxMultiClass(net *queueing.Network, opts AMVAOptions) (*Result, error) {
 	if err := net.Validate(); err != nil {
 		return nil, err
 	}
@@ -57,12 +88,13 @@ func ApproxMultiClass(net *queueing.Network, opts AMVAOptions) (*Result, error) 
 	opts = opts.withDefaults()
 	nc := len(net.Classes)
 	nm := len(net.Stations)
+	r := ws.ensure(nc, nm)
+	q := ws.q
+	colSum := ws.colSum
 
 	// Step 1: spread each class's population evenly over the stations it
 	// visits.
-	q := make([][]float64, nc)
 	for c, cl := range net.Classes {
-		q[c] = make([]float64, nm)
 		if cl.Population == 0 {
 			continue
 		}
@@ -74,31 +106,31 @@ func ApproxMultiClass(net *queueing.Network, opts AMVAOptions) (*Result, error) 
 		}
 		for m := range net.Stations {
 			if cl.Visits[m] > 0 {
-				q[c][m] = float64(cl.Population) / float64(visited)
+				q[c*nm+m] = float64(cl.Population) / float64(visited)
 			}
 		}
 	}
 
-	r := newResult(nc, nm)
-	colSum := make([]float64, nm) // Σ_j n_{j,m}, refreshed each iteration
+	maxDelta := 0.0
 	for iter := 1; iter <= opts.MaxIterations; iter++ {
 		for m := 0; m < nm; m++ {
 			colSum[m] = 0
 			for c := 0; c < nc; c++ {
-				colSum[m] += q[c][m]
+				colSum[m] += q[c*nm+m]
 			}
 		}
-		maxDelta := 0.0
+		maxDelta = 0
 		for c, cl := range net.Classes {
 			if cl.Population == 0 {
 				continue
 			}
+			row := q[c*nm : (c+1)*nm]
 			ni := float64(cl.Population)
 			var cycle float64
 			for m := 0; m < nm; m++ {
 				// Queue seen by an arriving class-c customer (arrival
 				// theorem approximation).
-				seen := colSum[m] - q[c][m]/ni
+				seen := colSum[m] - row[m]/ni
 				r.Wait[c][m] = residence(net.Stations[m], seen)
 				cycle += cl.Visits[m] * r.Wait[c][m]
 			}
@@ -110,28 +142,33 @@ func ApproxMultiClass(net *queueing.Network, opts AMVAOptions) (*Result, error) 
 			for m := 0; m < nm; m++ {
 				nNew := r.Throughput[c] * cl.Visits[m] * r.Wait[c][m]
 				if opts.Damping > 0 {
-					nNew = (1-opts.Damping)*nNew + opts.Damping*q[c][m]
+					nNew = (1-opts.Damping)*nNew + opts.Damping*row[m]
 				}
-				if d := math.Abs(nNew - q[c][m]); d > maxDelta {
+				if d := math.Abs(nNew - row[m]); d > maxDelta {
 					maxDelta = d
 				}
-				q[c][m] = nNew
+				row[m] = nNew
 			}
 		}
 		if maxDelta < opts.Tolerance {
 			r.Iterations = iter
-			for c := range q {
-				copy(r.QueueLen[c], q[c])
+			r.Method = MethodApprox
+			for c := 0; c < nc; c++ {
+				copy(r.QueueLen[c], q[c*nm:(c+1)*nm])
 			}
 			return r, nil
 		}
 	}
-	return nil, fmt.Errorf("mva: Bard–Schweitzer did not converge within %d iterations (tol %g)",
-		opts.MaxIterations, opts.Tolerance)
+	return nil, &NonConvergenceError{
+		Iterations: opts.MaxIterations,
+		MaxDelta:   maxDelta,
+		Tolerance:  opts.Tolerance,
+	}
 }
 
 // Solve picks a solver automatically: exact MVA when the population lattice
 // is small (≤ exactLimit states, default 1<<16), approximate MVA otherwise.
+// The chosen solver is reported in Result.Method.
 func Solve(net *queueing.Network, exactLimit int) (*Result, error) {
 	if exactLimit <= 0 {
 		exactLimit = 1 << 16

@@ -35,6 +35,7 @@ func ExactSingleClass(net *queueing.Network) (*Result, error) {
 		}
 	}
 	r := newResult(1, m)
+	r.Method = MethodExact
 	if n == 0 {
 		return r, nil
 	}
@@ -128,6 +129,7 @@ func ExactMultiClass(net *queueing.Network, maxStates int) (*Result, error) {
 	// the logic obvious and correct for zero-population classes.
 	full := states - 1
 	r := newResult(nc, nm)
+	r.Method = MethodExact
 	for c := 0; c < nc; c++ {
 		if net.Classes[c].Population == 0 {
 			continue

@@ -11,6 +11,16 @@ import (
 	"lattol/internal/queueing"
 )
 
+// Method identifies which solver produced a Result.
+type Method string
+
+const (
+	// MethodExact marks results of the exact MVA recursion.
+	MethodExact Method = "exact-mva"
+	// MethodApprox marks results of the Bard–Schweitzer approximate MVA.
+	MethodApprox Method = "bard-schweitzer"
+)
+
 // Result holds the steady-state solution of a closed network.
 type Result struct {
 	// Throughput[c] is the class-c throughput λ_c measured at the class's
@@ -27,6 +37,10 @@ type Result struct {
 	// Iterations is the number of fixed-point iterations used (0 for exact
 	// solvers).
 	Iterations int
+	// Method reports which solver produced this result — set by
+	// ExactSingleClass, ExactMultiClass and ApproxMultiClass, so callers of
+	// the automatic Solve can tell which algorithm it chose.
+	Method Method
 }
 
 // Utilization returns the utilization of station m by class c:

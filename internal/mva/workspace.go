@@ -1,0 +1,68 @@
+package mva
+
+// Workspace holds the scratch buffers and result storage of the approximate
+// solver, so repeated solves (parameter sweeps, fixed-point refinements)
+// reuse one allocation set instead of re-allocating per call.
+//
+// Reuse contract:
+//
+//   - A Workspace may be used by one goroutine at a time. For concurrent
+//     sweeps give each worker its own Workspace (see sweep.RunWithWorker).
+//   - The *Result returned by (*Workspace).ApproxMultiClass aliases the
+//     workspace's storage: it is valid until the next solve on the same
+//     workspace, which overwrites it in place. Callers that retain results
+//     across solves must copy what they need first.
+//   - ensure zeroes every buffer it hands out, so a reused workspace
+//     computes bit-identical results to a fresh one: classes the solver
+//     skips (zero population) read as zero exactly as in a newly allocated
+//     Result.
+//
+// The zero value is ready to use; buffers grow on first solve and are
+// reused (or regrown) on subsequent solves.
+type Workspace struct {
+	// q is the fixed-point iterate n_{c,m}, flattened row-major: q[c*nm+m].
+	q []float64
+	// colSum is Σ_c q[c][m], refreshed each iteration.
+	colSum []float64
+	// res is the reusable result returned to the caller. Its Wait and
+	// QueueLen rows are slice headers into flat backing arrays (waitBuf,
+	// qlenBuf), so a solve touches a handful of long-lived allocations.
+	res     Result
+	waitBuf []float64
+	qlenBuf []float64
+}
+
+// ensure sizes (and zeroes) every buffer for an nc-class, nm-station solve
+// and returns the workspace's result, wired to the flat backing arrays.
+func (ws *Workspace) ensure(nc, nm int) *Result {
+	ws.q = resizeZero(ws.q, nc*nm)
+	ws.colSum = resizeZero(ws.colSum, nm)
+	ws.waitBuf = resizeZero(ws.waitBuf, nc*nm)
+	ws.qlenBuf = resizeZero(ws.qlenBuf, nc*nm)
+	ws.res.Throughput = resizeZero(ws.res.Throughput, nc)
+	ws.res.CycleTime = resizeZero(ws.res.CycleTime, nc)
+	ws.res.Iterations = 0
+	ws.res.Method = ""
+	if len(ws.res.Wait) != nc {
+		ws.res.Wait = make([][]float64, nc)
+		ws.res.QueueLen = make([][]float64, nc)
+	}
+	for c := 0; c < nc; c++ {
+		ws.res.Wait[c] = ws.waitBuf[c*nm : (c+1)*nm : (c+1)*nm]
+		ws.res.QueueLen[c] = ws.qlenBuf[c*nm : (c+1)*nm : (c+1)*nm]
+	}
+	return &ws.res
+}
+
+// resizeZero returns a zeroed slice of length n, reusing buf's backing array
+// when it is large enough.
+func resizeZero(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}

@@ -45,7 +45,10 @@ type Output struct {
 	Data  interface{}
 }
 
-// Firing is the context passed to a transition's Fire function.
+// Firing is the context passed to a transition's Fire function. The context
+// and its Tokens slice are owned by the net and recycled after Fire returns:
+// Fire must not retain the *Firing or the Tokens slice beyond the call
+// (copy Token.Data out if it must escape).
 type Firing struct {
 	// Now is the completion time of the firing.
 	Now float64
@@ -55,6 +58,19 @@ type Firing struct {
 	Rand *rand.Rand
 	// Tokens are the consumed tokens, one per input place, in input order.
 	Tokens []Token
+
+	// out accumulates outputs emitted via Out into a buffer reused across
+	// firings, so hot Fire functions need not allocate a return slice.
+	out []Output
+}
+
+// Out deposits a token on a place when the firing completes, like returning
+// an Output from Fire but without allocating a slice: the entries land in a
+// net-owned buffer reused across firings. Outputs emitted with Out are
+// deposited before any returned by Fire's return value; a Fire function may
+// use either or both.
+func (f *Firing) Out(p PlaceID, data interface{}) {
+	f.out = append(f.out, Output{Place: p, Data: data})
 }
 
 // Transition describes a timed transition.
@@ -80,14 +96,61 @@ func (t Transition) servers() int {
 	return t.Servers
 }
 
+// tokenRing is a FIFO of tokens backed by a circular buffer, so the
+// steady-state deposit/consume cycle neither allocates nor slides a slice
+// window off its backing array.
+type tokenRing struct {
+	buf  []Token
+	head int
+	n    int
+}
+
+func (r *tokenRing) len() int { return r.n }
+
+func (r *tokenRing) push(t Token) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	i := r.head + r.n
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	r.buf[i] = t
+	r.n++
+}
+
+func (r *tokenRing) pop() Token {
+	t := r.buf[r.head]
+	r.buf[r.head] = Token{} // release the Data reference
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.n--
+	return t
+}
+
+func (r *tokenRing) grow() {
+	nb := make([]Token, 2*len(r.buf)+4)
+	for i := 0; i < r.n; i++ {
+		j := r.head + i
+		if j >= len(r.buf) {
+			j -= len(r.buf)
+		}
+		nb[i] = r.buf[j]
+	}
+	r.buf = nb
+	r.head = 0
+}
+
 type place struct {
 	name string
-	fifo []Token
+	fifo tokenRing
 	// consumers are transitions with this place among their inputs, in
 	// registration order.
 	consumers []TransitionID
 	// Wait accumulates token waiting times in this place.
-	wait stats.Summary
+	wait stats.Mean
 	// marking tracks the time-average token count.
 	marking stats.TimeWeighted
 }
@@ -99,12 +162,28 @@ type transition struct {
 	served   int64
 }
 
+// firing is an in-flight firing record: the consumed tokens parked between
+// service start and completion. Records are recycled through the net's
+// free list so steady-state firing costs no allocation.
+type firing struct {
+	tid     TransitionID
+	started float64
+	tokens  []Token
+	next    *firing // free-list link
+}
+
 // Net is a stochastic timed Petri net bound to a simulation engine.
 type Net struct {
 	engine      *des.Engine
 	places      []*place
 	transitions []*transition
 	sealed      bool
+
+	// freeFirings is the recycled-record free list; fctx and outBuf are the
+	// Firing context and output buffer reused across completions.
+	freeFirings *firing
+	fctx        Firing
+	outBuf      []Output
 }
 
 // New creates an empty net with its own engine and random stream.
@@ -170,13 +249,44 @@ func (n *Net) Put(p PlaceID, data interface{}) {
 
 func (n *Net) deposit(pid PlaceID, data interface{}) {
 	p := n.places[pid]
-	p.fifo = append(p.fifo, Token{Data: data, Deposited: n.engine.Now()})
-	p.marking.Set(n.engine.Now(), float64(len(p.fifo)))
+	p.fifo.push(Token{Data: data, Deposited: n.engine.Now()})
+	p.marking.Set(n.engine.Now(), float64(p.fifo.len()))
 	for _, tid := range p.consumers {
 		if n.tryStart(tid) {
 			break
 		}
 	}
+}
+
+// getFiring pops a record off the free list (or allocates one) with room for
+// k tokens.
+func (n *Net) getFiring(k int) *firing {
+	f := n.freeFirings
+	if f == nil {
+		f = &firing{}
+	} else {
+		n.freeFirings = f.next
+		f.next = nil
+	}
+	if cap(f.tokens) < k {
+		f.tokens = make([]Token, k)
+	}
+	f.tokens = f.tokens[:k]
+	return f
+}
+
+func (n *Net) putFiring(f *firing) {
+	for i := range f.tokens {
+		f.tokens[i] = Token{}
+	}
+	f.tokens = f.tokens[:0]
+	f.next = n.freeFirings
+	n.freeFirings = f
+}
+
+// fireHandler completes a firing; Actor is the net, Data the firing record.
+func fireHandler(_ *des.Engine, ev des.Event) {
+	ev.Actor.(*Net).complete(ev.Data.(*firing))
 }
 
 // tryStart begins a firing of transition tid if it has a free server and is
@@ -187,40 +297,54 @@ func (n *Net) tryStart(tid TransitionID) bool {
 		return false
 	}
 	for _, in := range t.def.Inputs {
-		if len(n.places[in].fifo) == 0 {
+		if n.places[in].fifo.len() == 0 {
 			return false
 		}
 	}
 	now := n.engine.Now()
-	tokens := make([]Token, len(t.def.Inputs))
+	rec := n.getFiring(len(t.def.Inputs))
+	rec.tid = tid
+	rec.started = now
 	for i, in := range t.def.Inputs {
 		p := n.places[in]
-		tok := p.fifo[0]
-		p.fifo = p.fifo[1:]
-		p.marking.Set(now, float64(len(p.fifo)))
+		tok := p.fifo.pop()
+		p.marking.Set(now, float64(p.fifo.len()))
 		p.wait.Add(now - tok.Deposited)
-		tokens[i] = tok
+		rec.tokens[i] = tok
 	}
 	t.inFlight++
 	t.busyTW.Set(now, float64(t.inFlight)/float64(t.def.servers()))
 	delay := t.def.Delay.Sample(n.engine.Rand)
-	n.engine.After(delay, func() { n.complete(tid, now, tokens) })
+	n.engine.AfterEvent(delay, fireHandler, des.Event{Actor: n, Data: rec})
 	return true
 }
 
-func (n *Net) complete(tid TransitionID, started float64, tokens []Token) {
-	t := n.transitions[tid]
+func (n *Net) complete(rec *firing) {
+	t := n.transitions[rec.tid]
 	now := n.engine.Now()
 	t.served++
-	var outs []Output
+	var outs, buffered []Output
 	if t.def.Fire != nil {
-		outs = t.def.Fire(&Firing{Now: now, Started: started, Rand: n.engine.Rand, Tokens: tokens})
+		n.fctx = Firing{Now: now, Started: rec.started, Rand: n.engine.Rand,
+			Tokens: rec.tokens, out: n.outBuf[:0]}
+		outs = t.def.Fire(&n.fctx)
+		buffered = n.fctx.out
+		n.outBuf = n.fctx.out[:0] // reclaim (possibly grown) buffer for the next firing
 	}
 	t.inFlight--
 	t.busyTW.Set(now, float64(t.inFlight)/float64(t.def.servers()))
+	// Outputs emitted via Firing.Out first, then any returned slice. deposit
+	// never re-enters complete synchronously (a newly enabled firing
+	// completes through a future engine event), so the buffer is stable
+	// while we drain it.
+	for _, o := range buffered {
+		n.deposit(o.Place, o.Data)
+	}
 	for _, o := range outs {
 		n.deposit(o.Place, o.Data)
 	}
+	tid := rec.tid
+	n.putFiring(rec)
 	// The freed server may be enabled again by tokens that queued during the
 	// firing.
 	n.tryStart(tid)
@@ -234,7 +358,7 @@ func (n *Net) Run(horizon float64) {
 
 // Marking returns the number of tokens currently waiting in place p
 // (excluding tokens consumed by in-progress firings).
-func (n *Net) Marking(p PlaceID) int { return len(n.places[p].fifo) }
+func (n *Net) Marking(p PlaceID) int { return n.places[p].fifo.len() }
 
 // TokensInTransit returns the number of firings currently in progress.
 func (n *Net) TokensInTransit() int {
@@ -273,7 +397,7 @@ func (n *Net) MeanMarking(p PlaceID) float64 {
 func (n *Net) ResetStats() {
 	now := n.engine.Now()
 	for _, p := range n.places {
-		p.wait = stats.Summary{}
+		p.wait = stats.Mean{}
 		p.marking.Reset(now)
 	}
 	for _, t := range n.transitions {

@@ -85,8 +85,11 @@ func runDirect(model *mms.Model, opts Options) (Result, *directSim, error) {
 			st.Attach(s.engine)
 		}
 	}
-	// Populate: n_t ready threads per processor.
+	// Populate: n_t ready threads per processor. Every thread is in at most
+	// one service at a time, so the calendar never holds more events than
+	// threads — pre-size it so the steady-state loop never grows the heap.
 	s.totalThreads = n * cfg.Threads
+	s.engine.Reserve(s.totalThreads + 1)
 	for i := 0; i < n; i++ {
 		for k := 0; k < cfg.Threads; k++ {
 			s.proc[i].Arrive(&message{home: topology.Node(i)})
@@ -197,8 +200,11 @@ func (s *directSim) threadReady(m *message) {
 	m.stepAccesses = 0
 	s.parked = append(s.parked, m)
 	if len(s.parked) == s.totalThreads {
+		// Arrive only schedules future service completions, so nothing
+		// re-parks while we drain; truncating (rather than nilling) keeps the
+		// barrier buffer for the next superstep.
 		released := s.parked
-		s.parked = nil
+		s.parked = s.parked[:0]
 		for _, t := range released {
 			s.proc[t.home].Arrive(t)
 		}
@@ -210,9 +216,9 @@ func (s *directSim) threadReady(m *message) {
 // the processor (response).
 func (s *directSim) switchDone(job des.Job, _, now float64) {
 	m := job.(*message)
-	route := s.routing.route[m.home][m.dest]
+	route := s.routing.routeTo(m.home, m.dest)
 	if m.response {
-		route = s.routing.route[m.dest][m.home]
+		route = s.routing.routeTo(m.dest, m.home)
 	}
 	if m.hop < len(route) {
 		next := route[m.hop]
@@ -239,8 +245,13 @@ func (s *directSim) completeRemote(m *message, now float64) {
 	s.outstanding[m.home]--
 	s.threadReady(m)
 	if s.opts.NetworkWindow > 0 && len(s.blocked[m.home]) > 0 && s.outstanding[m.home] < s.opts.NetworkWindow {
-		next := s.blocked[m.home][0]
-		s.blocked[m.home] = s.blocked[m.home][1:]
+		q := s.blocked[m.home]
+		next := q[0]
+		// Shift down instead of resliding the window forward, so the queue
+		// reuses its backing array instead of forcing append to reallocate.
+		copy(q, q[1:])
+		q[len(q)-1] = nil
+		s.blocked[m.home] = q[:len(q)-1]
 		s.inject(next, now)
 	}
 }

@@ -203,21 +203,28 @@ type message struct {
 // routing precomputes destination choosers and hop routes for a model.
 type routing struct {
 	torus *topology.Torus
+	nodes int
 	// chooser[i] picks a remote destination for accesses from node i
 	// (nil when PRemote == 0).
 	chooser []*stats.DiscreteChooser
-	// route[a][b] is the node sequence from a to b (excluding a, including b).
-	route [][][]topology.Node
+	// route[a*nodes+b] is the node sequence from a to b (excluding a,
+	// including b), flattened row-major so the per-hop lookup in the
+	// simulators' hottest callback is one indexed load.
+	route [][]topology.Node
+}
+
+// routeTo returns the hop sequence from a to b.
+func (r *routing) routeTo(a, b topology.Node) []topology.Node {
+	return r.route[int(a)*r.nodes+int(b)]
 }
 
 func newRouting(model *mms.Model) (*routing, error) {
 	t := model.Torus()
 	n := t.Nodes()
-	r := &routing{torus: t, route: make([][][]topology.Node, n)}
+	r := &routing{torus: t, nodes: n, route: make([][]topology.Node, n*n)}
 	for a := 0; a < n; a++ {
-		r.route[a] = make([][]topology.Node, n)
 		for b := 0; b < n; b++ {
-			r.route[a][b] = t.Route(topology.Node(a), topology.Node(b))
+			r.route[a*n+b] = t.Route(topology.Node(a), topology.Node(b))
 		}
 	}
 	if pat := model.Pattern(); pat != nil {

@@ -83,6 +83,9 @@ func runSTPN(model *mms.Model, opts Options) (Result, *stpnSim, error) {
 			Fire:    func(f *petri.Firing) []petri.Output { return s.fireSwitch(f) },
 		})
 	}
+	// Every token is either parked in a place or inside an in-flight firing,
+	// so the calendar never holds more events than circulating tokens.
+	s.net.Engine().Reserve(n*cfg.Threads + 1)
 	for i := 0; i < n; i++ {
 		for k := 0; k < cfg.Threads; k++ {
 			s.net.Put(s.readyQ[i], &message{home: topology.Node(i)})
@@ -131,10 +134,12 @@ func (s *stpnSim) fireProc(node topology.Node, f *petri.Firing) []petri.Output {
 			s.remoteMsgs++
 			s.batchNet[batchIndex(f.Now, s.warmup, s.duration)]++
 		}
-		return []petri.Output{{Place: s.outQ[node], Data: m}}
+		f.Out(s.outQ[node], m)
+		return nil
 	}
 	m.dest = node
-	return []petri.Output{{Place: s.memQ[node], Data: m}}
+	f.Out(s.memQ[node], m)
+	return nil
 }
 
 func (s *stpnSim) fireMem(node topology.Node, f *petri.Firing) []petri.Output {
@@ -148,31 +153,36 @@ func (s *stpnSim) fireMem(node topology.Node, f *petri.Firing) []petri.Output {
 		}
 	}
 	if m.dest == m.home {
-		return []petri.Output{{Place: s.readyQ[m.home], Data: m}}
+		f.Out(s.readyQ[m.home], m)
+		return nil
 	}
 	m.response = true
 	m.hop = 0
 	m.legStart = f.Now
-	return []petri.Output{{Place: s.outQ[node], Data: m}}
+	f.Out(s.outQ[node], m)
+	return nil
 }
 
 func (s *stpnSim) fireSwitch(f *petri.Firing) []petri.Output {
 	m := f.Tokens[0].Data.(*message)
-	route := s.routing.route[m.home][m.dest]
+	route := s.routing.routeTo(m.home, m.dest)
 	if m.response {
-		route = s.routing.route[m.dest][m.home]
+		route = s.routing.routeTo(m.dest, m.home)
 	}
 	if m.hop < len(route) {
 		next := route[m.hop]
 		m.hop++
-		return []petri.Output{{Place: s.inQ[next], Data: m}}
+		f.Out(s.inQ[next], m)
+		return nil
 	}
 	if s.measuring {
 		s.sObs.Add(f.Now - m.legStart)
 		s.batchSObs[batchIndex(f.Now, s.warmup, s.duration)].Add(f.Now - m.legStart)
 	}
 	if m.response {
-		return []petri.Output{{Place: s.readyQ[m.home], Data: m}}
+		f.Out(s.readyQ[m.home], m)
+		return nil
 	}
-	return []petri.Output{{Place: s.memQ[m.dest], Data: m}}
+	f.Out(s.memQ[m.dest], m)
+	return nil
 }

@@ -152,3 +152,29 @@ func NewBatchMeans(series []float64, batches int) (BatchMeans, error) {
 	bm.HalfCI = 1.96 * s.StdDev() / math.Sqrt(float64(batches))
 	return bm, nil
 }
+
+// Mean accumulates a streaming mean as a plain (count, sum) pair. It is the
+// cheap little sibling of Summary for hot paths that never read a variance
+// or extremes: Add is two additions with no division or branches, which
+// matters when it runs once per simulation event.
+type Mean struct {
+	n   int64
+	sum float64
+}
+
+// Add records one observation.
+func (m *Mean) Add(x float64) {
+	m.n++
+	m.sum += x
+}
+
+// Count returns the number of observations.
+func (m *Mean) Count() int64 { return m.n }
+
+// Mean returns the sample mean (0 with no observations).
+func (m *Mean) Mean() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sum / float64(m.n)
+}

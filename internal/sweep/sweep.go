@@ -125,6 +125,18 @@ func renderInput(v any) string {
 // context error. With Options.FailFast the first failing point cancels
 // scheduling the same way (without reporting a context error).
 func Run[In, Out any](ctx context.Context, inputs []In, opts Options, f func(In) (Out, error)) ([]Out, error) {
+	return RunWithWorker(ctx, inputs, opts,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, in In) (Out, error) { return f(in) })
+}
+
+// RunWithWorker is Run with per-worker state: newWorker runs once in each
+// worker goroutine (once total on the sequential path) and its value is
+// passed to every point that worker evaluates. Use it to hand each worker a
+// reusable resource — a solver workspace, a simulation scratch buffer — that
+// is repeatedly overwritten without synchronization or per-point allocation.
+// Failure, cancellation and progress semantics are exactly those of Run.
+func RunWithWorker[W, In, Out any](ctx context.Context, inputs []In, opts Options, newWorker func() W, f func(W, In) (Out, error)) ([]Out, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -148,9 +160,9 @@ func Run[In, Out any](ctx context.Context, inputs []In, opts Options, f func(In)
 
 	var mu sync.Mutex // serializes finished-count updates and OnPoint calls
 	finished := 0
-	runPoint := func(i int) {
+	runPoint := func(w W, i int) {
 		start := time.Now()
-		out[i], errs[i] = safeCall(f, inputs[i])
+		out[i], errs[i] = safeCall(w, f, inputs[i])
 		elapsed := time.Since(start)
 		if c := opts.Counters; c != nil {
 			if errs[i] != nil {
@@ -172,11 +184,12 @@ func Run[In, Out any](ctx context.Context, inputs []In, opts Options, f func(In)
 	}
 
 	if workers <= 1 {
+		w := newWorker()
 		for i := range inputs {
 			if runCtx.Err() != nil {
 				break
 			}
-			runPoint(i)
+			runPoint(w, i)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -185,11 +198,12 @@ func Run[In, Out any](ctx context.Context, inputs []In, opts Options, f func(In)
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				ws := newWorker()
 				for i := range next {
 					if runCtx.Err() != nil {
 						continue // drain promptly after cancellation
 					}
-					runPoint(i)
+					runPoint(ws, i)
 				}
 			}()
 		}
@@ -226,13 +240,13 @@ func Run[In, Out any](ctx context.Context, inputs []In, opts Options, f func(In)
 }
 
 // safeCall invokes f and converts a panic into a *PanicError.
-func safeCall[In, Out any](f func(In) (Out, error), in In) (out Out, err error) {
+func safeCall[W, In, Out any](w W, f func(W, In) (Out, error), in In) (out Out, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{Value: r, Stack: debug.Stack()}
 		}
 	}()
-	return f(in)
+	return f(w, in)
 }
 
 // Map evaluates f over every input, in parallel, preserving order. workers
@@ -254,6 +268,15 @@ func Grid2D[X, Y, Out any](xs []X, ys []Y, workers int, f func(X, Y) (Out, error
 // wrapped with its grid coordinates (xi, yi) and the x/y values, so a bad
 // point on a large surface is locatable.
 func Grid2DCtx[X, Y, Out any](ctx context.Context, xs []X, ys []Y, opts Options, f func(X, Y) (Out, error)) ([][]Out, error) {
+	return Grid2DCtxWithWorker(ctx, xs, ys, opts,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, x X, y Y) (Out, error) { return f(x, y) })
+}
+
+// Grid2DCtxWithWorker is Grid2DCtx with per-worker state, analogous to
+// RunWithWorker: newWorker runs once per worker goroutine and its value is
+// passed to every cell that worker evaluates.
+func Grid2DCtxWithWorker[W, X, Y, Out any](ctx context.Context, xs []X, ys []Y, opts Options, newWorker func() W, f func(W, X, Y) (Out, error)) ([][]Out, error) {
 	type cell struct{ xi, yi int }
 	cells := make([]cell, 0, len(xs)*len(ys))
 	for yi := range ys {
@@ -261,8 +284,8 @@ func Grid2DCtx[X, Y, Out any](ctx context.Context, xs []X, ys []Y, opts Options,
 			cells = append(cells, cell{xi, yi})
 		}
 	}
-	flat, err := Run(ctx, cells, opts, func(c cell) (Out, error) {
-		out, err := f(xs[c.xi], ys[c.yi])
+	flat, err := RunWithWorker(ctx, cells, opts, newWorker, func(w W, c cell) (Out, error) {
+		out, err := f(w, xs[c.xi], ys[c.yi])
 		if err != nil {
 			return out, fmt.Errorf("grid cell (xi=%d, yi=%d) (x=%v, y=%v): %w",
 				c.xi, c.yi, xs[c.xi], ys[c.yi], err)

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Run the benchmark suite and emit a machine-readable summary.
+#
+# Usage:
+#   scripts/bench.sh [count] [bench-regex] [packages...]
+#
+#   count        repetitions per benchmark (-count), default 5
+#   bench-regex  -bench selector, default '.'
+#   packages     go packages to benchmark, default './...'
+#
+# Raw `go test -bench` output streams to stderr as it arrives and is kept in
+# BENCH_<date>.txt; the aggregated summary (mean/min/max ns/op, B/op,
+# allocs/op per benchmark) lands in BENCH_<date>.json via scripts/benchjson.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+count="${1:-5}"
+bench="${2:-.}"
+shift $(( $# > 2 ? 2 : $# )) || true
+pkgs=("${@:-./...}")
+
+date_tag="$(date +%Y-%m-%d)"
+raw="BENCH_${date_tag}.txt"
+json="BENCH_${date_tag}.json"
+
+echo "benchmarking ${pkgs[*]} (bench='${bench}', count=${count}) -> ${json}" >&2
+go test -run '^$' -bench "${bench}" -benchmem -count "${count}" "${pkgs[@]}" | tee "${raw}" >&2
+
+go run ./scripts/benchjson < "${raw}" > "${json}"
+echo "wrote ${raw} and ${json}" >&2

@@ -1,0 +1,147 @@
+// Command benchjson converts `go test -bench` output on stdin into a compact
+// JSON summary on stdout. Repeated runs of the same benchmark (-count=N) are
+// aggregated into mean/min/max so the summary is robust to machine noise.
+//
+// It is the back half of scripts/bench.sh and has no dependencies beyond the
+// standard library.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type sample struct {
+	nsPerOp     []float64
+	bytesPerOp  []float64
+	allocsPerOp []float64
+}
+
+type stat struct {
+	Mean float64 `json:"mean"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+type benchmark struct {
+	Name        string `json:"name"`
+	Runs        int    `json:"runs"`
+	NsPerOp     stat   `json:"ns_per_op"`
+	BytesPerOp  *stat  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *stat  `json:"allocs_per_op,omitempty"`
+}
+
+type summary struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+func summarize(vals []float64) stat {
+	s := stat{Min: vals[0], Max: vals[0]}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(len(vals))
+	return s
+}
+
+func main() {
+	out := summary{}
+	samples := map[string]*sample{}
+	var order []string
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			out.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			out.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			out.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		// Strip the -GOMAXPROCS suffix so counts from different machines merge.
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		s := samples[name]
+		if s == nil {
+			s = &sample{}
+			samples[name] = s
+			order = append(order, name)
+		}
+		// Value/unit pairs follow the iteration count.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.nsPerOp = append(s.nsPerOp, v)
+			case "B/op":
+				s.bytesPerOp = append(s.bytesPerOp, v)
+			case "allocs/op":
+				s.allocsPerOp = append(s.allocsPerOp, v)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	sort.Strings(order)
+	for _, name := range order {
+		s := samples[name]
+		if len(s.nsPerOp) == 0 {
+			continue
+		}
+		b := benchmark{Name: name, Runs: len(s.nsPerOp), NsPerOp: summarize(s.nsPerOp)}
+		if len(s.bytesPerOp) > 0 {
+			st := summarize(s.bytesPerOp)
+			b.BytesPerOp = &st
+		}
+		if len(s.allocsPerOp) > 0 {
+			st := summarize(s.allocsPerOp)
+			b.AllocsPerOp = &st
+		}
+		out.Benchmarks = append(out.Benchmarks, b)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
