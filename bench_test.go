@@ -11,11 +11,13 @@
 package lattol
 
 import (
+	"context"
 	"testing"
 
 	"lattol/internal/access"
 	"lattol/internal/experiments"
 	"lattol/internal/mms"
+	"lattol/internal/serve"
 	"lattol/internal/simmms"
 	"lattol/internal/tolerance"
 	"lattol/internal/topology"
@@ -330,6 +332,28 @@ func BenchmarkBuildModelK10(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, err := mms.Build(cfg)
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkServeSolveCached measures the daemon's cache-hit path: request
+// canonicalization, shard lookup and LRU touch, with the solver never running
+// after the priming call. The whole path must stay allocation-free.
+func BenchmarkServeSolveCached(b *testing.B) {
+	eval := serve.NewEvaluator(serve.Config{})
+	defer eval.Close()
+	req := serve.ModelRequest{
+		K: 4, Threads: 8, Runlength: 10, MemoryTime: 10, SwitchTime: 10,
+		PRemote: 0.2, Psw: 0.5,
+	}
+	ctx := context.Background()
+	if _, _, err := eval.Solve(ctx, req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, err := eval.Solve(ctx, req)
 		benchErr(b, err)
 	}
 }

@@ -54,17 +54,11 @@ func main() {
 		}
 		cfg.Pattern = u
 	}
-	opts := mms.SolveOptions{}
-	switch *solver {
-	case "symmetric":
-		opts.Solver = mms.SymmetricAMVA
-	case "full":
-		opts.Solver = mms.FullAMVA
-	case "exact":
-		opts.Solver = mms.ExactMVA
-	default:
-		log.Fatalf("unknown solver %q", *solver)
+	sv, err := mms.ParseSolver(*solver)
+	if err != nil {
+		log.Fatal(err)
 	}
+	opts := mms.SolveOptions{Solver: sv}
 
 	model, err := mms.Build(cfg)
 	if err != nil {

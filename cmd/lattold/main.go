@@ -1,0 +1,91 @@
+// Command lattold is the model-evaluation daemon: it serves tolerance-index
+// and solver evaluations over HTTP/JSON with result caching, request
+// coalescing, admission control and a plaintext metrics endpoint.
+//
+// Usage:
+//
+//	lattold [-addr :8080] [-workers 0] [-queue 0] [-cache 4096]
+//	        [-timeout 10s] [-drain 15s] [-maxsweep 1024]
+//
+// Endpoints:
+//
+//	POST /v1/solve      one model configuration → performance measures
+//	POST /v1/tolerance  model + subsystem → tolerance index (real & ideal)
+//	POST /v1/sweep      model + knob range → per-point measures and indices
+//	GET  /healthz       liveness (503 while draining)
+//	GET  /metrics       counters and latency histograms, plaintext
+//
+// SIGINT/SIGTERM drains gracefully: the listener stops accepting, in-flight
+// requests finish (bounded by -drain), then the worker pool shuts down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lattol/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lattold: ")
+
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "solver workers (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 0, "pending-solve queue depth (0 = 8x workers)")
+		cacheN   = flag.Int("cache", 4096, "cached results kept for reuse")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-request evaluation budget")
+		drain    = flag.Duration("drain", 15*time.Second, "graceful shutdown budget")
+		maxSweep = flag.Int("maxsweep", 1024, "max points per sweep request")
+	)
+	flag.Parse()
+
+	srv := serve.NewServer(serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheN,
+		SolveTimeout:   *timeout,
+		MaxSweepPoints: *maxSweep,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		// ListenAndServe only returns on failure here (Shutdown is the
+		// other exit path, taken below).
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("signal received, draining (budget %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("serve: %v", err)
+	}
+	// The listener is quiet; drain the worker pool.
+	srv.Close()
+	log.Printf("drained, exiting")
+}

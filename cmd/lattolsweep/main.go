@@ -17,7 +17,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math"
 	"os"
 	"os/signal"
 	"time"
@@ -51,15 +50,12 @@ func main() {
 	flag.Parse()
 
 	base := mms.Config{K: *k, Threads: *nt, Runlength: *r, MemoryTime: *l, SwitchTime: *s, PRemote: *p, Psw: *psw}
-	apply, integer, err := applier(*param)
+	knob, err := mms.ParseParam(*param)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	values := sweep.Linspace(*from, *to, *steps)
-	if integer {
-		values = uniqueRounded(values)
-	}
+	values := knob.Grid(*from, *to, *steps)
 	type row struct {
 		value  float64
 		met    mms.Metrics
@@ -82,9 +78,7 @@ func main() {
 		func() *mms.Workspace { return new(mms.Workspace) },
 		func(ws *mms.Workspace, v float64) (row, error) {
 			cfg := base
-			if err := apply(&cfg, v); err != nil {
-				return row{}, err
-			}
+			knob.Apply(&cfg, v)
 			solveOpts := mms.SolveOptions{Workspace: ws}
 			model, err := mms.Build(cfg)
 			if err != nil {
@@ -131,46 +125,4 @@ func main() {
 	} else {
 		fmt.Fprint(os.Stdout, t.String())
 	}
-}
-
-// applier returns a function that sets the swept parameter, and whether the
-// parameter is integral.
-func applier(param string) (func(*mms.Config, float64) error, bool, error) {
-	switch param {
-	case "nt":
-		return func(c *mms.Config, v float64) error { c.Threads = int(math.Round(v)); return nil }, true, nil
-	case "r":
-		return func(c *mms.Config, v float64) error { c.Runlength = v; return nil }, false, nil
-	case "l":
-		return func(c *mms.Config, v float64) error { c.MemoryTime = v; return nil }, false, nil
-	case "s":
-		return func(c *mms.Config, v float64) error { c.SwitchTime = v; return nil }, false, nil
-	case "premote":
-		return func(c *mms.Config, v float64) error { c.PRemote = v; return nil }, false, nil
-	case "psw":
-		return func(c *mms.Config, v float64) error { c.Psw = v; return nil }, false, nil
-	case "k":
-		return func(c *mms.Config, v float64) error { c.K = int(math.Round(v)); return nil }, true, nil
-	case "memports":
-		return func(c *mms.Config, v float64) error { c.MemoryPorts = int(math.Round(v)); return nil }, true, nil
-	case "swports":
-		return func(c *mms.Config, v float64) error { c.SwitchPorts = int(math.Round(v)); return nil }, true, nil
-	default:
-		return nil, false, fmt.Errorf("unknown sweep parameter %q", param)
-	}
-}
-
-// uniqueRounded rounds values to integers and drops duplicates, preserving
-// order.
-func uniqueRounded(values []float64) []float64 {
-	seen := map[int]bool{}
-	var out []float64
-	for _, v := range values {
-		i := int(math.Round(v))
-		if !seen[i] {
-			seen[i] = true
-			out = append(out, float64(i))
-		}
-	}
-	return out
 }

@@ -27,8 +27,8 @@ func (c refCalendar) Less(i, j int) bool {
 	}
 	return c[i].seq < c[j].seq
 }
-func (c refCalendar) Swap(i, j int)      { c[i], c[j] = c[j], c[i] }
-func (c *refCalendar) Push(x any)        { *c = append(*c, x.(refEvent)) }
+func (c refCalendar) Swap(i, j int) { c[i], c[j] = c[j], c[i] }
+func (c *refCalendar) Push(x any)   { *c = append(*c, x.(refEvent)) }
 func (c *refCalendar) Pop() any {
 	old := *c
 	n := len(old) - 1

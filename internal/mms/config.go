@@ -11,11 +11,11 @@
 package mms
 
 import (
-	"fmt"
 	"math"
 
 	"lattol/internal/access"
 	"lattol/internal/topology"
+	"lattol/internal/validate"
 )
 
 // Config collects the paper's workload and architecture parameters
@@ -72,13 +72,15 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate reports the first invalid parameter.
+// Validate reports the first invalid parameter as a field-named error
+// (*validate.FieldError), so both the CLIs and the HTTP serving layer can
+// point at the offending field.
 func (c Config) Validate() error {
 	if c.K < 1 {
-		return fmt.Errorf("mms: K = %d, want >= 1", c.K)
+		return validate.Fieldf("mms.Config", "K", "= %d, want >= 1", c.K)
 	}
 	if c.Threads < 0 {
-		return fmt.Errorf("mms: Threads = %d, want >= 0", c.Threads)
+		return validate.Fieldf("mms.Config", "Threads", "= %d, want >= 0", c.Threads)
 	}
 	for _, p := range []struct {
 		name string
@@ -90,28 +92,28 @@ func (c Config) Validate() error {
 		{"SwitchTime", c.SwitchTime},
 	} {
 		if p.v < 0 || math.IsNaN(p.v) || math.IsInf(p.v, 0) {
-			return fmt.Errorf("mms: %s = %v, want finite >= 0", p.name, p.v)
+			return validate.Fieldf("mms.Config", p.name, "= %v, want finite >= 0", p.v)
 		}
 	}
 	if c.Runlength+c.ContextSwitch <= 0 {
-		return fmt.Errorf("mms: Runlength + ContextSwitch = %v, want > 0", c.Runlength+c.ContextSwitch)
+		return validate.Fieldf("mms.Config", "Runlength", "+ ContextSwitch = %v, want > 0", c.Runlength+c.ContextSwitch)
 	}
 	if c.PRemote < 0 || c.PRemote > 1 || math.IsNaN(c.PRemote) {
-		return fmt.Errorf("mms: PRemote = %v, want in [0,1]", c.PRemote)
+		return validate.Fieldf("mms.Config", "PRemote", "= %v, want in [0,1]", c.PRemote)
 	}
 	if c.K == 1 && c.PRemote > 0 {
-		return fmt.Errorf("mms: single-node system (K=1) cannot have PRemote = %v > 0", c.PRemote)
+		return validate.Fieldf("mms.Config", "PRemote", "= %v on a single-node system (K=1), want 0", c.PRemote)
 	}
 	if c.Pattern == nil && c.PRemote > 0 {
 		if c.Psw <= 0 || c.Psw > 1 || math.IsNaN(c.Psw) {
-			return fmt.Errorf("mms: Psw = %v, want in (0,1]", c.Psw)
+			return validate.Fieldf("mms.Config", "Psw", "= %v, want in (0,1]", c.Psw)
 		}
 	}
 	if c.MemoryPorts < 0 {
-		return fmt.Errorf("mms: MemoryPorts = %d, want >= 0", c.MemoryPorts)
+		return validate.Fieldf("mms.Config", "MemoryPorts", "= %d, want >= 0", c.MemoryPorts)
 	}
 	if c.SwitchPorts < 0 {
-		return fmt.Errorf("mms: SwitchPorts = %d, want >= 0", c.SwitchPorts)
+		return validate.Fieldf("mms.Config", "SwitchPorts", "= %d, want >= 0", c.SwitchPorts)
 	}
 	return nil
 }

@@ -1,0 +1,84 @@
+package mms
+
+import (
+	"math"
+	"strings"
+
+	"lattol/internal/sweep"
+	"lattol/internal/validate"
+)
+
+// Param identifies one sweepable model parameter. It is the shared registry
+// behind "how does X move when I turn knob Y" sweeps: cmd/lattolsweep and
+// the /v1/sweep HTTP endpoint both resolve knob names through ParseParam and
+// apply values through Apply, so the set of sweepable knobs (and their
+// integer-rounding rules) is defined exactly once.
+type Param struct {
+	name    string
+	integer bool
+	apply   func(*Config, float64)
+}
+
+var params = []Param{
+	{"nt", true, func(c *Config, v float64) { c.Threads = int(math.Round(v)) }},
+	{"r", false, func(c *Config, v float64) { c.Runlength = v }},
+	{"l", false, func(c *Config, v float64) { c.MemoryTime = v }},
+	{"s", false, func(c *Config, v float64) { c.SwitchTime = v }},
+	{"c", false, func(c *Config, v float64) { c.ContextSwitch = v }},
+	{"premote", false, func(c *Config, v float64) { c.PRemote = v }},
+	{"psw", false, func(c *Config, v float64) { c.Psw = v }},
+	{"k", true, func(c *Config, v float64) { c.K = int(math.Round(v)) }},
+	{"memports", true, func(c *Config, v float64) { c.MemoryPorts = int(math.Round(v)) }},
+	{"swports", true, func(c *Config, v float64) { c.SwitchPorts = int(math.Round(v)) }},
+}
+
+// ParseParam resolves a sweepable parameter by name. Unknown names yield a
+// field-named error listing the valid knobs.
+func ParseParam(name string) (Param, error) {
+	for _, p := range params {
+		if p.name == name {
+			return p, nil
+		}
+	}
+	return Param{}, validate.Fieldf("mms.Param", "Name", "= %q, want one of %s", name, strings.Join(ParamNames(), ", "))
+}
+
+// ParamNames lists every sweepable parameter name, in registry order.
+func ParamNames() []string {
+	names := make([]string, len(params))
+	for i, p := range params {
+		names[i] = p.name
+	}
+	return names
+}
+
+// String returns the parameter's registry name.
+func (p Param) String() string { return p.name }
+
+// Integer reports whether the parameter is integral: swept values are
+// rounded and deduplicated.
+func (p Param) Integer() bool { return p.integer }
+
+// Apply sets the parameter on cfg. The resulting configuration is not
+// validated here — callers validate after applying, so a swept value that
+// leaves the legal range is reported against the Config field it set.
+func (p Param) Apply(cfg *Config, v float64) { p.apply(cfg, v) }
+
+// Grid returns the swept values: steps points evenly spaced over [from, to],
+// rounded to unique integers (order-preserving) for integral parameters.
+func (p Param) Grid(from, to float64, steps int) []float64 {
+	values := sweep.Linspace(from, to, steps)
+	if !p.integer {
+		return values
+	}
+	seen := make(map[int]bool, len(values))
+	out := values[:0]
+	for _, v := range values {
+		i := int(math.Round(v))
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, float64(i))
+		}
+	}
+	return out
+}

@@ -6,6 +6,7 @@ import (
 
 	"lattol/internal/mva"
 	"lattol/internal/topology"
+	"lattol/internal/validate"
 )
 
 // Solver selects how the queueing network is solved.
@@ -40,6 +41,23 @@ func (s Solver) String() string {
 	}
 }
 
+// ParseSolver maps the CLI/wire name of a solver to its Solver value. The
+// short names ("symmetric", "full", "exact") and the String() renderings
+// ("symmetric-amva", ...) are both accepted; the empty string selects the
+// default SymmetricAMVA. Unknown names yield a field-named error.
+func ParseSolver(name string) (Solver, error) {
+	switch name {
+	case "", "symmetric", "symmetric-amva":
+		return SymmetricAMVA, nil
+	case "full", "full-amva":
+		return FullAMVA, nil
+	case "exact", "exact-mva":
+		return ExactMVA, nil
+	default:
+		return 0, validate.Fieldf("mms.SolveOptions", "Solver", "= %q, want symmetric, full or exact", name)
+	}
+}
+
 // SolveOptions tunes the solution procedure. The zero value is the default:
 // symmetric AMVA with tolerance 1e-10.
 type SolveOptions struct {
@@ -51,6 +69,20 @@ type SolveOptions struct {
 	// When nil, a workspace is borrowed from a process-wide pool for the
 	// duration of the call. See the Workspace reuse contract.
 	Workspace *Workspace
+}
+
+// Validate reports the first invalid option as a field-named error
+// (*validate.FieldError). Zero values are valid: they select the defaults.
+func (o SolveOptions) Validate() error {
+	switch o.Solver {
+	case SymmetricAMVA, FullAMVA, ExactMVA:
+	default:
+		return validate.Fieldf("mms.SolveOptions", "Solver", "= %d, want SymmetricAMVA, FullAMVA or ExactMVA", int(o.Solver))
+	}
+	if o.Tolerance < 0 || math.IsNaN(o.Tolerance) || math.IsInf(o.Tolerance, 0) {
+		return validate.Fieldf("mms.SolveOptions", "Tolerance", "= %v, want finite >= 0", o.Tolerance)
+	}
+	return nil
 }
 
 func (o SolveOptions) withDefaults() SolveOptions {
@@ -107,6 +139,9 @@ func Solve(cfg Config) (Metrics, error) {
 
 // Solve computes the steady-state performance measures.
 func (m *Model) Solve(opts SolveOptions) (Metrics, error) {
+	if err := opts.Validate(); err != nil {
+		return Metrics{}, err
+	}
 	opts = opts.withDefaults()
 	if m.cfg.Threads == 0 {
 		return Metrics{}, nil
@@ -116,14 +151,10 @@ func (m *Model) Solve(opts SolveOptions) (Metrics, error) {
 		ws = getWorkspace()
 		defer putWorkspace(ws)
 	}
-	switch opts.Solver {
-	case SymmetricAMVA:
+	if opts.Solver == SymmetricAMVA {
 		return m.solveSymmetric(opts, ws)
-	case FullAMVA, ExactMVA:
-		return m.solveFull(opts, ws)
-	default:
-		return Metrics{}, fmt.Errorf("mms: unknown solver %d", int(opts.Solver))
 	}
+	return m.solveFull(opts, ws)
 }
 
 // solveSymmetric iterates the Bard–Schweitzer fixed point on class 0 only.

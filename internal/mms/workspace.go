@@ -53,5 +53,5 @@ func resizeF(buf []float64, n int) []float64 {
 // buffers across the process instead of re-allocating per call.
 var wsPool = sync.Pool{New: func() any { return new(Workspace) }}
 
-func getWorkspace() *Workspace  { return wsPool.Get().(*Workspace) }
+func getWorkspace() *Workspace   { return wsPool.Get().(*Workspace) }
 func putWorkspace(ws *Workspace) { wsPool.Put(ws) }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"lattol/internal/queueing"
+	"lattol/internal/validate"
 )
 
 // AMVAOptions tunes the approximate solver. The zero value selects sensible
@@ -24,6 +25,18 @@ type AMVAOptions struct {
 	// the uniform initial guess), and d > 1 or d < 0 extrapolates instead
 	// of damping.
 	Damping float64
+}
+
+// Validate reports the first invalid option as a field-named error
+// (*validate.FieldError). Zero values are valid: they select the defaults.
+func (o AMVAOptions) Validate() error {
+	if math.IsNaN(o.Tolerance) || math.IsInf(o.Tolerance, 0) {
+		return validate.Fieldf("mva.AMVAOptions", "Tolerance", "= %v, want finite", o.Tolerance)
+	}
+	if d := o.Damping; math.IsNaN(d) || d < 0 || d >= 1 {
+		return validate.Fieldf("mva.AMVAOptions", "Damping", "= %v, want in [0,1)", d)
+	}
+	return nil
 }
 
 func (o AMVAOptions) withDefaults() AMVAOptions {
@@ -82,8 +95,8 @@ func (ws *Workspace) ApproxMultiClass(net *queueing.Network, opts AMVAOptions) (
 	if err := net.Validate(); err != nil {
 		return nil, err
 	}
-	if d := opts.Damping; d < 0 || d >= 1 {
-		return nil, fmt.Errorf("mva: Damping must be in [0,1), got %g", d)
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
 	opts = opts.withDefaults()
 	nc := len(net.Classes)

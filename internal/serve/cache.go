@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"sync"
+
+	"lattol/internal/mms"
+)
+
+// result is the cached outcome of one evaluation. For opSolve only real is
+// populated; for opTolerance real/ideal are the two solved systems and tol
+// their utilization ratio. It is a flat value: copying it out of the cache
+// allocates nothing.
+type result struct {
+	real, ideal mms.Metrics
+	tol         float64
+}
+
+// cacheState classifies how a request was satisfied.
+type cacheState uint8
+
+const (
+	// stateHit: the result was already cached.
+	stateHit cacheState = iota
+	// stateWait: an identical evaluation was in flight; the request
+	// coalesced onto it.
+	stateWait
+	// stateLead: the request is the leader — it must compute and complete
+	// the entry.
+	stateLead
+)
+
+func (s cacheState) String() string {
+	switch s {
+	case stateHit:
+		return "hit"
+	case stateWait:
+		return "coalesced"
+	default:
+		return "miss"
+	}
+}
+
+// entry is one cache slot. Lifecycle: created pending by the leader
+// (done open), then completed exactly once — successful results join the
+// shard's LRU list, failures are removed from the map so a later request
+// retries. res and err are written before done is closed and never after,
+// so waiters may read them without the shard lock once done is closed.
+type entry struct {
+	key  Key
+	done chan struct{}
+	res  result
+	err  error
+
+	// Intrusive LRU links, guarded by the shard lock. Only completed
+	// successful entries are linked.
+	prev, next *entry
+}
+
+// cacheShard is one lock domain of the cache: a map for lookup plus an
+// intrusive doubly-linked LRU list (most recent at head) for eviction.
+type cacheShard struct {
+	mu         sync.Mutex
+	m          map[Key]*entry
+	head, tail *entry
+	linked     int // entries on the LRU list (completed successes)
+	capacity   int
+}
+
+func (s *cacheShard) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	s.linked--
+}
+
+func (s *cacheShard) pushFront(e *entry) {
+	e.prev, e.next = nil, s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+	s.linked++
+}
+
+// cache is the sharded result cache. Sharding keeps lock hold times short
+// under concurrent load; each shard evicts independently in LRU order.
+type cache struct {
+	shards []cacheShard
+	mask   uint64
+}
+
+// newCache sizes a cache for about `entries` completed results across
+// `shards` shards (rounded up to a power of two).
+func newCache(entries, shards int) *cache {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	perShard := (entries + n - 1) / n
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &cache{shards: make([]cacheShard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		c.shards[i].m = make(map[Key]*entry)
+		c.shards[i].capacity = perShard
+	}
+	return c
+}
+
+func (c *cache) shardFor(k Key) *cacheShard {
+	return &c.shards[k.hash()&c.mask]
+}
+
+// getOrStart returns the entry for k and the caller's role. On stateHit the
+// entry is complete and successful (its result may be read immediately); on
+// stateWait the caller must wait on entry.done; on stateLead the caller owns
+// the computation and must eventually call complete exactly once.
+func (c *cache) getOrStart(k Key) (*entry, cacheState) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	if e := s.m[k]; e != nil {
+		select {
+		case <-e.done:
+			// Completed entries in the map are always successes (failures
+			// are removed on completion).
+			s.unlink(e)
+			s.pushFront(e)
+			s.mu.Unlock()
+			return e, stateHit
+		default:
+			s.mu.Unlock()
+			return e, stateWait
+		}
+	}
+	e := &entry{key: k, done: make(chan struct{})}
+	s.m[k] = e
+	s.mu.Unlock()
+	return e, stateLead
+}
+
+// complete finishes a leader's entry, waking every coalesced waiter.
+// Successful results join the LRU (evicting the least recently used result
+// beyond capacity); failures are forgotten so the next identical request
+// recomputes. Returns the number of evicted entries.
+func (c *cache) complete(e *entry, res result, err error) (evicted int) {
+	s := c.shardFor(e.key)
+	s.mu.Lock()
+	e.res, e.err = res, err
+	if err != nil {
+		delete(s.m, e.key)
+	} else {
+		s.pushFront(e)
+		for s.linked > s.capacity {
+			lru := s.tail
+			s.unlink(lru)
+			delete(s.m, lru.key)
+			evicted++
+		}
+	}
+	close(e.done)
+	s.mu.Unlock()
+	return evicted
+}
+
+// len returns the number of completed entries currently cached.
+func (c *cache) len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.linked
+		s.mu.Unlock()
+	}
+	return n
+}

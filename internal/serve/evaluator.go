@@ -1,0 +1,366 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"lattol/internal/mms"
+	"lattol/internal/sweep"
+	"lattol/internal/tolerance"
+	"lattol/internal/validate"
+)
+
+// Shedding errors. They are returned the moment admission fails — no
+// request waits on a queue it will never clear.
+var (
+	// ErrQueueFull reports that the pending-solve queue is at capacity
+	// (HTTP 429: back off and retry).
+	ErrQueueFull = errors.New("serve: solve queue full")
+	// ErrDraining reports that the evaluator is shutting down and refuses
+	// new work (HTTP 503).
+	ErrDraining = errors.New("serve: draining, not accepting new work")
+)
+
+// Config sizes the evaluator. The zero value selects sensible defaults.
+type Config struct {
+	// Workers bounds concurrent solver invocations; each worker owns one
+	// reusable mms.Workspace. Default GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds pending (admitted, not yet solving) evaluations;
+	// submissions beyond it are shed with ErrQueueFull. Default 8×Workers.
+	QueueDepth int
+	// CacheEntries bounds completed results kept for reuse. Default 4096.
+	CacheEntries int
+	// CacheShards is the cache's lock-domain count, rounded up to a power
+	// of two. Default 16.
+	CacheShards int
+	// SolveTimeout is the per-request evaluation budget applied by the HTTP
+	// handlers. Default 10s.
+	SolveTimeout time.Duration
+	// MaxSweepPoints bounds the grid of one /v1/sweep request. Default 1024.
+	MaxSweepPoints int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8 * c.Workers
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 4096
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = 16
+	}
+	if c.SolveTimeout <= 0 {
+		c.SolveTimeout = 10 * time.Second
+	}
+	if c.MaxSweepPoints <= 0 {
+		c.MaxSweepPoints = 1024
+	}
+	return c
+}
+
+// task is one admitted evaluation waiting for a worker.
+type task struct {
+	ent *entry
+	ctx context.Context
+	enq time.Time
+}
+
+// Evaluator is the concurrent model-evaluation engine: canonicalized
+// requests flow through the result cache (hit or coalesce) and, on a miss,
+// through the bounded worker pool. It is safe for concurrent use.
+type Evaluator struct {
+	cfg   Config
+	cache *cache
+	met   *Metrics
+
+	mu       sync.Mutex // guards draining and sends on tasks
+	draining bool
+	tasks    chan task
+	wg       sync.WaitGroup
+
+	// solveHook, when non-nil, runs in the worker immediately before each
+	// solver invocation. Tests use it to count and gate solves.
+	solveHook func(Key)
+}
+
+// NewEvaluator starts the worker pool and returns a ready evaluator. Call
+// Close to drain it.
+func NewEvaluator(cfg Config) *Evaluator {
+	cfg = cfg.withDefaults()
+	e := &Evaluator{
+		cfg:   cfg,
+		cache: newCache(cfg.CacheEntries, cfg.CacheShards),
+		met:   newMetrics(),
+		tasks: make(chan task, cfg.QueueDepth),
+	}
+	e.met.queueDepth = func() int { return len(e.tasks) }
+	e.met.cachedEntries = e.cache.len
+	for i := 0; i < cfg.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Metrics returns the evaluator's live counters.
+func (e *Evaluator) Metrics() *Metrics { return e.met }
+
+// Draining reports whether Close has begun.
+func (e *Evaluator) Draining() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.draining
+}
+
+// Close drains the evaluator: new submissions are refused with ErrDraining,
+// queued and in-flight evaluations finish, and Close returns when every
+// worker has exited. Safe to call more than once.
+func (e *Evaluator) Close() {
+	e.mu.Lock()
+	if !e.draining {
+		e.draining = true
+		close(e.tasks)
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// submit admits a task or sheds it. It never blocks: a full queue is an
+// immediate ErrQueueFull, a draining evaluator an immediate ErrDraining.
+func (e *Evaluator) submit(t task) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.draining {
+		e.met.shedDraining.Add(1)
+		return ErrDraining
+	}
+	select {
+	case e.tasks <- t:
+		return nil
+	default:
+		e.met.shedQueueFull.Add(1)
+		return ErrQueueFull
+	}
+}
+
+// worker is the pool loop: one reusable solver workspace per worker (the
+// sweep runner's per-worker pattern), so steady-state solves allocate
+// nothing beyond model construction.
+func (e *Evaluator) worker() {
+	defer e.wg.Done()
+	ws := new(mms.Workspace)
+	for t := range e.tasks {
+		e.met.queueWait.observe(time.Since(t.enq))
+		if err := t.ctx.Err(); err != nil {
+			// The leader (and every coalesced waiter) is already gone or
+			// about to observe the same context error; don't burn a solve.
+			e.cache.complete(t.ent, result{}, err)
+			continue
+		}
+		e.met.inFlight.Add(1)
+		if e.solveHook != nil {
+			e.solveHook(t.ent.key)
+		}
+		start := time.Now()
+		res, err := computeKey(ws, t.ent.key)
+		e.met.solveLatency.observe(time.Since(start))
+		e.met.inFlight.Add(-1)
+		e.met.solves.Add(1)
+		if err != nil {
+			e.met.solveErrors.Add(1)
+		}
+		if n := e.cache.complete(t.ent, res, err); n > 0 {
+			e.met.cacheEvictions.Add(uint64(n))
+		}
+	}
+}
+
+// computeKey runs the evaluation a key denotes on the worker's workspace.
+func computeKey(ws *mms.Workspace, k Key) (result, error) {
+	cfg := k.config()
+	opts := mms.SolveOptions{Solver: k.solver, Workspace: ws}
+	switch k.op {
+	case opSolve:
+		model, err := mms.Build(cfg)
+		if err != nil {
+			return result{}, err
+		}
+		met, err := model.Solve(opts)
+		if err != nil {
+			return result{}, err
+		}
+		return result{real: met}, nil
+	case opTolerance:
+		idx, err := tolerance.Compute(cfg, k.sub, k.mode, opts)
+		if err != nil {
+			return result{}, err
+		}
+		return result{real: idx.Real, ideal: idx.Ideal, tol: idx.Tol}, nil
+	default:
+		return result{}, fmt.Errorf("serve: unknown operation %d", k.op)
+	}
+}
+
+// evalKey satisfies one canonical evaluation: cache hit, coalesce onto an
+// identical in-flight evaluation, or lead a new one through the pool. When
+// the caller's context expires while leading, the solve itself keeps running
+// and its result still lands in the cache for later requests.
+func (e *Evaluator) evalKey(ctx context.Context, k Key) (result, cacheState, error) {
+	ent, st := e.cache.getOrStart(k)
+	switch st {
+	case stateHit:
+		e.met.cacheHits.Add(1)
+		return ent.res, st, nil
+	case stateWait:
+		e.met.cacheCoalesced.Add(1)
+		select {
+		case <-ent.done:
+			return ent.res, st, ent.err
+		case <-ctx.Done():
+			return result{}, st, ctx.Err()
+		}
+	}
+	e.met.cacheMisses.Add(1)
+	if err := e.submit(task{ent: ent, ctx: ctx, enq: time.Now()}); err != nil {
+		// Wake any waiter that coalesced onto us in the meantime; nothing
+		// is cached, so the next identical request retries admission.
+		e.cache.complete(ent, result{}, err)
+		return result{}, st, err
+	}
+	select {
+	case <-ent.done:
+		return ent.res, st, ent.err
+	case <-ctx.Done():
+		return result{}, st, ctx.Err()
+	}
+}
+
+// Solve evaluates one model configuration, reporting how the cache satisfied
+// the request alongside the metrics.
+func (e *Evaluator) Solve(ctx context.Context, r ModelRequest) (mms.Metrics, cacheState, error) {
+	cfg, pat, geo, solver, err := r.components()
+	if err != nil {
+		return mms.Metrics{}, stateLead, err
+	}
+	if err := validateConfig(cfg, pat); err != nil {
+		return mms.Metrics{}, stateLead, err
+	}
+	k := canonicalKey(cfg, pat, geo, solver, opSolve, 0, 0)
+	res, st, err := e.evalKey(ctx, k)
+	return res.real, st, err
+}
+
+// ToleranceOutcome is the resolved product of one tolerance evaluation.
+type ToleranceOutcome struct {
+	Subsystem tolerance.Subsystem
+	Mode      tolerance.IdealMode
+	Tol       float64
+	Real      mms.Metrics
+	Ideal     mms.Metrics
+}
+
+// Zone classifies the outcome's tolerance index.
+func (o ToleranceOutcome) Zone() tolerance.Zone { return tolerance.Classify(o.Tol) }
+
+// Tolerance evaluates a tolerance index (real and ideal system solves share
+// one cache entry under the request's canonical key).
+func (e *Evaluator) Tolerance(ctx context.Context, r ToleranceRequest) (ToleranceOutcome, cacheState, error) {
+	sub, err := parseSubsystem(r.Subsystem)
+	if err != nil {
+		return ToleranceOutcome{}, stateLead, err
+	}
+	mode, err := parseMode(r.Mode, sub)
+	if err != nil {
+		return ToleranceOutcome{}, stateLead, err
+	}
+	cfg, pat, geo, solver, err := r.components()
+	if err != nil {
+		return ToleranceOutcome{}, stateLead, err
+	}
+	if err := validateConfig(cfg, pat); err != nil {
+		return ToleranceOutcome{}, stateLead, err
+	}
+	k := canonicalKey(cfg, pat, geo, solver, opTolerance, sub, mode)
+	res, st, err := e.evalKey(ctx, k)
+	if err != nil {
+		return ToleranceOutcome{}, st, err
+	}
+	return ToleranceOutcome{Subsystem: sub, Mode: mode, Tol: res.tol, Real: res.real, Ideal: res.ideal}, st, nil
+}
+
+// SweepPoint is one evaluated point of a sweep: the paper's measures plus
+// both tolerance indices at that knob setting.
+type SweepPoint struct {
+	Value      float64     `json:"value"`
+	Metrics    MetricsBody `json:"metrics"`
+	TolNetwork float64     `json:"tol_network"`
+	TolMemory  float64     `json:"tol_memory"`
+}
+
+// Sweep evaluates tolerance indices over a knob range. Points fan out on the
+// sweep runner and flow point-by-point through the same cache and worker
+// pool as single requests, so repeated sweeps hit the cache and a sweep
+// competes fairly with interactive traffic for the bounded workers; under
+// overload individual points are shed and the sweep fails fast.
+func (e *Evaluator) Sweep(ctx context.Context, r SweepRequest) ([]SweepPoint, error) {
+	knob, err := mms.ParseParam(r.Param)
+	if err != nil {
+		return nil, validate.Fieldf("serve.SweepRequest", "param", "= %q, want one of %s",
+			r.Param, strings.Join(mms.ParamNames(), ", "))
+	}
+	if r.Steps < 1 || r.Steps > e.cfg.MaxSweepPoints {
+		return nil, validate.Fieldf("serve.SweepRequest", "steps", "= %d, want in [1,%d]", r.Steps, e.cfg.MaxSweepPoints)
+	}
+	if math.IsNaN(r.From) || math.IsInf(r.From, 0) {
+		return nil, validate.Fieldf("serve.SweepRequest", "from", "= %v, want finite", r.From)
+	}
+	if math.IsNaN(r.To) || math.IsInf(r.To, 0) {
+		return nil, validate.Fieldf("serve.SweepRequest", "to", "= %v, want finite", r.To)
+	}
+	cfg, pat, geo, solver, err := r.components()
+	if err != nil {
+		return nil, err
+	}
+	// The base configuration is validated per point, after the knob is
+	// applied: the base value of the swept field is irrelevant (it is
+	// overwritten), and an out-of-range swept value is reported against the
+	// point that produced it.
+	values := knob.Grid(r.From, r.To, r.Steps)
+	points, err := sweep.Run(ctx, values, sweep.Options{Workers: e.cfg.Workers, FailFast: true},
+		func(v float64) (SweepPoint, error) {
+			pcfg := cfg
+			knob.Apply(&pcfg, v)
+			if err := validateConfig(pcfg, pat); err != nil {
+				return SweepPoint{}, err
+			}
+			net, _, err := e.evalKey(ctx, canonicalKey(pcfg, pat, geo, solver, opTolerance, tolerance.Network, tolerance.ZeroRemote))
+			if err != nil {
+				return SweepPoint{}, err
+			}
+			mem, _, err := e.evalKey(ctx, canonicalKey(pcfg, pat, geo, solver, opTolerance, tolerance.Memory, tolerance.ZeroDelay))
+			if err != nil {
+				return SweepPoint{}, err
+			}
+			return SweepPoint{
+				Value:      v,
+				Metrics:    metricsBody(net.real),
+				TolNetwork: net.tol,
+				TolMemory:  mem.tol,
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return points, nil
+}

@@ -1,0 +1,320 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lattol/internal/validate"
+)
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func uniqueRequest(i int) ModelRequest {
+	r := baseRequest()
+	r.Threads = 1 + i
+	return r
+}
+
+func TestEvaluatorSolveAndCache(t *testing.T) {
+	e := NewEvaluator(Config{Workers: 2})
+	defer e.Close()
+	ctx := context.Background()
+
+	met, st, err := e.Solve(ctx, baseRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != stateLead {
+		t.Errorf("first request state = %v, want miss", st)
+	}
+	if met.Up <= 0 || met.Up > 1 {
+		t.Errorf("U_p = %v, want in (0,1]", met.Up)
+	}
+	if met.LObs < 10 {
+		t.Errorf("L_obs = %v, want >= service time 10", met.LObs)
+	}
+
+	met2, st2, err := e.Solve(ctx, baseRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2 != stateHit {
+		t.Errorf("second request state = %v, want hit", st2)
+	}
+	if met2 != met {
+		t.Errorf("cached metrics %+v differ from computed %+v", met2, met)
+	}
+	if hits := e.Metrics().cacheHits.Load(); hits != 1 {
+		t.Errorf("cacheHits = %d, want 1", hits)
+	}
+}
+
+// TestEvaluatorCoalescing fires many identical concurrent requests while the
+// single worker is gated: exactly one solver invocation must serve them all.
+func TestEvaluatorCoalescing(t *testing.T) {
+	e := NewEvaluator(Config{Workers: 1, QueueDepth: 4})
+	var solves atomic.Int32
+	gate := make(chan struct{})
+	e.solveHook = func(Key) {
+		solves.Add(1)
+		<-gate
+	}
+	defer e.Close()
+	ctx := context.Background()
+
+	const n = 8
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = e.Solve(ctx, baseRequest())
+		}(i)
+	}
+	// One request leads and reaches the (gated) solver; the other n-1
+	// coalesce onto its entry.
+	waitUntil(t, "leader in solver", func() bool { return solves.Load() == 1 })
+	waitUntil(t, "followers coalesced", func() bool { return e.Metrics().cacheCoalesced.Load() == n-1 })
+	close(gate)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("request %d: %v", i, err)
+		}
+	}
+	if got := solves.Load(); got != 1 {
+		t.Errorf("solver invocations = %d for %d identical requests, want 1", got, n)
+	}
+	// And the result is now cached: one more request is a pure hit.
+	if _, st, err := e.Solve(ctx, baseRequest()); err != nil || st != stateHit {
+		t.Errorf("follow-up request: state %v err %v, want hit", st, err)
+	}
+	if got := solves.Load(); got != 1 {
+		t.Errorf("solver ran again for a cached request (%d invocations)", got)
+	}
+}
+
+// TestEvaluatorShedsWhenQueueFull occupies the only worker and the only
+// queue slot, then expects the next distinct request to shed immediately.
+func TestEvaluatorShedsWhenQueueFull(t *testing.T) {
+	e := NewEvaluator(Config{Workers: 1, QueueDepth: 1})
+	var solves atomic.Int32
+	gate := make(chan struct{})
+	e.solveHook = func(Key) {
+		solves.Add(1)
+		<-gate
+	}
+	defer e.Close()
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	var errA, errB error
+	wg.Add(1)
+	go func() { defer wg.Done(); _, _, errA = e.Solve(ctx, uniqueRequest(1)) }()
+	waitUntil(t, "worker occupied", func() bool { return solves.Load() == 1 })
+	wg.Add(1)
+	go func() { defer wg.Done(); _, _, errB = e.Solve(ctx, uniqueRequest(2)) }()
+	waitUntil(t, "queue slot filled", func() bool { return len(e.tasks) == 1 })
+
+	_, _, errC := e.Solve(ctx, uniqueRequest(3))
+	if !errors.Is(errC, ErrQueueFull) {
+		t.Errorf("third request error = %v, want ErrQueueFull", errC)
+	}
+	if shed := e.Metrics().shedQueueFull.Load(); shed != 1 {
+		t.Errorf("shedQueueFull = %d, want 1", shed)
+	}
+
+	close(gate)
+	wg.Wait()
+	if errA != nil || errB != nil {
+		t.Errorf("admitted requests failed: A=%v B=%v", errA, errB)
+	}
+}
+
+// TestEvaluatorGracefulDrain gates an in-flight solve, starts Close, and
+// checks that Close waits for it, new work is refused, and the in-flight
+// request completes successfully.
+func TestEvaluatorGracefulDrain(t *testing.T) {
+	e := NewEvaluator(Config{Workers: 1, QueueDepth: 2})
+	var solves atomic.Int32
+	gate := make(chan struct{})
+	e.solveHook = func(Key) {
+		solves.Add(1)
+		<-gate
+	}
+	ctx := context.Background()
+
+	var inflightErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); _, _, inflightErr = e.Solve(ctx, baseRequest()) }()
+	waitUntil(t, "solve in flight", func() bool { return solves.Load() == 1 })
+
+	closed := make(chan struct{})
+	go func() { e.Close(); close(closed) }()
+	waitUntil(t, "draining flag", e.Draining)
+
+	select {
+	case <-closed:
+		t.Fatal("Close returned while a solve was in flight")
+	default:
+	}
+	if _, _, err := e.Solve(ctx, uniqueRequest(9)); !errors.Is(err, ErrDraining) {
+		t.Errorf("request during drain: %v, want ErrDraining", err)
+	}
+
+	close(gate)
+	wg.Wait()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return after the in-flight solve finished")
+	}
+	if inflightErr != nil {
+		t.Errorf("in-flight solve failed during drain: %v", inflightErr)
+	}
+}
+
+// TestEvaluatorCachedSolveAllocates0 pins the acceptance criterion: the
+// cache-hit path performs zero allocations per request.
+func TestEvaluatorCachedSolveAllocates0(t *testing.T) {
+	e := NewEvaluator(Config{})
+	defer e.Close()
+	ctx := context.Background()
+	req := baseRequest()
+	if _, _, err := e.Solve(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		_, st, err := e.Solve(ctx, req)
+		if err != nil || st != stateHit {
+			t.Fatalf("state %v err %v, want hit", st, err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("cached solve allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestEvaluatorTolerance(t *testing.T) {
+	e := NewEvaluator(Config{})
+	defer e.Close()
+	ctx := context.Background()
+
+	out, _, err := e.Tolerance(ctx, ToleranceRequest{ModelRequest: baseRequest()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Tol <= 0 || out.Tol > 1.2 {
+		t.Errorf("tol_network = %v, want in (0,1.2]", out.Tol)
+	}
+	if out.Real.Up > out.Ideal.Up*1.01 {
+		t.Errorf("real U_p %v exceeds ideal U_p %v", out.Real.Up, out.Ideal.Up)
+	}
+	if out.Zone().String() == "" {
+		t.Error("empty zone")
+	}
+
+	// Memory subsystem with the network-only mode must be rejected.
+	_, _, err = e.Tolerance(ctx, ToleranceRequest{
+		ModelRequest: baseRequest(), Subsystem: "memory", Mode: "zero-remote",
+	})
+	if validate.Field(err) != "mode" {
+		t.Errorf("memory+zero-remote: field = %q (err %v), want mode", validate.Field(err), err)
+	}
+}
+
+func TestEvaluatorSweep(t *testing.T) {
+	e := NewEvaluator(Config{})
+	defer e.Close()
+	ctx := context.Background()
+
+	req := SweepRequest{ModelRequest: baseRequest(), Param: "nt", From: 2, To: 8, Steps: 4}
+	points, err := e.Sweep(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d, want 4", len(points))
+	}
+	for _, p := range points {
+		if p.Metrics.Up <= 0 || p.Metrics.Up > 1 {
+			t.Errorf("nt=%v: U_p = %v", p.Value, p.Metrics.Up)
+		}
+		if p.TolNetwork <= 0 || p.TolMemory <= 0 {
+			t.Errorf("nt=%v: tol_net=%v tol_mem=%v", p.Value, p.TolNetwork, p.TolMemory)
+		}
+	}
+	// More threads give the processor more latency to hide behind work, so
+	// utilization must not decrease along the sweep.
+	for i := 1; i < len(points); i++ {
+		if points[i].Metrics.Up < points[i-1].Metrics.Up-1e-9 {
+			t.Errorf("U_p decreased along nt sweep: %v -> %v", points[i-1].Metrics.Up, points[i].Metrics.Up)
+		}
+	}
+
+	// A repeated sweep is served from cache: no further solver runs.
+	before := e.Metrics().solves.Load()
+	if _, err := e.Sweep(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	if after := e.Metrics().solves.Load(); after != before {
+		t.Errorf("repeated sweep ran %d extra solves", after-before)
+	}
+
+	// Field-named errors for the sweep envelope.
+	if _, err := e.Sweep(ctx, SweepRequest{ModelRequest: baseRequest(), Param: "bogus", From: 1, To: 2, Steps: 2}); validate.Field(err) != "param" {
+		t.Errorf("bad param: field = %q (err %v)", validate.Field(err), err)
+	}
+	if _, err := e.Sweep(ctx, SweepRequest{ModelRequest: baseRequest(), Param: "nt", From: 1, To: 2, Steps: 0}); validate.Field(err) != "steps" {
+		t.Errorf("bad steps: field = %q (err %v)", validate.Field(err), err)
+	}
+	// An out-of-range swept value surfaces the Config field it violated.
+	_, err = e.Sweep(ctx, SweepRequest{ModelRequest: baseRequest(), Param: "premote", From: 0.5, To: 1.5, Steps: 3})
+	if validate.Field(err) != "PRemote" {
+		t.Errorf("out-of-range sweep: field = %q (err %v)", validate.Field(err), err)
+	}
+}
+
+func TestEvaluatorTimeout(t *testing.T) {
+	e := NewEvaluator(Config{Workers: 1})
+	gate := make(chan struct{})
+	var solves atomic.Int32
+	e.solveHook = func(Key) {
+		if solves.Add(1) == 1 {
+			<-gate
+		}
+	}
+	defer e.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); _, _, _ = e.Solve(context.Background(), uniqueRequest(1)) }()
+	waitUntil(t, "worker occupied", func() bool { return solves.Load() == 1 })
+
+	// The queued request's context expires while it waits for the worker.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, _, err := e.Solve(ctx, uniqueRequest(2))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("queued request error = %v, want DeadlineExceeded", err)
+	}
+	close(gate)
+	wg.Wait()
+}

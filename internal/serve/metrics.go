@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBounds are the histogram bucket upper bounds, in seconds (decade
+// buckets from 1µs to 10s, plus +Inf).
+var latencyBounds = [...]float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+
+// histogram is a fixed-bucket latency histogram updated with atomics only,
+// so the hot paths never contend on a lock to record an observation.
+type histogram struct {
+	buckets  [len(latencyBounds) + 1]atomic.Uint64
+	count    atomic.Uint64
+	sumNanos atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < len(latencyBounds) && s > latencyBounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+// writeTo renders the histogram in Prometheus exposition style: cumulative
+// _bucket{le=...} counts, _sum (seconds) and _count.
+func (h *histogram) writeTo(w io.Writer, name string) {
+	var cum uint64
+	for i, le := range latencyBounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, le, cum)
+	}
+	cum += h.buckets[len(latencyBounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, time.Duration(h.sumNanos.Load()).Seconds())
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+}
+
+// Metrics is the service's observability surface: plain atomics incremented
+// on the request paths, rendered on demand by the /metrics endpoint. The
+// daemon thereby reports the same queueing quantities the underlying model
+// computes for the machine it describes — utilization of the compute
+// resource (in-flight gauge vs. workers), queueing delay (queue-wait
+// histogram) and service latency (solve histogram).
+type Metrics struct {
+	start time.Time
+
+	requestsSolve     atomic.Uint64
+	requestsTolerance atomic.Uint64
+	requestsSweep     atomic.Uint64
+	requestsHealth    atomic.Uint64
+	requestsMetrics   atomic.Uint64
+
+	// responsesByClass counts responses by status class (index code/100;
+	// 2 → 2xx, 4 → 4xx, 5 → 5xx).
+	responsesByClass [6]atomic.Uint64
+
+	cacheHits      atomic.Uint64
+	cacheMisses    atomic.Uint64
+	cacheCoalesced atomic.Uint64
+	cacheEvictions atomic.Uint64
+
+	shedQueueFull atomic.Uint64
+	shedDraining  atomic.Uint64
+
+	solves        atomic.Uint64
+	solveErrors   atomic.Uint64
+	inFlight      atomic.Int64
+	queueWait     histogram
+	solveLatency  histogram
+	queueDepth    func() int // wired to the evaluator's pending queue
+	cachedEntries func() int // wired to the cache
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{start: time.Now()}
+}
+
+func (m *Metrics) countStatus(code int) {
+	if class := code / 100; class >= 0 && class < len(m.responsesByClass) {
+		m.responsesByClass[class].Add(1)
+	}
+}
+
+// HitRatio returns cache hits (including coalesced waits, which also avoided
+// a solver run) over all cache lookups, or 0 before any lookup.
+func (m *Metrics) HitRatio() float64 {
+	h := m.cacheHits.Load() + m.cacheCoalesced.Load()
+	total := h + m.cacheMisses.Load()
+	if total == 0 {
+		return 0
+	}
+	return float64(h) / float64(total)
+}
+
+// WriteText renders every metric in Prometheus plaintext exposition style.
+func (m *Metrics) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "lattold_uptime_seconds %g\n", time.Since(m.start).Seconds())
+	for _, c := range []struct {
+		endpoint string
+		v        *atomic.Uint64
+	}{
+		{"solve", &m.requestsSolve},
+		{"tolerance", &m.requestsTolerance},
+		{"sweep", &m.requestsSweep},
+		{"healthz", &m.requestsHealth},
+		{"metrics", &m.requestsMetrics},
+	} {
+		fmt.Fprintf(w, "lattold_requests_total{endpoint=%q} %d\n", c.endpoint, c.v.Load())
+	}
+	for class := 2; class <= 5; class++ {
+		fmt.Fprintf(w, "lattold_responses_total{class=\"%dxx\"} %d\n", class, m.responsesByClass[class].Load())
+	}
+	fmt.Fprintf(w, "lattold_cache_hits_total %d\n", m.cacheHits.Load())
+	fmt.Fprintf(w, "lattold_cache_coalesced_total %d\n", m.cacheCoalesced.Load())
+	fmt.Fprintf(w, "lattold_cache_misses_total %d\n", m.cacheMisses.Load())
+	fmt.Fprintf(w, "lattold_cache_evictions_total %d\n", m.cacheEvictions.Load())
+	fmt.Fprintf(w, "lattold_cache_hit_ratio %g\n", m.HitRatio())
+	if m.cachedEntries != nil {
+		fmt.Fprintf(w, "lattold_cache_entries %d\n", m.cachedEntries())
+	}
+	fmt.Fprintf(w, "lattold_shed_total{reason=\"queue_full\"} %d\n", m.shedQueueFull.Load())
+	fmt.Fprintf(w, "lattold_shed_total{reason=\"draining\"} %d\n", m.shedDraining.Load())
+	fmt.Fprintf(w, "lattold_solves_total %d\n", m.solves.Load())
+	fmt.Fprintf(w, "lattold_solve_errors_total %d\n", m.solveErrors.Load())
+	fmt.Fprintf(w, "lattold_inflight_solves %d\n", m.inFlight.Load())
+	if m.queueDepth != nil {
+		fmt.Fprintf(w, "lattold_queue_depth %d\n", m.queueDepth())
+	}
+	m.queueWait.writeTo(w, "lattold_queue_wait_seconds")
+	m.solveLatency.writeTo(w, "lattold_solve_seconds")
+}

@@ -1,0 +1,311 @@
+// Package serve is the concurrent model-evaluation service: an HTTP/JSON
+// layer over the analytical solvers (mva, mms, tolerance) built to sustain
+// heavy concurrent load.
+//
+// Three mechanisms sit between a request and a solver invocation:
+//
+//   - Result caching with request coalescing: every request canonicalizes to
+//     a Key; a sharded LRU holds finished results, and identical in-flight
+//     requests share one solver invocation (singleflight) instead of
+//     recomputing.
+//   - Admission control: solves run on a bounded worker pool (one reusable
+//     mms.Workspace per worker, so the steady state allocates nothing); the
+//     pending queue is bounded, and requests beyond it are shed immediately
+//     with ErrQueueFull (HTTP 429) rather than queued without bound. On
+//     shutdown the pool drains: in-flight solves finish, new work is refused
+//     with ErrDraining (HTTP 503).
+//   - Observability: atomic counters and latency histograms (requests, cache
+//     hit ratio, queue wait, solve latency, in-flight gauge) are exposed as a
+//     plaintext /metrics endpoint — the daemon reports its own utilization
+//     and latency the same way the paper reports U_p and round-trip latency.
+package serve
+
+import (
+	"math"
+
+	"lattol/internal/access"
+	"lattol/internal/mms"
+	"lattol/internal/tolerance"
+	"lattol/internal/topology"
+	"lattol/internal/validate"
+)
+
+// ModelRequest is the wire form of one model configuration plus solver
+// choice — the body of POST /v1/solve and the base of the tolerance and
+// sweep requests. Fields mirror mms.Config; zero values of the optional
+// fields select the usual defaults (geometric pattern, per-distance
+// normalization, single ports, symmetric AMVA).
+type ModelRequest struct {
+	K             int     `json:"k"`
+	Threads       int     `json:"threads"`
+	Runlength     float64 `json:"runlength"`
+	ContextSwitch float64 `json:"context_switch,omitempty"`
+	MemoryTime    float64 `json:"memory_time"`
+	SwitchTime    float64 `json:"switch_time"`
+	PRemote       float64 `json:"p_remote"`
+	Psw           float64 `json:"psw,omitempty"`
+	Pattern       string  `json:"pattern,omitempty"`        // "", "geometric" or "uniform"
+	GeometricMode string  `json:"geometric_mode,omitempty"` // "", "per-distance" or "per-node"
+	MemoryPorts   int     `json:"memory_ports,omitempty"`
+	SwitchPorts   int     `json:"switch_ports,omitempty"`
+	Solver        string  `json:"solver,omitempty"` // "", "symmetric", "full" or "exact"
+}
+
+// ToleranceRequest is the body of POST /v1/tolerance: a model plus the
+// subsystem whose latency is judged and how the ideal system is derived.
+type ToleranceRequest struct {
+	ModelRequest
+	Subsystem string `json:"subsystem,omitempty"` // "network" (default) or "memory"
+	Mode      string `json:"mode,omitempty"`      // "", "zero-remote" or "zero-delay"
+}
+
+// SweepRequest is the body of POST /v1/sweep: a base model, the knob to
+// sweep and the range. Every point is evaluated like one /v1/tolerance
+// request per subsystem, through the same cache and worker pool.
+type SweepRequest struct {
+	ModelRequest
+	Param string  `json:"param"`
+	From  float64 `json:"from"`
+	To    float64 `json:"to"`
+	Steps int     `json:"steps"`
+}
+
+// patternKind is the canonical encoding of ModelRequest.Pattern.
+type patternKind uint8
+
+const (
+	patternGeometric patternKind = iota // the paper's default
+	patternUniform
+)
+
+// opKind distinguishes the cached operation families. Solve and tolerance
+// results live in one cache but under disjoint keys.
+type opKind uint8
+
+const (
+	opSolve opKind = 1 + iota
+	opTolerance
+)
+
+// Key is the canonical, comparable identity of one evaluation: two requests
+// that must yield the same result map to the same Key. Canonicalization
+// applies defaults (ports, solver) and zeroes fields the evaluation cannot
+// depend on (pattern parameters when no access is remote, psw under the
+// uniform pattern, subsystem/mode for plain solves), so equivalent requests
+// coalesce and hit the same cache line. All fields are scalars: building and
+// comparing a Key allocates nothing, which keeps the cache-hit path at zero
+// allocations per request.
+type Key struct {
+	op      opKind
+	sub     tolerance.Subsystem
+	mode    tolerance.IdealMode
+	solver  mms.Solver
+	pattern patternKind
+	geoMode access.GeometricMode
+
+	k, threads, memPorts, swPorts int
+
+	runlength, contextSwitch, memoryTime, switchTime, pRemote, psw float64
+}
+
+// canonicalKey builds the Key of one evaluation from validated components.
+func canonicalKey(cfg mms.Config, pat patternKind, geo access.GeometricMode, solver mms.Solver, op opKind, sub tolerance.Subsystem, mode tolerance.IdealMode) Key {
+	key := Key{
+		op:      op,
+		sub:     sub,
+		mode:    mode,
+		solver:  solver,
+		pattern: pat,
+		geoMode: geo,
+		k:       cfg.K,
+		threads: cfg.Threads,
+		// +0 folds IEEE negative zero into positive zero so -0.0 and 0.0
+		// requests share a key.
+		runlength:     cfg.Runlength + 0,
+		contextSwitch: cfg.ContextSwitch + 0,
+		memoryTime:    cfg.MemoryTime + 0,
+		switchTime:    cfg.SwitchTime + 0,
+		pRemote:       cfg.PRemote + 0,
+		psw:           cfg.Psw + 0,
+		memPorts:      cfg.MemoryPorts,
+		swPorts:       cfg.SwitchPorts,
+	}
+	if key.memPorts < 1 {
+		key.memPorts = 1
+	}
+	if key.swPorts < 1 {
+		key.swPorts = 1
+	}
+	if key.pRemote == 0 || key.k == 1 {
+		// No access ever touches the network: the pattern is irrelevant.
+		key.pattern, key.geoMode, key.psw = 0, 0, 0
+	} else if key.pattern == patternUniform {
+		// The uniform pattern has no locality parameter.
+		key.geoMode, key.psw = 0, 0
+	}
+	if op == opSolve {
+		key.sub, key.mode = 0, 0
+	}
+	return key
+}
+
+// hash is FNV-1a over the key's fields, used to pick a cache shard.
+func (k Key) hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(k.op) | uint64(k.sub)<<8 | uint64(k.mode)<<16 | uint64(k.solver)<<24 |
+		uint64(k.pattern)<<32 | uint64(k.geoMode)<<40)
+	mix(uint64(k.k))
+	mix(uint64(k.threads))
+	mix(uint64(k.memPorts))
+	mix(uint64(k.swPorts))
+	mix(math.Float64bits(k.runlength))
+	mix(math.Float64bits(k.contextSwitch))
+	mix(math.Float64bits(k.memoryTime))
+	mix(math.Float64bits(k.switchTime))
+	mix(math.Float64bits(k.pRemote))
+	mix(math.Float64bits(k.psw))
+	return h
+}
+
+// config rebuilds the solver configuration the key denotes. Called on the
+// compute path only (cache misses), so constructing the pattern may
+// allocate.
+func (k Key) config() mms.Config {
+	cfg := mms.Config{
+		K:             k.k,
+		Threads:       k.threads,
+		Runlength:     k.runlength,
+		ContextSwitch: k.contextSwitch,
+		MemoryTime:    k.memoryTime,
+		SwitchTime:    k.switchTime,
+		PRemote:       k.pRemote,
+		Psw:           k.psw,
+		GeometricMode: k.geoMode,
+		MemoryPorts:   k.memPorts,
+		SwitchPorts:   k.swPorts,
+	}
+	if k.pattern == patternUniform && k.pRemote > 0 && k.k > 1 {
+		cfg.Pattern = access.MustUniform(topology.MustTorus(k.k))
+	}
+	return cfg
+}
+
+// parsePattern resolves the wire pattern name.
+func parsePattern(name string) (patternKind, error) {
+	switch name {
+	case "", "geometric":
+		return patternGeometric, nil
+	case "uniform":
+		return patternUniform, nil
+	default:
+		return 0, validate.Fieldf("serve.ModelRequest", "pattern", "= %q, want geometric or uniform", name)
+	}
+}
+
+// parseGeometricMode resolves the wire geometric-normalization name.
+func parseGeometricMode(name string) (access.GeometricMode, error) {
+	switch name {
+	case "", "per-distance":
+		return access.PerDistance, nil
+	case "per-node":
+		return access.PerNode, nil
+	default:
+		return 0, validate.Fieldf("serve.ModelRequest", "geometric_mode", "= %q, want per-distance or per-node", name)
+	}
+}
+
+// parseSubsystem resolves the wire subsystem name (default: network).
+func parseSubsystem(name string) (tolerance.Subsystem, error) {
+	switch name {
+	case "", "network":
+		return tolerance.Network, nil
+	case "memory":
+		return tolerance.Memory, nil
+	default:
+		return 0, validate.Fieldf("serve.ToleranceRequest", "subsystem", "= %q, want network or memory", name)
+	}
+}
+
+// parseMode resolves the wire ideal-mode name. The empty string selects the
+// paper's preferred mode for the subsystem: zero-remote for the network
+// ("modify application parameters"), zero-delay for memory.
+func parseMode(name string, sub tolerance.Subsystem) (tolerance.IdealMode, error) {
+	switch name {
+	case "":
+		if sub == tolerance.Network {
+			return tolerance.ZeroRemote, nil
+		}
+		return tolerance.ZeroDelay, nil
+	case "zero-delay":
+		return tolerance.ZeroDelay, nil
+	case "zero-remote":
+		if sub != tolerance.Network {
+			return 0, validate.Fieldf("serve.ToleranceRequest", "mode", "= %q, only defined for the network subsystem", name)
+		}
+		return tolerance.ZeroRemote, nil
+	default:
+		return 0, validate.Fieldf("serve.ToleranceRequest", "mode", "= %q, want zero-delay or zero-remote", name)
+	}
+}
+
+// components parses the request's enum fields and assembles the (not yet
+// validated) solver configuration.
+func (r ModelRequest) components() (cfg mms.Config, pat patternKind, geo access.GeometricMode, solver mms.Solver, err error) {
+	if pat, err = parsePattern(r.Pattern); err != nil {
+		return
+	}
+	if geo, err = parseGeometricMode(r.GeometricMode); err != nil {
+		return
+	}
+	if solver, err = mms.ParseSolver(r.Solver); err != nil {
+		return
+	}
+	cfg = mms.Config{
+		K:             r.K,
+		Threads:       r.Threads,
+		Runlength:     r.Runlength,
+		ContextSwitch: r.ContextSwitch,
+		MemoryTime:    r.MemoryTime,
+		SwitchTime:    r.SwitchTime,
+		PRemote:       r.PRemote,
+		Psw:           r.Psw,
+		GeometricMode: geo,
+		MemoryPorts:   r.MemoryPorts,
+		SwitchPorts:   r.SwitchPorts,
+	}
+	return
+}
+
+// validateConfig checks a configuration without constructing its access
+// pattern. The uniform pattern has no locality parameter, so Psw is checked
+// only when the geometric pattern would actually be built; a placeholder
+// value stands in during validation (Key canonicalization zeroes psw for
+// uniform requests, so the placeholder never leaks into a cache key).
+func validateConfig(cfg mms.Config, pat patternKind) error {
+	if pat == patternUniform {
+		cfg.Psw = 1
+	}
+	return cfg.Validate()
+}
+
+// Validate reports the first invalid field of the request as a field-named
+// error. It allocates nothing on the success path, keeping cache hits
+// allocation-free end to end.
+func (r ModelRequest) Validate() error {
+	cfg, pat, _, _, err := r.components()
+	if err != nil {
+		return err
+	}
+	return validateConfig(cfg, pat)
+}

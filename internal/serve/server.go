@@ -1,0 +1,288 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"lattol/internal/mms"
+	"lattol/internal/mva"
+	"lattol/internal/validate"
+)
+
+// MetricsBody is the wire form of the paper's performance measures.
+type MetricsBody struct {
+	Up             float64 `json:"u_p"`
+	LambdaProc     float64 `json:"lambda"`
+	LambdaNet      float64 `json:"lambda_net"`
+	SObs           float64 `json:"s_obs"`
+	LObs           float64 `json:"l_obs"`
+	CycleTime      float64 `json:"cycle_time"`
+	MemUtilization float64 `json:"mem_utilization"`
+	OutUtilization float64 `json:"out_utilization"`
+	InUtilization  float64 `json:"in_utilization"`
+	Iterations     int     `json:"iterations"`
+}
+
+func metricsBody(m mms.Metrics) MetricsBody {
+	return MetricsBody{
+		Up:             m.Up,
+		LambdaProc:     m.LambdaProc,
+		LambdaNet:      m.LambdaNet,
+		SObs:           m.SObs,
+		LObs:           m.LObs,
+		CycleTime:      m.CycleTime,
+		MemUtilization: m.MemUtilization,
+		OutUtilization: m.OutUtilization,
+		InUtilization:  m.InUtilization,
+		Iterations:     m.Iterations,
+	}
+}
+
+// SolveResponse is the body of a successful POST /v1/solve.
+type SolveResponse struct {
+	Metrics MetricsBody `json:"metrics"`
+}
+
+// ToleranceResponse is the body of a successful POST /v1/tolerance.
+type ToleranceResponse struct {
+	Subsystem string      `json:"subsystem"`
+	Mode      string      `json:"mode"`
+	Tol       float64     `json:"tol"`
+	Zone      string      `json:"zone"`
+	Real      MetricsBody `json:"real"`
+	Ideal     MetricsBody `json:"ideal"`
+}
+
+// SweepResponse is the body of a successful POST /v1/sweep.
+type SweepResponse struct {
+	Param  string       `json:"param"`
+	Points []SweepPoint `json:"points"`
+}
+
+// ErrorBody names what went wrong; Field is present for validation failures
+// and holds the wire name of the offending request field.
+type ErrorBody struct {
+	Status  int    `json:"status"`
+	Message string `json:"message"`
+	Field   string `json:"field,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error ErrorBody `json:"error"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status        string  `json:"status"` // "ok" or "draining"
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// goToWireField maps Go field names of the validated structs to their wire
+// names, so a 400 points at the JSON field the client actually sent.
+var goToWireField = map[string]string{
+	"K":             "k",
+	"Threads":       "threads",
+	"Runlength":     "runlength",
+	"ContextSwitch": "context_switch",
+	"MemoryTime":    "memory_time",
+	"SwitchTime":    "switch_time",
+	"PRemote":       "p_remote",
+	"Psw":           "psw",
+	"MemoryPorts":   "memory_ports",
+	"SwitchPorts":   "switch_ports",
+	"Solver":        "solver",
+	"Tolerance":     "tolerance",
+	"Damping":       "damping",
+}
+
+func wireField(goName string) string {
+	if w, ok := goToWireField[goName]; ok {
+		return w
+	}
+	return goName
+}
+
+// Server is the HTTP facade over an Evaluator.
+type Server struct {
+	eval *Evaluator
+	mux  *http.ServeMux
+}
+
+// NewServer builds a server (and its evaluator) for the configuration.
+// Call Close after shutting down the HTTP listener to drain the pool.
+func NewServer(cfg Config) *Server {
+	return NewServerWith(NewEvaluator(cfg))
+}
+
+// NewServerWith wraps an existing evaluator.
+func NewServerWith(eval *Evaluator) *Server {
+	s := &Server{eval: eval, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/tolerance", s.handleTolerance)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the HTTP handler serving the v1 API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Evaluator returns the underlying evaluation engine.
+func (s *Server) Evaluator() *Evaluator { return s.eval }
+
+// Close drains the evaluator. Call it after the HTTP server has stopped
+// accepting requests (e.g. after http.Server.Shutdown returns), so in-flight
+// handlers finish their evaluations first.
+func (s *Server) Close() { s.eval.Close() }
+
+// maxBodyBytes bounds a request body; the largest legitimate request is a
+// few hundred bytes.
+const maxBodyBytes = 1 << 20
+
+// decodeJSON strictly decodes one JSON object: unknown fields, trailing
+// data and oversized bodies are errors.
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("invalid JSON body: %w", err)
+	}
+	if dec.More() {
+		return errors.New("invalid JSON body: trailing data after the request object")
+	}
+	return nil
+}
+
+// statusFor maps an evaluation error to its HTTP status.
+func statusFor(err error) int {
+	var fe *validate.FieldError
+	var nce *mva.NonConvergenceError
+	switch {
+	case errors.As(err, &fe):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	case errors.As(err, &nce):
+		// The model is well-formed but its fixed point did not stabilize:
+		// the request cannot be served as posed.
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, body any) {
+	s.eval.met.countStatus(code)
+	w.Header().Set("Content-Type", "application/json")
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(body)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
+	s.writeJSON(w, code, ErrorResponse{Error: ErrorBody{
+		Status:  code,
+		Message: err.Error(),
+		Field:   wireField(validate.Field(err)),
+	}})
+}
+
+// reqContext applies the per-request evaluation budget.
+func (s *Server) reqContext(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), s.eval.cfg.SolveTimeout)
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	s.eval.met.requestsSolve.Add(1)
+	var req ModelRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.reqContext(r)
+	defer cancel()
+	met, st, err := s.eval.Solve(ctx, req)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("X-Lattold-Cache", st.String())
+	s.writeJSON(w, http.StatusOK, SolveResponse{Metrics: metricsBody(met)})
+}
+
+func (s *Server) handleTolerance(w http.ResponseWriter, r *http.Request) {
+	s.eval.met.requestsTolerance.Add(1)
+	var req ToleranceRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.reqContext(r)
+	defer cancel()
+	out, st, err := s.eval.Tolerance(ctx, req)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("X-Lattold-Cache", st.String())
+	s.writeJSON(w, http.StatusOK, ToleranceResponse{
+		Subsystem: out.Subsystem.String(),
+		Mode:      out.Mode.String(),
+		Tol:       out.Tol,
+		Zone:      out.Zone().String(),
+		Real:      metricsBody(out.Real),
+		Ideal:     metricsBody(out.Ideal),
+	})
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.eval.met.requestsSweep.Add(1)
+	var req SweepRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.reqContext(r)
+	defer cancel()
+	points, err := s.eval.Sweep(ctx, req)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, SweepResponse{Param: req.Param, Points: points})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.eval.met.requestsHealth.Add(1)
+	status, code := "ok", http.StatusOK
+	if s.eval.Draining() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, HealthResponse{
+		Status:        status,
+		UptimeSeconds: time.Since(s.eval.met.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.eval.met.requestsMetrics.Add(1)
+	s.eval.met.countStatus(http.StatusOK)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.eval.met.WriteText(w)
+}

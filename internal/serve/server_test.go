@@ -1,0 +1,344 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newTestServer wires a Server over a small evaluator and returns both with
+// an httptest listener. The caller owns shutdown via the returned close func.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := NewServer(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	return resp
+}
+
+func decodeBody(t *testing.T, resp *http.Response, dst any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+		t.Fatalf("decoding response body: %v", err)
+	}
+}
+
+const validBody = `{"k":4,"threads":8,"runlength":10,"memory_time":10,"switch_time":10,"p_remote":0.2,"psw":0.5}`
+
+func TestServerSolveOK(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp := postJSON(t, ts.URL+"/v1/solve", validBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Lattold-Cache"); got != "miss" {
+		t.Errorf("X-Lattold-Cache = %q, want miss", got)
+	}
+	var out SolveResponse
+	decodeBody(t, resp, &out)
+	if out.Metrics.Up <= 0 || out.Metrics.Up > 1 {
+		t.Errorf("u_p = %v, want in (0,1]", out.Metrics.Up)
+	}
+	if out.Metrics.CycleTime <= 0 {
+		t.Errorf("cycle_time = %v, want > 0", out.Metrics.CycleTime)
+	}
+
+	// The identical request is a cache hit.
+	resp2 := postJSON(t, ts.URL+"/v1/solve", validBody)
+	if got := resp2.Header.Get("X-Lattold-Cache"); got != "hit" {
+		t.Errorf("repeat X-Lattold-Cache = %q, want hit", got)
+	}
+	var out2 SolveResponse
+	decodeBody(t, resp2, &out2)
+	if out2 != out {
+		t.Errorf("cached body %+v differs from first %+v", out2, out)
+	}
+}
+
+func TestServerToleranceOK(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp := postJSON(t, ts.URL+"/v1/tolerance", validBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var out ToleranceResponse
+	decodeBody(t, resp, &out)
+	if out.Subsystem != "network" || out.Mode != "zero-remote" {
+		t.Errorf("defaults = %s/%s, want network/zero-remote", out.Subsystem, out.Mode)
+	}
+	if out.Tol <= 0 || out.Tol > 1.2 {
+		t.Errorf("tol = %v, want in (0,1.2]", out.Tol)
+	}
+	if out.Zone == "" {
+		t.Error("zone missing")
+	}
+	if out.Ideal.Up < out.Real.Up-1e-9 {
+		t.Errorf("ideal u_p %v below real u_p %v", out.Ideal.Up, out.Real.Up)
+	}
+}
+
+func TestServerSweepOK(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	body := `{"k":4,"threads":8,"runlength":10,"memory_time":10,"switch_time":10,"p_remote":0.2,"psw":0.5,"param":"nt","from":2,"to":8,"steps":4}`
+	resp := postJSON(t, ts.URL+"/v1/sweep", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var out SweepResponse
+	decodeBody(t, resp, &out)
+	if out.Param != "nt" || len(out.Points) != 4 {
+		t.Fatalf("param %q with %d points, want nt with 4", out.Param, len(out.Points))
+	}
+	for _, p := range out.Points {
+		if p.TolNetwork <= 0 || p.TolMemory <= 0 {
+			t.Errorf("nt=%v: tol_network=%v tol_memory=%v", p.Value, p.TolNetwork, p.TolMemory)
+		}
+	}
+}
+
+// TestServerGolden400s pins the error contract: malformed bodies and invalid
+// fields produce 400 with a message and (for validation) the wire field name.
+func TestServerGolden400s(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	cases := []struct {
+		name      string
+		path      string
+		body      string
+		wantField string
+	}{
+		{"malformed JSON", "/v1/solve", `{"k":4,`, ""},
+		{"trailing data", "/v1/solve", validBody + `{"k":2}`, ""},
+		{"unknown field", "/v1/solve", `{"k":4,"bogus":1}`, ""},
+		{"wrong type", "/v1/solve", `{"k":"four"}`, ""},
+		{"zero k", "/v1/solve", `{"k":0,"threads":8,"runlength":10,"memory_time":10,"switch_time":10}`, "k"},
+		{"bad p_remote", "/v1/solve", `{"k":4,"threads":8,"runlength":10,"memory_time":10,"switch_time":10,"p_remote":1.5}`, "p_remote"},
+		{"bad solver", "/v1/solve", `{"k":4,"threads":8,"runlength":10,"memory_time":10,"switch_time":10,"solver":"bogus"}`, "solver"},
+		{"bad subsystem", "/v1/tolerance", `{"k":4,"threads":8,"runlength":10,"memory_time":10,"switch_time":10,"subsystem":"disk"}`, "subsystem"},
+		{"memory with zero-remote", "/v1/tolerance", `{"k":4,"threads":8,"runlength":10,"memory_time":10,"switch_time":10,"subsystem":"memory","mode":"zero-remote"}`, "mode"},
+		{"bad sweep param", "/v1/sweep", `{"k":4,"threads":8,"runlength":10,"memory_time":10,"switch_time":10,"param":"bogus","from":1,"to":2,"steps":2}`, "param"},
+		{"zero sweep steps", "/v1/sweep", `{"k":4,"threads":8,"runlength":10,"memory_time":10,"switch_time":10,"param":"nt","from":1,"to":2,"steps":0}`, "steps"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := postJSON(t, ts.URL+tc.path, tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400", resp.StatusCode)
+			}
+			var out ErrorResponse
+			decodeBody(t, resp, &out)
+			if out.Error.Status != http.StatusBadRequest {
+				t.Errorf("error.status = %d, want 400", out.Error.Status)
+			}
+			if out.Error.Message == "" {
+				t.Error("error.message empty")
+			}
+			if out.Error.Field != tc.wantField {
+				t.Errorf("error.field = %q, want %q (message: %s)", out.Error.Field, tc.wantField, out.Error.Message)
+			}
+		})
+	}
+}
+
+func TestServerMethodAndBodyLimits(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp, err := http.Get(ts.URL + "/v1/solve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/solve status = %d, want 405", resp.StatusCode)
+	}
+
+	huge := `{"k":4,"threads":8` + strings.Repeat(" ", maxBodyBytes) + `}`
+	resp = postJSON(t, ts.URL+"/v1/solve", huge)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized body status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServerSheds429 gates the only worker, fills the single queue slot, and
+// expects the next distinct request to come back 429 with Retry-After.
+func TestServerSheds429(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	var solves atomic.Int32
+	gate := make(chan struct{})
+	srv.Evaluator().solveHook = func(Key) {
+		solves.Add(1)
+		<-gate
+	}
+	defer close(gate)
+
+	body := func(nt int) string {
+		return fmt.Sprintf(`{"k":4,"threads":%d,"runlength":10,"memory_time":10,"switch_time":10,"p_remote":0.2,"psw":0.5}`, nt)
+	}
+	go func() { r := postJSON(t, ts.URL+"/v1/solve", body(1)); r.Body.Close() }()
+	waitUntil(t, "worker occupied", func() bool { return solves.Load() == 1 })
+	go func() { r := postJSON(t, ts.URL+"/v1/solve", body(2)); r.Body.Close() }()
+	waitUntil(t, "queue slot filled", func() bool { return len(srv.Evaluator().tasks) == 1 })
+
+	resp := postJSON(t, ts.URL+"/v1/solve", body(3))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	var out ErrorResponse
+	decodeBody(t, resp, &out)
+	if !strings.Contains(out.Error.Message, "queue full") {
+		t.Errorf("error.message = %q, want a queue-full explanation", out.Error.Message)
+	}
+}
+
+// TestServerGracefulShutdown verifies the drain ordering: a gated in-flight
+// request completes with 200 while http.Server.Shutdown waits, then the pool
+// closes.
+func TestServerGracefulShutdown(t *testing.T) {
+	srv := NewServer(Config{Workers: 1})
+	ts := httptest.NewUnstartedServer(srv.Handler())
+	ts.Start()
+
+	var solves atomic.Int32
+	gate := make(chan struct{})
+	srv.Evaluator().solveHook = func(Key) {
+		solves.Add(1)
+		<-gate
+	}
+
+	type reply struct {
+		code  int
+		cache string
+	}
+	replies := make(chan reply, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(validBody))
+		if err != nil {
+			replies <- reply{-1, err.Error()}
+			return
+		}
+		defer resp.Body.Close()
+		replies <- reply{resp.StatusCode, resp.Header.Get("X-Lattold-Cache")}
+	}()
+	waitUntil(t, "solve in flight", func() bool { return solves.Load() == 1 })
+
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- ts.Config.Shutdown(context.Background()) }()
+	// Shutdown must wait for the in-flight handler.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned (%v) while a request was in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(gate)
+	got := <-replies
+	if got.code != http.StatusOK {
+		t.Fatalf("in-flight request finished with %d (%s), want 200", got.code, got.cache)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	srv.Close()
+	if !srv.Evaluator().Draining() {
+		t.Error("evaluator not draining after Close")
+	}
+}
+
+func TestServerHealthz(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var h HealthResponse
+	decodeBody(t, resp, &h)
+	if h.Status != "ok" || h.UptimeSeconds < 0 {
+		t.Errorf("health = %+v", h)
+	}
+
+	srv.Close()
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining status = %d, want 503", resp.StatusCode)
+	}
+	var h2 HealthResponse
+	decodeBody(t, resp, &h2)
+	if h2.Status != "draining" {
+		t.Errorf("draining body status = %q", h2.Status)
+	}
+}
+
+func TestServerMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// Generate some traffic first: a miss, a hit, and a 400.
+	postJSON(t, ts.URL+"/v1/solve", validBody).Body.Close()
+	postJSON(t, ts.URL+"/v1/solve", validBody).Body.Close()
+	postJSON(t, ts.URL+"/v1/solve", `{"k":0}`).Body.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"lattold_requests_total{endpoint=\"solve\"} 3",
+		"lattold_cache_hits_total 1",
+		"lattold_cache_misses_total 1",
+		"lattold_responses_total{class=\"2xx\"}",
+		"lattold_responses_total{class=\"4xx\"}",
+		"lattold_solve_seconds_bucket",
+		"lattold_queue_wait_seconds_sum",
+		"lattold_inflight_solves",
+		"lattold_cache_hit_ratio",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Package validate defines the field-named error type shared by the
+// parameter-validation helpers of the solver packages (mva.AMVAOptions,
+// mms.Config, mms.SolveOptions) and their consumers.
+//
+// Validation used to be scattered across the CLI entry points, each rendering
+// its own free-form messages. Centralizing it behind *FieldError keeps the
+// rendered text uniform ("mms.Config: PRemote = 1.2, want in [0,1]") and —
+// more importantly for the HTTP serving layer — makes the offending field
+// programmatically recoverable with errors.As, so a malformed request can be
+// answered with a structured 400 that names the bad field instead of a blob
+// of prose.
+package validate
+
+import (
+	"errors"
+	"fmt"
+)
+
+// FieldError reports an invalid value of one named field of an input struct.
+type FieldError struct {
+	// Struct names the input struct being validated, e.g. "mms.Config".
+	Struct string
+	// Field names the offending field, e.g. "PRemote".
+	Field string
+	// Msg describes the violation, e.g. "= 1.2, want in [0,1]".
+	Msg string
+}
+
+func (e *FieldError) Error() string {
+	if e.Struct == "" {
+		return fmt.Sprintf("%s %s", e.Field, e.Msg)
+	}
+	return fmt.Sprintf("%s: %s %s", e.Struct, e.Field, e.Msg)
+}
+
+// Fieldf builds a *FieldError with a formatted message.
+func Fieldf(structName, field, format string, args ...any) *FieldError {
+	return &FieldError{Struct: structName, Field: field, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Field returns the name of the offending field when err (or any error in
+// its chain) is a *FieldError, and "" otherwise.
+func Field(err error) string {
+	var fe *FieldError
+	if errors.As(err, &fe) {
+		return fe.Field
+	}
+	return ""
+}

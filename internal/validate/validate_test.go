@@ -1,0 +1,29 @@
+package validate
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestFieldErrorText(t *testing.T) {
+	err := Fieldf("mms.Config", "PRemote", "= %v, want in [0,1]", 1.2)
+	want := "mms.Config: PRemote = 1.2, want in [0,1]"
+	if err.Error() != want {
+		t.Errorf("Error() = %q, want %q", err.Error(), want)
+	}
+}
+
+func TestFieldRecoversThroughWrapping(t *testing.T) {
+	base := Fieldf("mms.Config", "K", "= 0, want >= 1")
+	wrapped := fmt.Errorf("building model: %w", base)
+	if got := Field(wrapped); got != "K" {
+		t.Errorf("Field(wrapped) = %q, want %q", got, "K")
+	}
+	if got := Field(errors.New("plain")); got != "" {
+		t.Errorf("Field(plain) = %q, want empty", got)
+	}
+	if got := Field(nil); got != "" {
+		t.Errorf("Field(nil) = %q, want empty", got)
+	}
+}

@@ -27,5 +27,9 @@ json="BENCH_${date_tag}.json"
 echo "benchmarking ${pkgs[*]} (bench='${bench}', count=${count}) -> ${json}" >&2
 go test -run '^$' -bench "${bench}" -benchmem -count "${count}" "${pkgs[@]}" | tee "${raw}" >&2
 
-go run ./scripts/benchjson < "${raw}" > "${json}"
+if ! go run ./scripts/benchjson < "${raw}" > "${json}"; then
+    rm -f "${json}"
+    echo "bench.sh: no benchmark results to summarize for bench='${bench}' in ${pkgs[*]}; raw output kept in ${raw}" >&2
+    exit 1
+fi
 echo "wrote ${raw} and ${json}" >&2

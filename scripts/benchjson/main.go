@@ -121,6 +121,12 @@ func main() {
 	}
 
 	sort.Strings(order)
+	if len(order) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines found on stdin"+
+			" (expected `go test -bench` output with Benchmark... lines);"+
+			" check the -bench regex and that the packages define benchmarks")
+		os.Exit(1)
+	}
 	for _, name := range order {
 		s := samples[name]
 		if len(s.nsPerOp) == 0 {
@@ -136,6 +142,11 @@ func main() {
 			b.AllocsPerOp = &st
 		}
 		out.Benchmarks = append(out.Benchmarks, b)
+	}
+
+	if len(out.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: benchmark lines found but none carried an ns/op measurement; nothing to summarize")
+		os.Exit(1)
 	}
 
 	enc := json.NewEncoder(os.Stdout)
