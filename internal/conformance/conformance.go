@@ -1,0 +1,57 @@
+// Package conformance is the correctness-tooling layer of the repository:
+// the cheap laws every queueing-model solution must satisfy (Little's law,
+// the utilization law, flow balance, asymptotic throughput bounds, the
+// tolerance-index range) packaged as reusable checkers, a differential
+// harness that drives randomized model configurations through every solver
+// and both simulation substrates and demands pairwise agreement, and a
+// golden numeric corpus pinning the paper-figure operating points.
+//
+// The motivation is Hill's observation (see PAPERS.md) that operational laws
+// are exactly the invariants an analytical model can be audited against
+// without re-deriving it: they hold for any observation window, so any
+// solver output that violates them is wrong regardless of which
+// approximation produced it. After several PRs of aggressive hot-path
+// rewrites, these checks — not the rewritten code — are what stands between
+// the next refactor and a silently bent number.
+//
+// Three layers:
+//
+//   - Invariant checkers (invariants.go): pure functions over a solved
+//     queueing.Network/mva.Result pair or an mms.Metrics value. Each returns
+//     a *Violation (an error) naming the broken law and the offending
+//     quantity; Check composites run them all and errors.Join the failures.
+//   - Differential harness (diff.go): seeded randomized mms.Config instances
+//     pushed through symmetric AMVA, full AMVA, exact MVA (when the state
+//     space is small), the direct discrete-event simulator and the stochastic
+//     Petri net, with pairwise agreement asserted within the documented
+//     bands. A failing configuration is shrunk to a minimal reproducer and
+//     reported together with the seed that generated it.
+//   - Golden corpus (golden.go): exact numeric snapshots of the paper's
+//     Figure 4/5 operating points, regenerated with
+//     `go run ./scripts/goldens -update`.
+//
+// The fuzz targets in this package (FuzzAMVASolve, FuzzMMSConfigValidate,
+// FuzzServeKeyCanonical) reuse the same checkers, so `go test -fuzz` explores
+// the configuration space with the full invariant set armed.
+package conformance
+
+import "fmt"
+
+// Violation is one broken invariant: the name of the law and what was
+// observed. It is comparable with errors.As, so callers can tell a
+// conformance failure from a solver error.
+type Violation struct {
+	// Check names the invariant, e.g. "little", "utilization-law".
+	Check string
+	// Detail describes the observed violation with the numbers involved.
+	Detail string
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("conformance/%s: %s", v.Check, v.Detail)
+}
+
+// violatef builds a *Violation with a formatted detail message.
+func violatef(check, format string, args ...any) *Violation {
+	return &Violation{Check: check, Detail: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,121 @@
+package conformance
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"lattol/internal/mms"
+)
+
+// envInt reads an integer budget knob from the environment (the CI
+// conformance job and the nightly workflow widen the defaults this way).
+func envInt(name string, def int) int {
+	if s := os.Getenv(name); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return def
+}
+
+func TestRandomConfigAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		cfg := RandomConfig(rng)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("draw %d: RandomConfig produced invalid %+v: %v", i, cfg, err)
+		}
+	}
+}
+
+// TestDifferentialHarness is the PR-path differential gate: a fixed seed
+// budget of randomized configurations through symmetric/full/exact MVA and
+// both simulators. The nightly workflow raises LATTOL_CONFORMANCE_TRIALS
+// and the simulation horizon for a deeper sweep of the same corpus.
+func TestDifferentialHarness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential harness runs simulations; skipped in -short mode")
+	}
+	opts := DiffOptions{
+		Trials:      envInt("LATTOL_CONFORMANCE_TRIALS", 6),
+		Seed:        int64(envInt("LATTOL_CONFORMANCE_SEED", 1)),
+		SimDuration: float64(envInt("LATTOL_CONFORMANCE_SIM_DURATION", 40000)),
+	}
+	if err := RunDiff(context.Background(), opts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDifferentialAnalytical runs a larger analytical-only budget (no
+// simulations, so two orders of magnitude cheaper per trial) even in -short
+// mode.
+func TestDifferentialAnalytical(t *testing.T) {
+	opts := DiffOptions{
+		Trials:  envInt("LATTOL_CONFORMANCE_ANALYTICAL_TRIALS", 24),
+		Seed:    2,
+		SkipSim: true,
+	}
+	if err := RunDiff(context.Background(), opts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShrinkMinimizes drives Shrink with a synthetic predicate and checks it
+// reaches the predicate's minimal corner while preserving failure.
+func TestShrinkMinimizes(t *testing.T) {
+	fails := func(c mms.Config) bool {
+		return c.PRemote > 0 && c.Threads >= 2
+	}
+	start := mms.Config{
+		K: 3, Threads: 6,
+		Runlength: 13.7, ContextSwitch: 1.2,
+		MemoryTime: 9.1, SwitchTime: 4.3,
+		PRemote: 0.47, Psw: 0.61,
+		MemoryPorts: 2, SwitchPorts: 2,
+	}
+	if !fails(start) {
+		t.Fatal("fixture predicate must fail on the start config")
+	}
+	got := Shrink(start, fails, 0)
+	if !fails(got) {
+		t.Fatalf("shrinking lost the failure: %+v", got)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("shrunk config invalid: %v", err)
+	}
+	if got.Threads != 2 {
+		t.Errorf("threads not minimized: %+v", got)
+	}
+	if got.K != 2 {
+		// K = 1 would force PRemote = 0 and lose the failure, so 2 is the
+		// smallest torus the predicate allows.
+		t.Errorf("torus not minimized: %+v", got)
+	}
+	if got.ContextSwitch != 0 || got.MemoryPorts != 0 || got.SwitchPorts != 0 {
+		t.Errorf("satellite knobs not cleared: %+v", got)
+	}
+	if got.Runlength != 14 || got.MemoryTime != 9 || got.SwitchTime != 4 {
+		t.Errorf("service times not rounded: %+v", got)
+	}
+}
+
+// TestDiffFailureCarriesSeed asserts a harness failure names the (seed,
+// trial) pair — the reproduction contract: one log line must be enough to
+// rerun the divergence locally.
+func TestDiffFailureCarriesSeed(t *testing.T) {
+	f := &DiffFailure{Seed: 7, Trial: 3, Config: mms.DefaultConfig(), Shrunk: mms.DefaultConfig(), Err: errors.New("boom")}
+	msg := f.Error()
+	for _, want := range []string{"trial 3", "seed 7", "boom"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("failure message missing %q: %s", want, msg)
+		}
+	}
+	if !errors.Is(f, f.Err) {
+		t.Error("DiffFailure does not unwrap to its cause")
+	}
+}

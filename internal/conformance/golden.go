@@ -1,0 +1,184 @@
+package conformance
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"lattol/internal/mms"
+	"lattol/internal/tolerance"
+)
+
+// GoldenPoint is one entry of the golden numeric corpus: a paper-figure
+// operating point and the analytical answers at it. The corpus pins the
+// numbers the README and the paper reproduction quote; any refactor that
+// moves them outside GoldenRelTol fails the corpus test and must either be
+// fixed or regenerate the corpus deliberately with
+// `go run ./scripts/goldens -update` (and justify the change in the PR).
+type GoldenPoint struct {
+	Name string `json:"name"`
+
+	K          int     `json:"k"`
+	Threads    int     `json:"threads"`
+	Runlength  float64 `json:"runlength"`
+	MemoryTime float64 `json:"memory_time"`
+	SwitchTime float64 `json:"switch_time"`
+	PRemote    float64 `json:"p_remote"`
+	Psw        float64 `json:"psw"`
+
+	Up         float64 `json:"up"`
+	SObs       float64 `json:"s_obs"`
+	LObs       float64 `json:"l_obs"`
+	LambdaNet  float64 `json:"lambda_net"`
+	TolNetwork float64 `json:"tol_network"`
+	TolMemory  float64 `json:"tol_memory"`
+}
+
+// GoldenRelTol is the relative agreement demanded when a recomputed value is
+// compared against the corpus. It is loose enough to absorb architectural
+// floating-point differences (e.g. fused multiply-add on arm64) and far too
+// tight for any algorithmic change to slip through.
+const GoldenRelTol = 1e-9
+
+// Config rebuilds the model configuration of a golden point.
+func (g GoldenPoint) Config() mms.Config {
+	return mms.Config{
+		K:          g.K,
+		Threads:    g.Threads,
+		Runlength:  g.Runlength,
+		MemoryTime: g.MemoryTime,
+		SwitchTime: g.SwitchTime,
+		PRemote:    g.PRemote,
+		Psw:        g.Psw,
+	}
+}
+
+// GoldenConfigs enumerates the corpus operating points: the Table 1 default
+// and a grid over the axes of Figures 4 and 5 (R ∈ {10, 20}, n_t ∈
+// {1, 2, 4, 8, 10}, p_remote ∈ {0.1, 0.2, 0.5, 0.9}) on the paper's 4×4
+// torus with the geometric pattern at p_sw = 0.5.
+func GoldenConfigs() []mms.Config {
+	cfgs := []mms.Config{mms.DefaultConfig()}
+	for _, r := range []float64{10, 20} {
+		for _, nt := range []int{1, 2, 4, 8, 10} {
+			for _, p := range []float64{0.1, 0.2, 0.5, 0.9} {
+				cfg := mms.DefaultConfig()
+				cfg.Runlength = r
+				cfg.Threads = nt
+				cfg.PRemote = p
+				cfgs = append(cfgs, cfg)
+			}
+		}
+	}
+	return cfgs
+}
+
+// ComputeGolden evaluates one operating point: the paper's measures from the
+// symmetric AMVA solve plus both tolerance indices.
+func ComputeGolden(cfg mms.Config) (GoldenPoint, error) {
+	g := GoldenPoint{
+		Name: fmt.Sprintf("K%d R%g nt%d p%.2f", cfg.K, cfg.Runlength, cfg.Threads, cfg.PRemote),
+		K:    cfg.K, Threads: cfg.Threads,
+		Runlength: cfg.Runlength, MemoryTime: cfg.MemoryTime,
+		SwitchTime: cfg.SwitchTime, PRemote: cfg.PRemote, Psw: cfg.Psw,
+	}
+	met, err := mms.Solve(cfg)
+	if err != nil {
+		return g, fmt.Errorf("%s: %w", g.Name, err)
+	}
+	g.Up, g.SObs, g.LObs, g.LambdaNet = met.Up, met.SObs, met.LObs, met.LambdaNet
+	netIdx, err := tolerance.Compute(cfg, tolerance.Network, tolerance.ZeroRemote, mms.SolveOptions{})
+	if err != nil {
+		return g, fmt.Errorf("%s: tol_network: %w", g.Name, err)
+	}
+	memIdx, err := tolerance.Compute(cfg, tolerance.Memory, tolerance.ZeroDelay, mms.SolveOptions{})
+	if err != nil {
+		return g, fmt.Errorf("%s: tol_memory: %w", g.Name, err)
+	}
+	g.TolNetwork, g.TolMemory = netIdx.Tol, memIdx.Tol
+	return g, nil
+}
+
+// ComputeGoldenCorpus evaluates every corpus operating point.
+func ComputeGoldenCorpus() ([]GoldenPoint, error) {
+	cfgs := GoldenConfigs()
+	points := make([]GoldenPoint, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		g, err := ComputeGolden(cfg)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, g)
+	}
+	return points, nil
+}
+
+// MarshalGoldenCorpus renders the corpus as the committed JSON form
+// (indented, one object per point, trailing newline).
+func MarshalGoldenCorpus(points []GoldenPoint) ([]byte, error) {
+	data, err := json.MarshalIndent(points, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// UnmarshalGoldenCorpus parses a committed corpus file.
+func UnmarshalGoldenCorpus(data []byte) ([]GoldenPoint, error) {
+	var points []GoldenPoint
+	if err := json.Unmarshal(data, &points); err != nil {
+		return nil, fmt.Errorf("conformance: parsing golden corpus: %w", err)
+	}
+	return points, nil
+}
+
+// CompareGolden checks a recomputed point against its committed counterpart
+// within GoldenRelTol on every measure.
+func CompareGolden(got, want GoldenPoint) error {
+	for _, f := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"up", got.Up, want.Up},
+		{"s_obs", got.SObs, want.SObs},
+		{"l_obs", got.LObs, want.LObs},
+		{"lambda_net", got.LambdaNet, want.LambdaNet},
+		{"tol_network", got.TolNetwork, want.TolNetwork},
+		{"tol_memory", got.TolMemory, want.TolMemory},
+	} {
+		if math.IsNaN(f.got) || relErr(f.got, f.want) > GoldenRelTol {
+			return violatef("golden", "%s: %s = %.17g, corpus has %.17g (rel %.3g)",
+				want.Name, f.name, f.got, f.want, relErr(f.got, f.want))
+		}
+	}
+	return nil
+}
+
+// VerifyGoldenCorpus recomputes every point of a committed corpus and
+// reports the first divergence. Points are matched by name; a corpus whose
+// operating points differ from GoldenConfigs (count or names) is reported as
+// stale, pointing at the regeneration command.
+func VerifyGoldenCorpus(data []byte) error {
+	committed, err := UnmarshalGoldenCorpus(data)
+	if err != nil {
+		return err
+	}
+	fresh, err := ComputeGoldenCorpus()
+	if err != nil {
+		return err
+	}
+	if len(committed) != len(fresh) {
+		return violatef("golden", "corpus has %d points, current definition has %d — regenerate with `go run ./scripts/goldens -update`",
+			len(committed), len(fresh))
+	}
+	for i, want := range committed {
+		if fresh[i].Name != want.Name {
+			return violatef("golden", "point %d is %q, current definition has %q — regenerate with `go run ./scripts/goldens -update`",
+				i, want.Name, fresh[i].Name)
+		}
+		if err := CompareGolden(fresh[i], want); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package conformance
+
+import (
+	"errors"
+	"os"
+	"testing"
+)
+
+// TestGoldenCorpus recomputes every paper-figure operating point and
+// compares against the committed corpus. A legitimate numeric change must
+// regenerate the corpus with `go run ./scripts/goldens -update` and explain
+// itself in the PR; anything else failing here is a solver regression.
+func TestGoldenCorpus(t *testing.T) {
+	data, err := os.ReadFile("testdata/golden.json")
+	if err != nil {
+		t.Fatalf("golden corpus missing (generate with `go run ./scripts/goldens -update`): %v", err)
+	}
+	if err := VerifyGoldenCorpus(data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompareGoldenFires proves the corpus comparison detects drift well
+// below anything a solver change could plausibly produce.
+func TestCompareGoldenFires(t *testing.T) {
+	pts, err := ComputeGoldenCorpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pts[0]
+	got.Up *= 1 + 1e-7
+	err = CompareGolden(got, pts[0])
+	var v *Violation
+	if !errors.As(err, &v) || v.Check != "golden" {
+		t.Fatalf("1e-7 drift not flagged: %v", err)
+	}
+	if err := CompareGolden(pts[0], pts[0]); err != nil {
+		t.Fatalf("identical point flagged: %v", err)
+	}
+}
+
+// TestGoldenRoundTrip checks the corpus file format survives a
+// marshal/unmarshal cycle bit-for-bit on every measure.
+func TestGoldenRoundTrip(t *testing.T) {
+	pts, err := ComputeGoldenCorpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalGoldenCorpus(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalGoldenCorpus(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(pts) {
+		t.Fatalf("round trip changed point count: %d -> %d", len(pts), len(back))
+	}
+	for i := range pts {
+		if err := CompareGolden(back[i], pts[i]); err != nil {
+			t.Fatalf("round trip drifted: %v", err)
+		}
+	}
+}

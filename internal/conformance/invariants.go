@@ -1,0 +1,421 @@
+package conformance
+
+import (
+	"errors"
+	"math"
+
+	"lattol/internal/mms"
+	"lattol/internal/mva"
+	"lattol/internal/queueing"
+	"lattol/internal/tolerance"
+)
+
+// Bands collects the tolerance bands of the invariant and differential
+// checks. The zero value selects the documented defaults (DESIGN.md §11);
+// fields are only ever widened explicitly, never implicitly.
+type Bands struct {
+	// Identity bounds the relative residual of exact operational identities
+	// (Little's law, flow balance, U = X·D consistency). These hold to
+	// floating-point accuracy for exact MVA and to the convergence tolerance
+	// for AMVA. Default 1e-6.
+	Identity float64
+	// FixedPoint bounds the relative residual when a converged AMVA waiting
+	// time is re-derived from the reported queue lengths through
+	// mva.StationResidence. Default 1e-6.
+	FixedPoint float64
+	// BoundsSlack is the relative slack allowed on the asymptotic
+	// (bottleneck) throughput bounds and on utilization ≤ 1. Default 0.01.
+	BoundsSlack float64
+	// TolExcess is ε in the tolerance-index range check 0 < tol ≤ 1+ε.
+	// The paper's Section 7 shows indices slightly above 1 are legitimate (a
+	// finite network can relieve memory contention relative to an ideal
+	// one), so ε is not zero. Default 0.2, matching the daemon smoke bound.
+	TolExcess float64
+	// AMVAvsExact bounds the relative throughput divergence between
+	// Bard–Schweitzer AMVA and the exact MVA recursion on single-server
+	// networks. Default 0.16 (the Bard–Schweitzer error envelope observed
+	// across the random-cycle corpus).
+	AMVAvsExact float64
+	// AMVAvsExactMulti is the same bound when the network contains
+	// multi-server FCFS stations, where the shadow-server approximation adds
+	// a pessimistic error of its own. Default 0.35.
+	AMVAvsExactMulti float64
+	// Monotone is the relative slack of monotonicity checks on metric
+	// series, scaled by the largest magnitude in the series. Default 1e-6.
+	Monotone float64
+}
+
+// DefaultBands returns the documented default tolerance bands (DESIGN.md
+// §11), for callers that want to reference a band value directly rather
+// than pass a zero Bands through a checker.
+func DefaultBands() Bands { return Bands{}.withDefaults() }
+
+// withDefaults fills in the documented default bands.
+func (b Bands) withDefaults() Bands {
+	if b.Identity <= 0 {
+		b.Identity = 1e-6
+	}
+	if b.FixedPoint <= 0 {
+		b.FixedPoint = 1e-6
+	}
+	if b.BoundsSlack <= 0 {
+		b.BoundsSlack = 0.01
+	}
+	if b.TolExcess <= 0 {
+		b.TolExcess = 0.2
+	}
+	if b.AMVAvsExact <= 0 {
+		b.AMVAvsExact = 0.16
+	}
+	if b.AMVAvsExactMulti <= 0 {
+		b.AMVAvsExactMulti = 0.35
+	}
+	if b.Monotone <= 0 {
+		b.Monotone = 1e-6
+	}
+	return b
+}
+
+// relErr is the relative residual of got against want, guarded against a
+// zero reference.
+func relErr(got, want float64) float64 {
+	d := math.Abs(got - want)
+	if scale := math.Abs(want); scale > 0 {
+		return d / scale
+	}
+	return d
+}
+
+// CheckFinite reports the first non-finite number in a solver result.
+func CheckFinite(res *mva.Result) error {
+	bad := func(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
+	for c := range res.Throughput {
+		if bad(res.Throughput[c]) || bad(res.CycleTime[c]) {
+			return violatef("finite", "class %d: throughput %v, cycle time %v", c, res.Throughput[c], res.CycleTime[c])
+		}
+		for m := range res.Wait[c] {
+			if bad(res.Wait[c][m]) || bad(res.QueueLen[c][m]) {
+				return violatef("finite", "class %d station %d: wait %v, queue %v", c, m, res.Wait[c][m], res.QueueLen[c][m])
+			}
+		}
+	}
+	return nil
+}
+
+// CheckLittle verifies Little's law per class: λ_c · T_c = N_c within the
+// Identity band (relative to the population).
+func CheckLittle(net *queueing.Network, res *mva.Result, b Bands) error {
+	b = b.withDefaults()
+	for c, cl := range net.Classes {
+		if cl.Population == 0 {
+			continue
+		}
+		got := res.Throughput[c] * res.CycleTime[c]
+		if relErr(got, float64(cl.Population)) > b.Identity {
+			return violatef("little", "class %d (%s): λ·T = %v, population %d",
+				c, cl.Name, got, cl.Population)
+		}
+	}
+	return nil
+}
+
+// CheckFlowBalance verifies population conservation: the class-c queue
+// lengths over all stations sum to the class population, and every queue
+// length is non-negative.
+func CheckFlowBalance(net *queueing.Network, res *mva.Result, b Bands) error {
+	b = b.withDefaults()
+	for c, cl := range net.Classes {
+		var total float64
+		for m, q := range res.QueueLen[c] {
+			if q < 0 {
+				return violatef("flow-balance", "class %d station %d: negative queue length %v", c, m, q)
+			}
+			total += q
+		}
+		if cl.Population == 0 {
+			if total != 0 {
+				return violatef("flow-balance", "class %d (%s): empty class holds %v customers", c, cl.Name, total)
+			}
+			continue
+		}
+		if relErr(total, float64(cl.Population)) > b.Identity {
+			return violatef("flow-balance", "class %d (%s): Σ_m n_cm = %v, population %d",
+				c, cl.Name, total, cl.Population)
+		}
+	}
+	return nil
+}
+
+// CheckUtilizationLaw verifies the utilization law U = X·D at every FCFS
+// station: per-server utilization must lie in [0, 1+slack], and the
+// station's mean queue length must be at least its utilization (customers in
+// service are queued customers).
+func CheckUtilizationLaw(net *queueing.Network, res *mva.Result, b Bands) error {
+	b = b.withDefaults()
+	for m, st := range net.Stations {
+		if st.Kind != queueing.FCFS {
+			continue
+		}
+		var u float64
+		for c := range net.Classes {
+			cu := res.Throughput[c] * net.Demand(c, m)
+			if cu < 0 {
+				return violatef("utilization-law", "station %d (%s) class %d: negative utilization %v", m, st.Name, c, cu)
+			}
+			u += cu
+		}
+		u /= float64(st.ServerCount())
+		if u > 1+b.BoundsSlack {
+			return violatef("utilization-law", "station %d (%s): per-server utilization %v > 1", m, st.Name, u)
+		}
+		// U is the expected number of busy servers per server; the mean
+		// queue length counts customers in service too, so Q ≥ U·servers
+		// must hold up to the identity band.
+		if q := res.TotalQueueLen(m); q < u*float64(st.ServerCount())*(1-b.BoundsSlack)-b.Identity {
+			return violatef("utilization-law", "station %d (%s): queue length %v < busy servers %v",
+				m, st.Name, q, u*float64(st.ServerCount()))
+		}
+	}
+	return nil
+}
+
+// CheckThroughputBounds verifies each class's throughput against its
+// single-class asymptotic (bottleneck) bounds: the class cannot beat its
+// bottleneck station or its zero-contention cycle, and cannot do worse than
+// the fully-serialized pessimistic bound.
+func CheckThroughputBounds(net *queueing.Network, res *mva.Result, b Bands) error {
+	b = b.withDefaults()
+	for c, cl := range net.Classes {
+		if cl.Population == 0 {
+			continue
+		}
+		bounds, err := mva.AsymptoticBounds(net, c)
+		if err != nil {
+			return err
+		}
+		x := res.Throughput[c]
+		if x > bounds.ThroughputUpper*(1+b.BoundsSlack) {
+			return violatef("throughput-bounds", "class %d (%s): λ = %v beats asymptotic upper bound %v (bottleneck station %d)",
+				c, cl.Name, x, bounds.ThroughputUpper, bounds.Bottleneck)
+		}
+		if x < bounds.ThroughputLower*(1-b.BoundsSlack) {
+			return violatef("throughput-bounds", "class %d (%s): λ = %v below pessimistic lower bound %v",
+				c, cl.Name, x, bounds.ThroughputLower)
+		}
+	}
+	return nil
+}
+
+// CheckFixedPoint re-derives every waiting time of a converged
+// Bard–Schweitzer solution from its reported queue lengths (the arrival
+// theorem estimate n_m(N−1_c) = Σ_j n_jm − n_cm/N_c pushed back through
+// mva.StationResidence) and compares against the reported waiting times.
+// This is the check a mutated waiting-time term cannot survive: Little's law
+// and flow balance hold for AMVA output by construction, but the fixed-point
+// relation ties the output to the actual residence formula. Results from
+// exact solvers are skipped — the relation is specific to the approximation.
+func CheckFixedPoint(net *queueing.Network, res *mva.Result, b Bands) error {
+	if res.Method != mva.MethodApprox {
+		return nil
+	}
+	b = b.withDefaults()
+	nm := len(net.Stations)
+	colSum := make([]float64, nm)
+	for m := 0; m < nm; m++ {
+		for c := range net.Classes {
+			colSum[m] += res.QueueLen[c][m]
+		}
+	}
+	for c, cl := range net.Classes {
+		if cl.Population == 0 {
+			continue
+		}
+		ni := float64(cl.Population)
+		for m := 0; m < nm; m++ {
+			if cl.Visits[m] == 0 {
+				continue
+			}
+			seen := colSum[m] - res.QueueLen[c][m]/ni
+			want := mva.StationResidence(net.Stations[m], seen)
+			if relErr(res.Wait[c][m], want) > b.FixedPoint {
+				return violatef("fixed-point", "class %d station %d: wait %v, residence of reported queues %v",
+					c, m, res.Wait[c][m], want)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckResult runs every solver-output invariant against a solved network:
+// finiteness, Little's law, flow balance, the utilization law, asymptotic
+// throughput bounds and (for approximate results) fixed-point consistency.
+// All violations are reported, joined.
+func CheckResult(net *queueing.Network, res *mva.Result, b Bands) error {
+	if err := CheckFinite(res); err != nil {
+		return err // everything else would just re-report the NaN
+	}
+	return errors.Join(
+		CheckLittle(net, res, b),
+		CheckFlowBalance(net, res, b),
+		CheckUtilizationLaw(net, res, b),
+		CheckThroughputBounds(net, res, b),
+		CheckFixedPoint(net, res, b),
+	)
+}
+
+// CheckMetrics verifies the operational laws on an mms solution: the
+// identities the metrics assembly promises (U_p = λ·(R+C), λ_net = λ·p,
+// Little's law on the thread cycle), the physical ranges (utilizations in
+// [0, 1+slack]) and the latency floors (observed latencies cannot undercut
+// the unloaded service times).
+func CheckMetrics(model *mms.Model, met mms.Metrics, b Bands) error {
+	b = b.withDefaults()
+	cfg := model.Config()
+	if cfg.Threads == 0 {
+		return nil // degenerate: all-zero metrics are the defined answer
+	}
+	for _, v := range []struct {
+		name string
+		v    float64
+	}{
+		{"Up", met.Up}, {"LambdaProc", met.LambdaProc}, {"LambdaNet", met.LambdaNet},
+		{"SObs", met.SObs}, {"LObs", met.LObs}, {"CycleTime", met.CycleTime},
+		{"MemUtilization", met.MemUtilization}, {"OutUtilization", met.OutUtilization},
+		{"InUtilization", met.InUtilization},
+	} {
+		if math.IsNaN(v.v) || math.IsInf(v.v, 0) || v.v < 0 {
+			return violatef("metrics-finite", "%s = %v", v.name, v.v)
+		}
+	}
+	service := cfg.Runlength + cfg.ContextSwitch
+	if relErr(met.Up, met.LambdaProc*service) > b.Identity {
+		return violatef("utilization-law", "U_p = %v, λ·(R+C) = %v", met.Up, met.LambdaProc*service)
+	}
+	if relErr(met.LambdaNet, met.LambdaProc*cfg.PRemote) > b.Identity {
+		return violatef("metrics-identity", "λ_net = %v, λ·p_remote = %v", met.LambdaNet, met.LambdaProc*cfg.PRemote)
+	}
+	if got := met.LambdaProc * met.CycleTime; relErr(got, float64(cfg.Threads)) > b.Identity {
+		return violatef("little", "λ·CycleTime = %v, n_t = %d", got, cfg.Threads)
+	}
+	for _, u := range []struct {
+		name string
+		v    float64
+	}{
+		{"U_p", met.Up}, {"U_mem", met.MemUtilization},
+		{"U_out", met.OutUtilization}, {"U_in", met.InUtilization},
+	} {
+		if u.v > 1+b.BoundsSlack {
+			return violatef("utilization-law", "%s = %v > 1", u.name, u.v)
+		}
+	}
+	if met.LObs < cfg.MemoryTime*(1-b.Identity) {
+		return violatef("latency-floor", "L_obs = %v < unloaded memory time %v", met.LObs, cfg.MemoryTime)
+	}
+	if unloaded := model.UnloadedNetworkLatency(); met.SObs < unloaded*(1-b.Identity) {
+		return violatef("latency-floor", "S_obs = %v < unloaded network latency %v", met.SObs, unloaded)
+	}
+	return nil
+}
+
+// CheckToleranceIndex verifies the tolerance-index range: for a system with
+// work to do, 0 < tol ≤ 1+ε, and the index must equal the U_p ratio it is
+// defined as.
+func CheckToleranceIndex(idx tolerance.Index, b Bands) error {
+	b = b.withDefaults()
+	if math.IsNaN(idx.Tol) || math.IsInf(idx.Tol, 0) {
+		return violatef("tolerance-range", "tol = %v", idx.Tol)
+	}
+	if idx.Tol <= 0 {
+		return violatef("tolerance-range", "tol = %v, want > 0", idx.Tol)
+	}
+	if idx.Tol > 1+b.TolExcess {
+		return violatef("tolerance-range", "tol = %v > 1+ε (ε = %v)", idx.Tol, b.TolExcess)
+	}
+	if idx.Ideal.Up > 0 {
+		if want := idx.Real.Up / idx.Ideal.Up; relErr(idx.Tol, want) > b.Identity {
+			return violatef("tolerance-range", "tol = %v, U_p ratio %v", idx.Tol, want)
+		}
+	}
+	return nil
+}
+
+// Direction orients a monotonicity check.
+type Direction int
+
+const (
+	// NonDecreasing requires y[i+1] ≥ y[i] up to the Monotone slack.
+	NonDecreasing Direction = iota
+	// NonIncreasing requires y[i+1] ≤ y[i] up to the Monotone slack.
+	NonIncreasing
+)
+
+func (d Direction) String() string {
+	if d == NonIncreasing {
+		return "non-increasing"
+	}
+	return "non-decreasing"
+}
+
+// CheckMonotone verifies that the series ys (sampled at the strictly ordered
+// knob values xs) moves in the given direction, allowing a relative slack
+// scaled by the largest magnitude in the series. The paper's qualitative
+// claims — utilization grows with n_t and R, shrinks with p_remote; the
+// network-tolerance index grows with n_t — become machine-checkable this way.
+func CheckMonotone(name string, xs, ys []float64, dir Direction, b Bands) error {
+	b = b.withDefaults()
+	if len(xs) != len(ys) {
+		return violatef("monotone", "%s: %d knob values, %d samples", name, len(xs), len(ys))
+	}
+	var scale float64
+	for _, y := range ys {
+		if a := math.Abs(y); a > scale {
+			scale = a
+		}
+	}
+	slack := b.Monotone * scale
+	for i := 1; i < len(ys); i++ {
+		delta := ys[i] - ys[i-1]
+		if dir == NonIncreasing {
+			delta = -delta
+		}
+		if delta < -slack {
+			return violatef("monotone", "%s: not %v at x = %v: y goes %v -> %v",
+				name, dir, xs[i], ys[i-1], ys[i])
+		}
+	}
+	return nil
+}
+
+// CheckAMVAVsExact solves the network with both the Bard–Schweitzer AMVA and
+// the exact MVA recursion and verifies the per-class throughput divergence
+// stays within the documented band (the wider multi-server band applies as
+// soon as any FCFS station has more than one server). maxStates bounds the
+// exact recursion; 0 selects its default.
+func CheckAMVAVsExact(net *queueing.Network, maxStates int, b Bands) error {
+	b = b.withDefaults()
+	band := b.AMVAvsExact
+	for _, st := range net.Stations {
+		if st.Kind == queueing.FCFS && st.ServerCount() > 1 {
+			band = b.AMVAvsExactMulti
+			break
+		}
+	}
+	exact, err := mva.ExactMultiClass(net, maxStates)
+	if err != nil {
+		return err
+	}
+	approx, err := mva.ApproxMultiClass(net, mva.AMVAOptions{})
+	if err != nil {
+		return err
+	}
+	for c, cl := range net.Classes {
+		if cl.Population == 0 {
+			continue
+		}
+		if rel := relErr(approx.Throughput[c], exact.Throughput[c]); rel > band {
+			return violatef("amva-vs-exact", "class %d (%s): AMVA λ = %v vs exact %v (rel %.4f > %.4f)",
+				c, cl.Name, approx.Throughput[c], exact.Throughput[c], rel, band)
+		}
+	}
+	return nil
+}

@@ -4,6 +4,13 @@
 // randomly generated closed networks. Agreement here validates every layer
 // at once — if the event engine, the station semantics, the Petri-net
 // semantics or a solver recursion were wrong, these would diverge.
+//
+// Invariant checking and the agreement bands live in internal/conformance;
+// this package supplies the network generators and the simulation adapters.
+// Every randomized trial derives its own generator stream from
+// (crossvalSeed, trial), so a failure message naming the trial index is a
+// complete reproduction recipe: no trial depends on the random draws of the
+// trials before it.
 package crossval
 
 import (
@@ -13,6 +20,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"lattol/internal/conformance"
 	"lattol/internal/des"
 	"lattol/internal/mva"
 	"lattol/internal/petri"
@@ -20,6 +28,24 @@ import (
 	"lattol/internal/stats"
 	"lattol/internal/sweep"
 )
+
+// crossvalSeed is the base seed of every randomized trial in this package.
+// Network generation for trial i uses stream DeriveSeed(crossvalSeed, i, 0);
+// the DES and Petri simulations use streams 1 and 2 of the same pair.
+const crossvalSeed = 99
+
+// simAgreement is the relative throughput band for the event simulators
+// against the exact load-dependent answer at the horizons used below. It is
+// tighter than conformance's DiffOptions sim bands because these cyclic
+// networks are simulated exactly (no shadow-server approximation on either
+// side) and the horizon is longer.
+const simAgreement = 0.06
+
+// trialNet regenerates trial i's network from its own derived stream.
+func trialNet(trial int) *queueing.Network {
+	rng := rand.New(rand.NewSource(sweep.DeriveSeed(crossvalSeed, int64(trial), 0)))
+	return randomCycle(rng)
+}
 
 // randomCycle generates a random closed cyclic network: N jobs visit
 // stations 0..M-1 in order (all visit ratios 1). Station kinds, service
@@ -131,25 +157,23 @@ func TestRandomCyclesSolversVsSimulators(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation cross-validation skipped in -short mode")
 	}
-	// Network generation shares one rng stream, so it stays sequential; the
-	// trials themselves are independent and fan out over the sweep runner.
-	// Simulation seeds are derived from the trial index, so results are
-	// identical at any worker count.
-	rng := rand.New(rand.NewSource(99))
-	nets := make([]*queueing.Network, 6)
-	trials := make([]int, len(nets))
-	for i := range nets {
-		nets[i] = randomCycle(rng)
-		trials[i] = i
-	}
+	// The trials are independent — each regenerates its network from its own
+	// derived seed — and fan out over the sweep runner; results are identical
+	// at any worker count.
+	trials := []int{0, 1, 2, 3, 4, 5}
 	type outcome struct {
 		want, conv, des, petri float64
 	}
 	outcomes, err := sweep.Run(context.Background(), trials, sweep.Options{}, func(trial int) (outcome, error) {
-		net := nets[trial]
+		net := trialNet(trial)
 		exact, err := mva.ExactSingleClassLD(net)
 		if err != nil {
 			return outcome{}, err
+		}
+		// The exact answer must itself satisfy the operational laws before
+		// it serves as the reference for everything else.
+		if err := conformance.CheckResult(net, exact, conformance.Bands{}); err != nil {
+			return outcome{}, fmt.Errorf("trial %d (seed %d): exact LD MVA: %w", trial, crossvalSeed, err)
 		}
 		x, err := mva.Convolution(net)
 		if err != nil {
@@ -159,8 +183,8 @@ func TestRandomCyclesSolversVsSimulators(t *testing.T) {
 		return outcome{
 			want:  exact.Throughput[0],
 			conv:  x,
-			des:   simulateCycleDES(t, net, sweep.DeriveSeed(99, int64(trial), 1), horizon),
-			petri: simulateCyclePetri(t, net, sweep.DeriveSeed(99, int64(trial), 2), horizon),
+			des:   simulateCycleDES(t, net, sweep.DeriveSeed(crossvalSeed, int64(trial), 1), horizon),
+			petri: simulateCyclePetri(t, net, sweep.DeriveSeed(crossvalSeed, int64(trial), 2), horizon),
 		}, nil
 	})
 	if err != nil {
@@ -169,12 +193,12 @@ func TestRandomCyclesSolversVsSimulators(t *testing.T) {
 	for trial, o := range outcomes {
 		// Convolution must agree analytically.
 		if math.Abs(o.conv-o.want) > 1e-9*(1+o.want) {
-			t.Errorf("trial %d: convolution %v != LD MVA %v", trial, o.conv, o.want)
+			t.Errorf("trial %d (seed %d): convolution %v != LD MVA %v", trial, crossvalSeed, o.conv, o.want)
 		}
 		for name, got := range map[string]float64{"des": o.des, "petri": o.petri} {
-			if rel := math.Abs(got-o.want) / o.want; rel > 0.06 {
-				t.Errorf("trial %d (%+v): %s throughput %v vs exact %v (rel %.3f)",
-					trial, nets[trial].Stations, name, got, o.want, rel)
+			if rel := math.Abs(got-o.want) / o.want; rel > simAgreement {
+				t.Errorf("trial %d (seed %d) (%+v): %s throughput %v vs exact %v (rel %.3f)",
+					trial, crossvalSeed, trialNet(trial).Stations, name, got, o.want, rel)
 			}
 		}
 	}
@@ -185,18 +209,19 @@ func TestAMVAOnRandomCycles(t *testing.T) {
 	// Bard–Schweitzer error on single-server networks. With multi-server
 	// stations it additionally carries the shadow-server approximation,
 	// which is always *pessimistic* and can undershoot by ~30% when a
-	// 2-server station is the bottleneck at small population — characterize
-	// both regimes.
-	rng := rand.New(rand.NewSource(7))
-	nets := make([]*queueing.Network, 25)
-	for i := range nets {
-		nets[i] = randomCycle(rng)
+	// 2-server station is the bottleneck at small population — the two
+	// regimes are the documented AMVAvsExact and AMVAvsExactMulti bands.
+	bands := conformance.DefaultBands()
+	trials := make([]int, 25)
+	for i := range trials {
+		trials[i] = i
 	}
 	type outcome struct {
 		multi         bool
 		exact, approx float64
 	}
-	outcomes, err := sweep.Run(context.Background(), nets, sweep.Options{}, func(net *queueing.Network) (outcome, error) {
+	outcomes, err := sweep.Run(context.Background(), trials, sweep.Options{}, func(trial int) (outcome, error) {
+		net := trialNet(trial)
 		var o outcome
 		for _, st := range net.Stations {
 			if st.Kind == queueing.FCFS && st.ServerCount() > 1 {
@@ -205,11 +230,16 @@ func TestAMVAOnRandomCycles(t *testing.T) {
 		}
 		exact, err := mva.ExactSingleClassLD(net)
 		if err != nil {
-			return o, fmt.Errorf("exact LD MVA: %w", err)
+			return o, fmt.Errorf("trial %d (seed %d): exact LD MVA: %w", trial, crossvalSeed, err)
 		}
 		approx, err := mva.ApproxMultiClass(net, mva.AMVAOptions{})
 		if err != nil {
-			return o, fmt.Errorf("AMVA: %w", err)
+			return o, fmt.Errorf("trial %d (seed %d): AMVA: %w", trial, crossvalSeed, err)
+		}
+		// The converged AMVA answer must satisfy every invariant the
+		// conformance library checks, including the fixed-point identity.
+		if err := conformance.CheckResult(net, approx, bands); err != nil {
+			return o, fmt.Errorf("trial %d (seed %d): %w", trial, crossvalSeed, err)
 		}
 		o.exact = exact.Throughput[0]
 		o.approx = approx.Throughput[0]
@@ -221,15 +251,17 @@ func TestAMVAOnRandomCycles(t *testing.T) {
 	for trial, o := range outcomes {
 		rel := math.Abs(o.approx-o.exact) / o.exact
 		if o.multi {
-			if rel > 0.35 {
-				t.Errorf("trial %d: shadow+AMVA error %.1f%% on %+v", trial, rel*100, nets[trial].Stations)
+			if rel > bands.AMVAvsExactMulti {
+				t.Errorf("trial %d (seed %d): shadow+AMVA error %.1f%% on %+v",
+					trial, crossvalSeed, rel*100, trialNet(trial).Stations)
 			}
 			if o.approx > o.exact*1.05 {
-				t.Errorf("trial %d: shadow approximation should be pessimistic: %v > %v",
-					trial, o.approx, o.exact)
+				t.Errorf("trial %d (seed %d): shadow approximation should be pessimistic: %v > %v",
+					trial, crossvalSeed, o.approx, o.exact)
 			}
-		} else if rel > 0.16 {
-			t.Errorf("trial %d: AMVA error %.1f%% on %+v", trial, rel*100, nets[trial].Stations)
+		} else if rel > bands.AMVAvsExact {
+			t.Errorf("trial %d (seed %d): AMVA error %.1f%% on %+v",
+				trial, crossvalSeed, rel*100, trialNet(trial).Stations)
 		}
 	}
 }

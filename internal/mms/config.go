@@ -95,8 +95,8 @@ func (c Config) Validate() error {
 			return validate.Fieldf("mms.Config", p.name, "= %v, want finite >= 0", p.v)
 		}
 	}
-	if c.Runlength+c.ContextSwitch <= 0 {
-		return validate.Fieldf("mms.Config", "Runlength", "+ ContextSwitch = %v, want > 0", c.Runlength+c.ContextSwitch)
+	if sum := c.Runlength + c.ContextSwitch; sum <= 0 || math.IsInf(sum, 0) {
+		return validate.Fieldf("mms.Config", "Runlength", "+ ContextSwitch = %v, want finite > 0", sum)
 	}
 	if c.PRemote < 0 || c.PRemote > 1 || math.IsNaN(c.PRemote) {
 		return validate.Fieldf("mms.Config", "PRemote", "= %v, want in [0,1]", c.PRemote)

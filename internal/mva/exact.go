@@ -150,6 +150,14 @@ func ExactMultiClass(net *queueing.Network, maxStates int) (*Result, error) {
 	return r, nil
 }
 
+// StationResidence exposes the MVA residence-time step for external
+// consistency checks: internal/conformance re-derives every waiting time of a
+// converged solution from the reported queue lengths and compares, so a
+// mutation of the waiting-time term inside a solver cannot survive unnoticed.
+func StationResidence(st queueing.Station, seen float64) float64 {
+	return residence(st, seen)
+}
+
 // residence is the MVA residence-time step for one station given the queue
 // length seen on arrival: s·(1+q) at a single-server FCFS station, s at a
 // delay station, and the shadow-server approximation

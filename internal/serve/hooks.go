@@ -1,0 +1,65 @@
+package serve
+
+import "lattol/internal/mms"
+
+// This file exports the canonicalization pipeline in a form the conformance
+// layer can exercise from outside the package: internal/conformance fuzzes
+// the request→Key mapping (FuzzServeKeyCanonical) and needs to build keys,
+// re-canonicalize them and recover the solver configuration a key denotes.
+// The handlers themselves keep using the unexported path.
+
+// SolveKey validates a solve request and returns its canonical cache Key —
+// exactly the key POST /v1/solve would look up. Two requests with equal keys
+// are served the same cached result, so SolveKey is the surface on which
+// "equal keys ⇒ identical answers" must hold; the conformance fuzz target
+// asserts it.
+func SolveKey(r ModelRequest) (Key, error) {
+	cfg, pat, geo, solver, err := r.components()
+	if err != nil {
+		return Key{}, err
+	}
+	if err := validateConfig(cfg, pat); err != nil {
+		return Key{}, err
+	}
+	return canonicalKey(cfg, pat, geo, solver, opSolve, 0, 0), nil
+}
+
+// ToleranceKey validates a tolerance request and returns its canonical cache
+// Key — exactly the key POST /v1/tolerance would look up.
+func ToleranceKey(r ToleranceRequest) (Key, error) {
+	sub, err := parseSubsystem(r.Subsystem)
+	if err != nil {
+		return Key{}, err
+	}
+	mode, err := parseMode(r.Mode, sub)
+	if err != nil {
+		return Key{}, err
+	}
+	cfg, pat, geo, solver, err := r.components()
+	if err != nil {
+		return Key{}, err
+	}
+	if err := validateConfig(cfg, pat); err != nil {
+		return Key{}, err
+	}
+	return canonicalKey(cfg, pat, geo, solver, opTolerance, sub, mode), nil
+}
+
+// ModelConfig rebuilds the solver configuration the key denotes (defaults
+// applied, irrelevant fields zeroed) — the configuration a cache miss would
+// actually solve.
+func (k Key) ModelConfig() mms.Config { return k.config() }
+
+// SolverChoice returns the solver the key selects.
+func (k Key) SolverChoice() mms.Solver { return k.solver }
+
+// Recanonicalized pushes the key's own fields back through canonicalization.
+// Canonicalization must be idempotent — a cached key re-canonicalizes to
+// itself — or two requests for the same evaluation could land on different
+// cache lines; the conformance fuzz target asserts Recanonicalized() == k
+// for every reachable key.
+func (k Key) Recanonicalized() Key {
+	cfg := k.config()
+	cfg.Pattern = nil // canonicalKey takes the pattern as a separate operand
+	return canonicalKey(cfg, k.pattern, k.geoMode, k.solver, k.op, k.sub, k.mode)
+}

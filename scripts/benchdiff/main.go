@@ -1,0 +1,145 @@
+// Command benchdiff compares two benchjson summaries and fails when the
+// current run regresses against the baseline:
+//
+//   - mean ns/op more than -threshold (default 25%) above the baseline mean, or
+//   - any allocs/op on a benchmark whose baseline is allocation-free (the
+//     solver and DES hot paths are kept at 0 allocs/op deliberately; a single
+//     alloc there is a real regression, not noise).
+//
+// Benchmarks present on only one side are reported but do not fail the gate,
+// so adding or retiring a benchmark does not require regenerating the
+// baseline in the same commit.
+//
+// Usage:
+//
+//	go run ./scripts/benchdiff [-threshold 0.25] BENCH_BASELINE.json BENCH_current.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// stat and benchmark mirror the summary emitted by scripts/benchjson (both
+// commands are package main, so the types are duplicated rather than shared).
+type stat struct {
+	Mean float64 `json:"mean"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+type benchmark struct {
+	Name        string `json:"name"`
+	Runs        int    `json:"runs"`
+	NsPerOp     stat   `json:"ns_per_op"`
+	BytesPerOp  *stat  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *stat  `json:"allocs_per_op,omitempty"`
+}
+
+type summary struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+func load(path string) (map[string]benchmark, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s summary
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]benchmark, len(s.Benchmarks))
+	for _, b := range s.Benchmarks {
+		m[b.Name] = b
+	}
+	return m, nil
+}
+
+func allocs(b benchmark) (float64, bool) {
+	if b.AllocsPerOp == nil {
+		return 0, false
+	}
+	return b.AllocsPerOp.Mean, true
+}
+
+func main() {
+	rel := flag.Float64("threshold", 0.25, "maximum tolerated relative ns/op increase")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.25] baseline.json current.json")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+
+	baseNames := make([]string, 0, len(base))
+	for name := range base {
+		baseNames = append(baseNames, name)
+	}
+	sort.Strings(baseNames)
+	curNames := make([]string, 0, len(cur))
+	for name := range cur {
+		curNames = append(curNames, name)
+	}
+	sort.Strings(curNames)
+
+	var failures int
+	for _, name := range baseNames {
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			fmt.Printf("benchdiff: MISSING  %s (in baseline only)\n", name)
+			continue
+		}
+		ratio := 0.0
+		if b.NsPerOp.Mean > 0 {
+			ratio = c.NsPerOp.Mean/b.NsPerOp.Mean - 1
+		}
+		status := "ok      "
+		if ratio > *rel {
+			status = "SLOWER  "
+			failures++
+		} else if ratio < -*rel {
+			status = "faster  "
+		}
+		fmt.Printf("benchdiff: %s %s ns/op %.1f -> %.1f (%+.1f%%)\n",
+			status, name, b.NsPerOp.Mean, c.NsPerOp.Mean, 100*ratio)
+
+		if ba, ok := allocs(b); ok && ba == 0 {
+			if ca, ok := allocs(c); ok && ca > 0 {
+				fmt.Printf("benchdiff: ALLOCS   %s was allocation-free, now %.2f allocs/op\n", name, ca)
+				failures++
+			}
+		}
+	}
+	for _, name := range curNames {
+		if _, ok := base[name]; !ok {
+			fmt.Printf("benchdiff: NEW      %s (not in baseline)\n", name)
+		}
+	}
+
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) beyond %.0f%% ns/op or the 0-alloc floor\n",
+			failures, *rel*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: no regressions")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,39 @@
+// Command checktol validates a daemon /v1/tolerance response on stdin: the
+// body must parse as serve.ToleranceResponse and the tolerance index must lie
+// in the conformance range 0 < tol ≤ 1+ε. The CI daemon smoke pipes curl
+// output through it, so the smoke's numeric bound is the same TolExcess band
+// the conformance library documents — they cannot drift apart.
+//
+// Usage:
+//
+//	curl -fsS -d "$body" $addr/v1/tolerance | go run ./scripts/checktol
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"lattol/internal/conformance"
+	"lattol/internal/serve"
+)
+
+func main() {
+	var resp serve.ToleranceResponse
+	dec := json.NewDecoder(os.Stdin)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&resp); err != nil {
+		fatal(fmt.Errorf("parsing tolerance response: %w", err))
+	}
+	limit := 1 + conformance.DefaultBands().TolExcess
+	if !(resp.Tol > 0 && resp.Tol <= limit) {
+		fatal(fmt.Errorf("tolerance index %v out of range (0, %v]", resp.Tol, limit))
+	}
+	fmt.Printf("checktol: %s/%s tol %v in (0, %v], zone %q\n",
+		resp.Subsystem, resp.Mode, resp.Tol, limit, resp.Zone)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "checktol:", err)
+	os.Exit(1)
+}

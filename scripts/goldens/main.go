@@ -1,0 +1,62 @@
+// Command goldens regenerates or verifies the conformance golden corpus —
+// the committed numeric snapshots of the paper-figure operating points under
+// internal/conformance/testdata/golden.json.
+//
+// Usage (from the repository root):
+//
+//	go run ./scripts/goldens           # verify the committed corpus
+//	go run ./scripts/goldens -update   # recompute and rewrite it
+//
+// Regeneration is a deliberate act: a PR that updates the corpus is claiming
+// the numbers moved for a good reason, and the diff of the JSON file is the
+// reviewable record of exactly how far.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"lattol/internal/conformance"
+)
+
+func main() {
+	update := flag.Bool("update", false, "recompute the corpus and rewrite the committed file")
+	file := flag.String("file", filepath.Join("internal", "conformance", "testdata", "golden.json"),
+		"corpus path, relative to the repository root")
+	flag.Parse()
+
+	if *update {
+		points, err := conformance.ComputeGoldenCorpus()
+		if err != nil {
+			fatal(err)
+		}
+		data, err := conformance.MarshalGoldenCorpus(points)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(*file), 0o755); err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*file, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("goldens: wrote %d operating points to %s\n", len(points), *file)
+		return
+	}
+
+	data, err := os.ReadFile(*file)
+	if err != nil {
+		fatal(fmt.Errorf("reading corpus (generate with -update): %w", err))
+	}
+	if err := conformance.VerifyGoldenCorpus(data); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("goldens: %s verified\n", *file)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "goldens:", err)
+	os.Exit(1)
+}
