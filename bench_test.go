@@ -17,6 +17,7 @@ import (
 	"lattol/internal/access"
 	"lattol/internal/experiments"
 	"lattol/internal/mms"
+	"lattol/internal/mva"
 	"lattol/internal/serve"
 	"lattol/internal/simmms"
 	"lattol/internal/tolerance"
@@ -282,6 +283,92 @@ func BenchmarkAblationEngines(b *testing.B) {
 				})
 				benchErr(b, err)
 			}
+		})
+	}
+}
+
+// ---- Warm-start and acceleration (DESIGN.md §12) ---------------------------
+
+// figure4SnakeModels prebuilds the Figure 4 operating grid (R = 10,
+// n_t = 1..10 × p_remote = 0.05..0.90) in snake order — the traversal the
+// sweep runner hands a warm-starting worker — so the benchmark measures
+// solving only, not model construction.
+func figure4SnakeModels(b *testing.B) []*mms.Model {
+	b.Helper()
+	var models []*mms.Model
+	for nt := 1; nt <= 10; nt++ {
+		for c := 5; c <= 90; c += 5 {
+			p := float64(c) / 100
+			if nt%2 == 0 {
+				p = float64(95-c) / 100
+			}
+			cfg := mms.DefaultConfig()
+			cfg.Threads = nt
+			cfg.PRemote = p
+			model, err := mms.Build(cfg)
+			benchErr(b, err)
+			models = append(models, model)
+		}
+	}
+	return models
+}
+
+// BenchmarkAMVAColdVsWarm measures continuation sweeps: one op solves the
+// whole 180-point Figure 4 grid through a single reused workspace. "cold" is
+// the pre-continuation behavior (every solve from the uniform seed, plain
+// iteration); "warm" seeds each solve from the neighboring point's converged
+// solution; "warm-anderson" adds Anderson mixing on top — the configuration
+// the sweep paths actually run. The iters/solve metric is the mean AMVA
+// iteration count per grid point.
+func BenchmarkAMVAColdVsWarm(b *testing.B) {
+	models := figure4SnakeModels(b)
+	for _, mode := range []struct {
+		name string
+		opts mms.SolveOptions
+	}{
+		{"cold", mms.SolveOptions{}},
+		{"warm", mms.SolveOptions{WarmStart: true}},
+		{"warm-anderson", mms.SolveOptions{WarmStart: true, Accel: mva.AccelAnderson}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			ws := new(mms.Workspace)
+			opts := mode.opts
+			opts.Workspace = ws
+			var iters, solves int64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, model := range models {
+					met, err := model.Solve(opts)
+					benchErr(b, err)
+					iters += int64(met.Iterations)
+					solves++
+				}
+			}
+			b.ReportMetric(float64(iters)/float64(solves), "iters/solve")
+		})
+	}
+}
+
+// BenchmarkAMVAAccel compares the fixed-point acceleration schemes on a
+// single cold solve of a congested operating point (high thread count and
+// remote fraction, where plain Bard–Schweitzer converges slowest).
+func BenchmarkAMVAAccel(b *testing.B) {
+	cfg := mms.DefaultConfig()
+	cfg.Threads = 10
+	cfg.PRemote = 0.9
+	model, err := mms.Build(cfg)
+	benchErr(b, err)
+	for _, accel := range []mva.Accel{mva.AccelNone, mva.AccelAitken, mva.AccelAnderson} {
+		b.Run(accel.String(), func(b *testing.B) {
+			ws := new(mms.Workspace)
+			var iters int64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				met, err := model.Solve(mms.SolveOptions{Workspace: ws, Accel: accel})
+				benchErr(b, err)
+				iters += int64(met.Iterations)
+			}
+			b.ReportMetric(float64(iters)/float64(b.N), "iters/solve")
 		})
 	}
 }

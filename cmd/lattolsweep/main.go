@@ -19,9 +19,11 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
 	"time"
 
 	"lattol/internal/mms"
+	"lattol/internal/mva"
 	"lattol/internal/report"
 	"lattol/internal/sweep"
 	"lattol/internal/tolerance"
@@ -68,6 +70,12 @@ func main() {
 	defer stop()
 	var counters sweep.Counters
 	opts := sweep.Options{Workers: *workers, Counters: &counters}
+	// Hand each worker one contiguous run of knob values: combined with the
+	// warm-started workspace below, every solve continues from the adjacent
+	// point's converged solution.
+	if w := effectiveWorkers(*workers, len(values)); w > 0 {
+		opts.Chunk = (len(values) + w - 1) / w
+	}
 	if !*quiet {
 		opts.OnPoint = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rlattolsweep: %d/%d points (%d failed, %s/point)   ",
@@ -79,7 +87,7 @@ func main() {
 		func(ws *mms.Workspace, v float64) (row, error) {
 			cfg := base
 			knob.Apply(&cfg, v)
-			solveOpts := mms.SolveOptions{Workspace: ws}
+			solveOpts := mms.SolveOptions{Workspace: ws, WarmStart: true, Accel: mva.AccelAnderson}
 			model, err := mms.Build(cfg)
 			if err != nil {
 				return row{}, err
@@ -125,4 +133,16 @@ func main() {
 	} else {
 		fmt.Fprint(os.Stdout, t.String())
 	}
+}
+
+// effectiveWorkers resolves the worker count the sweep runner will use:
+// GOMAXPROCS when unset, clamped to the point count.
+func effectiveWorkers(workers, points int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > points {
+		workers = points
+	}
+	return workers
 }

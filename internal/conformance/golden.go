@@ -76,22 +76,34 @@ func GoldenConfigs() []mms.Config {
 // ComputeGolden evaluates one operating point: the paper's measures from the
 // symmetric AMVA solve plus both tolerance indices.
 func ComputeGolden(cfg mms.Config) (GoldenPoint, error) {
+	return ComputeGoldenWith(cfg, mms.SolveOptions{})
+}
+
+// ComputeGoldenWith is ComputeGolden under explicit solve options. The
+// equivalence suite uses it to certify that acceleration schemes and warm
+// starting land on the committed corpus values: every option combination is
+// required to reproduce the plain-iteration numbers within GoldenRelTol.
+func ComputeGoldenWith(cfg mms.Config, opts mms.SolveOptions) (GoldenPoint, error) {
 	g := GoldenPoint{
 		Name: fmt.Sprintf("K%d R%g nt%d p%.2f", cfg.K, cfg.Runlength, cfg.Threads, cfg.PRemote),
 		K:    cfg.K, Threads: cfg.Threads,
 		Runlength: cfg.Runlength, MemoryTime: cfg.MemoryTime,
 		SwitchTime: cfg.SwitchTime, PRemote: cfg.PRemote, Psw: cfg.Psw,
 	}
-	met, err := mms.Solve(cfg)
+	model, err := mms.Build(cfg)
+	if err != nil {
+		return g, fmt.Errorf("%s: %w", g.Name, err)
+	}
+	met, err := model.Solve(opts)
 	if err != nil {
 		return g, fmt.Errorf("%s: %w", g.Name, err)
 	}
 	g.Up, g.SObs, g.LObs, g.LambdaNet = met.Up, met.SObs, met.LObs, met.LambdaNet
-	netIdx, err := tolerance.Compute(cfg, tolerance.Network, tolerance.ZeroRemote, mms.SolveOptions{})
+	netIdx, err := tolerance.Compute(cfg, tolerance.Network, tolerance.ZeroRemote, opts)
 	if err != nil {
 		return g, fmt.Errorf("%s: tol_network: %w", g.Name, err)
 	}
-	memIdx, err := tolerance.Compute(cfg, tolerance.Memory, tolerance.ZeroDelay, mms.SolveOptions{})
+	memIdx, err := tolerance.Compute(cfg, tolerance.Memory, tolerance.ZeroDelay, opts)
 	if err != nil {
 		return g, fmt.Errorf("%s: tol_memory: %w", g.Name, err)
 	}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"lattol/internal/mms"
+	"lattol/internal/mva"
 	"lattol/internal/report"
 	"lattol/internal/sweep"
 	"lattol/internal/tolerance"
@@ -47,15 +48,21 @@ func workloadSurfaces(r float64) (*WorkloadSurfaces, error) {
 	w := &WorkloadSurfaces{Runlength: r, Threads: threads, PRemote: ps}
 	type cell struct{ up, sobs, lnet, tol float64 }
 	// Each sweep worker owns one solver workspace, reused across all its
-	// grid cells (and inside tolerance.Compute's real + ideal solves).
-	z, err := sweep.Grid2DCtxWithWorker(context.Background(), ps, threads, sweepOptions(),
+	// grid cells (and inside tolerance.Compute's real + ideal solves). The
+	// snake traversal hands every worker a contiguous path of adjacent
+	// operating points, so each warm-started solve continues from its
+	// neighbor's converged solution; Anderson mixing accelerates whatever
+	// iterations remain.
+	opts := sweepOptions()
+	opts.Traversal = sweep.Snake
+	z, err := sweep.Grid2DCtxWithWorker(context.Background(), ps, threads, opts,
 		func() *mms.Workspace { return new(mms.Workspace) },
 		func(ws *mms.Workspace, p float64, nt int) (cell, error) {
 			cfg := mms.DefaultConfig()
 			cfg.Runlength = r
 			cfg.Threads = nt
 			cfg.PRemote = p
-			solveOpts := mms.SolveOptions{Workspace: ws}
+			solveOpts := mms.SolveOptions{Workspace: ws, WarmStart: true, Accel: mva.AccelAnderson}
 			model, err := mms.Build(cfg)
 			if err != nil {
 				return cell{}, err

@@ -91,6 +91,8 @@ func (h *HeteroModel) Solve(opts SolveOptions) (HeteroMetrics, error) {
 	res, err := ws.mvaWS.ApproxMultiClass(net, mva.AMVAOptions{
 		Tolerance:     opts.Tolerance,
 		MaxIterations: opts.MaxIterations,
+		Accel:         opts.Accel,
+		WarmStart:     opts.WarmStart,
 	})
 	if err != nil {
 		return HeteroMetrics{}, err

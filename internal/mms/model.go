@@ -2,6 +2,7 @@ package mms
 
 import (
 	"fmt"
+	"sync"
 
 	"lattol/internal/access"
 	"lattol/internal/queueing"
@@ -52,6 +53,11 @@ type Model struct {
 	visitMem []float64 // em[0][j]
 	visitOut []float64 // eo[0][j]
 	visitIn  []float64 // ei[0][j]
+
+	// netOnce/net cache the network for the internal read-only solver path;
+	// see network().
+	netOnce sync.Once
+	net     *queueing.Network
 }
 
 // Build elaborates a configuration into a model.
@@ -228,4 +234,15 @@ func (m *Model) Network() *queueing.Network {
 		}
 	}
 	return net
+}
+
+// network returns a lazily built network shared by every solve of this
+// model, so repeated full/exact solves (sweeps, the conformance harness)
+// do not rebuild stations and visit vectors per call. The cached network is
+// strictly read-only: callers that modify the returned value (e.g.
+// HeteroModel overwriting populations) must use Network(), which always
+// builds a fresh one.
+func (m *Model) network() *queueing.Network {
+	m.netOnce.Do(func() { m.net = m.Network() })
+	return m.net
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"lattol/internal/fixpoint"
 	"lattol/internal/mva"
 	"lattol/internal/topology"
 	"lattol/internal/validate"
@@ -64,6 +65,15 @@ type SolveOptions struct {
 	Solver        Solver
 	Tolerance     float64 // convergence threshold on queue lengths (default 1e-10)
 	MaxIterations int     // default 200000
+	// Accel selects a fixed-point acceleration scheme for the AMVA solvers
+	// (ignored by ExactMVA). Same fixed point, fewer iterations; see
+	// mva.Accel.
+	Accel mva.Accel
+	// WarmStart seeds the AMVA iterate from the workspace's previous
+	// converged solution when the network shape matches (ignored by
+	// ExactMVA). Effective only with an explicit Workspace reused across
+	// solves — pool-borrowed workspaces give no locality guarantee.
+	WarmStart bool
 	// Workspace, when non-nil, supplies reusable solver scratch buffers;
 	// sweeps hand each worker its own so repeated solves allocate nothing.
 	// When nil, a workspace is borrowed from a process-wide pool for the
@@ -81,6 +91,11 @@ func (o SolveOptions) Validate() error {
 	}
 	if o.Tolerance < 0 || math.IsNaN(o.Tolerance) || math.IsInf(o.Tolerance, 0) {
 		return validate.Fieldf("mms.SolveOptions", "Tolerance", "= %v, want finite >= 0", o.Tolerance)
+	}
+	switch o.Accel {
+	case mva.AccelNone, mva.AccelAitken, mva.AccelAnderson:
+	default:
+		return validate.Fieldf("mms.SolveOptions", "Accel", "= %d, want AccelNone, AccelAitken or AccelAnderson", int(o.Accel))
 	}
 	return nil
 }
@@ -173,7 +188,11 @@ func (m *Model) solveSymmetric(opts SolveOptions, ws *Workspace) (Metrics, error
 	// Flatten class-0 stations: 0 = processor, then [1, 1+n) memories,
 	// [1+n, 1+2n) outbound, [1+2n, 1+3n) inbound.
 	nStations := 1 + 3*nNodes
+	warm := opts.WarmStart && ws.symWarmOK && ws.symWarmN == nStations
 	ws.ensureSym(nStations)
+	// The iterate is in flux until this solve converges; a failed solve must
+	// not seed the next warm start.
+	ws.symWarmOK = false
 	e, s, role, srv := ws.e, ws.s, ws.role, ws.srv
 	e[0], s[0], role[0] = 1, m.cfg.processorService(), Processor
 	for j := 0; j < nNodes; j++ {
@@ -185,20 +204,51 @@ func (m *Model) solveSymmetric(opts SolveOptions, ws *Workspace) (Metrics, error
 		srv[i] = float64(m.serverCount(role[i]))
 	}
 
-	// Initialize: spread the class population over visited stations.
 	q := ws.q
-	visited := 0
-	for _, ev := range e {
-		if ev > 0 {
-			visited++
+	if warm {
+		// q holds the previous converged solution of a same-shape solve —
+		// the continuation guess. Stations this configuration does not visit
+		// must read as zero (their update is identically zero, so stale mass
+		// would only survive iteration 1, but zeroing keeps the first
+		// residence times sane).
+		for i, ev := range e {
+			if ev == 0 {
+				q[i] = 0
+			}
+		}
+	} else {
+		// Initialize: spread the class population over visited stations.
+		visited := 0
+		for _, ev := range e {
+			if ev > 0 {
+				visited++
+			}
+		}
+		for i, ev := range e {
+			if ev > 0 {
+				q[i] = nt / float64(visited)
+			} else {
+				q[i] = 0
+			}
 		}
 	}
-	for i, ev := range e {
-		if ev > 0 {
-			q[i] = nt / float64(visited)
-		} else {
-			q[i] = 0
+
+	var scheme fixpoint.Scheme
+	switch opts.Accel {
+	case mva.AccelAitken:
+		scheme = fixpoint.Aitken
+	case mva.AccelAnderson:
+		scheme = fixpoint.Anderson
+	default:
+		scheme = fixpoint.None
+	}
+	if scheme != fixpoint.None {
+		ws.g = resizeF(ws.g, nStations)
+		ws.upper = resizeF(ws.upper, nStations)
+		for i := range ws.upper {
+			ws.upper[i] = nt
 		}
+		ws.accel.Reset(scheme, 0, nStations)
 	}
 
 	w := ws.w
@@ -227,12 +277,30 @@ func (m *Model) solveSymmetric(opts SolveOptions, ws *Workspace) (Metrics, error
 		}
 		lambda = nt / cycle
 		maxDelta := 0.0
-		for i := range q {
-			nNew := lambda * e[i] * w[i]
-			if d := math.Abs(nNew - q[i]); d > maxDelta {
-				maxDelta = d
+		if scheme == fixpoint.None {
+			for i := range q {
+				nNew := lambda * e[i] * w[i]
+				if d := math.Abs(nNew - q[i]); d > maxDelta {
+					maxDelta = d
+				}
+				q[i] = nNew
 			}
-			q[i] = nNew
+		} else {
+			// Accelerated path: evaluate the sweep into g, converge on the
+			// raw residual (same test as the plain path), then let the
+			// accelerator pick the next iterate.
+			g := ws.g
+			for i := range q {
+				g[i] = lambda * e[i] * w[i]
+				if d := math.Abs(g[i] - q[i]); d > maxDelta {
+					maxDelta = d
+				}
+			}
+			if maxDelta < opts.Tolerance {
+				copy(q, g)
+			} else {
+				ws.accel.Advance(q, g, ws.upper)
+			}
 		}
 		if maxDelta < opts.Tolerance {
 			iterations = iter
@@ -242,6 +310,7 @@ func (m *Model) solveSymmetric(opts SolveOptions, ws *Workspace) (Metrics, error
 			return Metrics{}, fmt.Errorf("mms: symmetric AMVA did not converge within %d iterations", opts.MaxIterations)
 		}
 	}
+	ws.symWarmOK, ws.symWarmN = true, nStations
 
 	// Class-0 latency sums, read directly off the flat residence vector —
 	// no per-solve closure.
@@ -258,15 +327,17 @@ func (m *Model) solveSymmetric(opts SolveOptions, ws *Workspace) (Metrics, error
 // solveFull solves the complete multiclass network and reads class 0's
 // measures off the result.
 func (m *Model) solveFull(opts SolveOptions, ws *Workspace) (Metrics, error) {
-	net := m.Network()
+	net := m.network()
 	var res *mva.Result
 	var err error
 	if opts.Solver == ExactMVA {
-		res, err = mva.ExactMultiClass(net, 0)
+		res, err = ws.mvaWS.ExactMultiClass(net, 0)
 	} else {
 		res, err = ws.mvaWS.ApproxMultiClass(net, mva.AMVAOptions{
 			Tolerance:     opts.Tolerance,
 			MaxIterations: opts.MaxIterations,
+			Accel:         opts.Accel,
+			WarmStart:     opts.WarmStart,
 		})
 	}
 	if err != nil {

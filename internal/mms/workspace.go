@@ -3,6 +3,7 @@ package mms
 import (
 	"sync"
 
+	"lattol/internal/fixpoint"
 	"lattol/internal/mva"
 )
 
@@ -22,9 +23,18 @@ type Workspace struct {
 	// counts, the queue-length iterate and residence times.
 	e, s, srv, q, w []float64
 	role            []StationRole
+	// Accelerated-path scratch: g is the evaluated sweep, upper the
+	// feasibility bounds, accel the scheme state (see internal/fixpoint).
+	g, upper []float64
+	accel    fixpoint.Accelerator
 	// mvaWS backs the FullAMVA multiclass solver and the extension solvers
 	// (topology comparison, heterogeneous and hot-spot workloads).
 	mvaWS mva.Workspace
+	// Symmetric-solver warm-start state: q holds a converged symWarmN-station
+	// solution iff symWarmOK. With SolveOptions.WarmStart a later symmetric
+	// solve of the same station count seeds its iterate from it.
+	symWarmOK bool
+	symWarmN  int
 }
 
 // ensureSym sizes the symmetric-solver vectors for n stations. Contents are

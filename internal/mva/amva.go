@@ -8,12 +8,67 @@ import (
 	"lattol/internal/validate"
 )
 
+// Accel selects a fixed-point acceleration scheme layered over the
+// Bard–Schweitzer iteration. Every scheme converges to the same fixed point
+// as the plain iteration — the convergence test is always the raw residual
+// ‖G(n) − n‖∞ < Tolerance — it only changes how many iterations are needed
+// to get there.
+type Accel int
+
+const (
+	// AccelNone runs the plain (optionally damped) Bard–Schweitzer
+	// successive substitution of the paper's Figure 3. Default.
+	AccelNone Accel = iota
+	// AccelAitken applies componentwise Aitken Δ² extrapolation every other
+	// iteration (vector Steffensen): two plain steps produce the triple
+	// (n, G(n), G(G(n))) and each component is extrapolated through its own
+	// geometric-convergence model. Components whose denominator is
+	// ill-conditioned, or whose extrapolated value leaves [0, ΣN], fall back
+	// to the plain update.
+	AccelAitken
+	// AccelAnderson runs depth-m Anderson mixing: the next iterate combines
+	// the last m residuals through a least-squares step. When the LS system
+	// is ill-conditioned or the mixed iterate leaves the feasible region
+	// (negative or non-finite queue lengths), the step falls back to the
+	// plain damped iteration and the history restarts.
+	AccelAnderson
+)
+
+func (a Accel) String() string {
+	switch a {
+	case AccelNone:
+		return "none"
+	case AccelAitken:
+		return "aitken"
+	case AccelAnderson:
+		return "anderson"
+	default:
+		return fmt.Sprintf("Accel(%d)", int(a))
+	}
+}
+
+// ParseAccel maps the CLI/wire name of an acceleration scheme to its Accel
+// value; the empty string selects AccelNone.
+func ParseAccel(name string) (Accel, error) {
+	switch name {
+	case "", "none":
+		return AccelNone, nil
+	case "aitken":
+		return AccelAitken, nil
+	case "anderson":
+		return AccelAnderson, nil
+	default:
+		return 0, validate.Fieldf("mva.AMVAOptions", "Accel", "= %q, want none, aitken or anderson", name)
+	}
+}
+
 // AMVAOptions tunes the approximate solver. The zero value selects sensible
 // defaults.
 type AMVAOptions struct {
 	// Tolerance is the convergence threshold on the largest absolute change
 	// of any per-class per-station queue length between successive
-	// iterations. Default 1e-10.
+	// iterations. Default 1e-10. Negative values are rejected by Validate;
+	// zero selects the default.
 	Tolerance float64
 	// MaxIterations bounds the fixed-point loop. Default 100000.
 	MaxIterations int
@@ -25,16 +80,40 @@ type AMVAOptions struct {
 	// the uniform initial guess), and d > 1 or d < 0 extrapolates instead
 	// of damping.
 	Damping float64
+	// Accel selects a fixed-point acceleration scheme. All schemes converge
+	// to the same fixed point (the convergence test is the raw residual);
+	// they differ only in iteration count. Default AccelNone.
+	Accel Accel
+	// AndersonDepth is the mixing depth m of AccelAnderson (how many recent
+	// residual differences enter the least-squares step). 0 selects the
+	// default of 3; negative values are rejected.
+	AndersonDepth int
+	// WarmStart seeds the queue-length iterate from the workspace's previous
+	// converged solution instead of the uniform initial spread. The seed is
+	// shape-checked: when the workspace's last converged solve had a
+	// different class or station count (or did not converge), the solver
+	// falls back to the uniform guess. Warm starting never changes the fixed
+	// point — only the starting guess — so adjacent solves of a continuation
+	// sweep converge in a fraction of the cold iteration count.
+	WarmStart bool
 }
 
 // Validate reports the first invalid option as a field-named error
 // (*validate.FieldError). Zero values are valid: they select the defaults.
 func (o AMVAOptions) Validate() error {
-	if math.IsNaN(o.Tolerance) || math.IsInf(o.Tolerance, 0) {
-		return validate.Fieldf("mva.AMVAOptions", "Tolerance", "= %v, want finite", o.Tolerance)
+	if math.IsNaN(o.Tolerance) || math.IsInf(o.Tolerance, 0) || o.Tolerance < 0 {
+		return validate.Fieldf("mva.AMVAOptions", "Tolerance", "= %v, want finite >= 0", o.Tolerance)
 	}
 	if d := o.Damping; math.IsNaN(d) || d < 0 || d >= 1 {
 		return validate.Fieldf("mva.AMVAOptions", "Damping", "= %v, want in [0,1)", d)
+	}
+	switch o.Accel {
+	case AccelNone, AccelAitken, AccelAnderson:
+	default:
+		return validate.Fieldf("mva.AMVAOptions", "Accel", "= %d, want AccelNone, AccelAitken or AccelAnderson", int(o.Accel))
+	}
+	if o.AndersonDepth < 0 {
+		return validate.Fieldf("mva.AMVAOptions", "AndersonDepth", "= %d, want >= 0", o.AndersonDepth)
 	}
 	return nil
 }
@@ -45,6 +124,9 @@ func (o AMVAOptions) withDefaults() AMVAOptions {
 	}
 	if o.MaxIterations <= 0 {
 		o.MaxIterations = 100000
+	}
+	if o.AndersonDepth <= 0 {
+		o.AndersonDepth = 3
 	}
 	return o
 }
@@ -82,7 +164,8 @@ func (e *NonConvergenceError) Error() string {
 // error is a *NonConvergenceError carrying the last iteration's diagnostics.
 //
 // The returned Result is freshly allocated and owned by the caller. For
-// repeated solves that should reuse buffers, use (*Workspace).ApproxMultiClass.
+// repeated solves that should reuse buffers (and warm-start from the previous
+// solution), use (*Workspace).ApproxMultiClass.
 func ApproxMultiClass(net *queueing.Network, opts AMVAOptions) (*Result, error) {
 	var ws Workspace
 	return ws.ApproxMultiClass(net, opts)
@@ -90,7 +173,9 @@ func ApproxMultiClass(net *queueing.Network, opts AMVAOptions) (*Result, error) 
 
 // ApproxMultiClass runs the Bard–Schweitzer solver using the workspace's
 // buffers. The returned Result aliases the workspace and is valid until the
-// next solve on it; see the Workspace reuse contract.
+// next solve on it; see the Workspace reuse contract. With
+// AMVAOptions.WarmStart the iterate is seeded from the workspace's previous
+// converged solution when its shape (class and station counts) matches.
 func (ws *Workspace) ApproxMultiClass(net *queueing.Network, opts AMVAOptions) (*Result, error) {
 	if err := net.Validate(); err != nil {
 		return nil, err
@@ -101,28 +186,71 @@ func (ws *Workspace) ApproxMultiClass(net *queueing.Network, opts AMVAOptions) (
 	opts = opts.withDefaults()
 	nc := len(net.Classes)
 	nm := len(net.Stations)
-	r := ws.ensure(nc, nm)
+	warm := opts.WarmStart && ws.warmOK && ws.warmNC == nc && ws.warmNM == nm
+	r := ws.ensure(nc, nm, warm)
+	// The iterate is in flux until this solve converges; a failed or
+	// interrupted solve must not seed the next warm start.
+	ws.warmOK = false
 	q := ws.q
-	colSum := ws.colSum
 
-	// Step 1: spread each class's population evenly over the stations it
-	// visits.
-	for c, cl := range net.Classes {
-		if cl.Population == 0 {
-			continue
-		}
-		visited := 0
-		for m := range net.Stations {
-			if cl.Visits[m] > 0 {
-				visited++
+	if warm {
+		// q already holds the previous converged solution. Classes the
+		// iteration skips (zero population) must read as zero: stale mass in
+		// a skipped row would never be updated and would shift the fixed
+		// point through the column sums.
+		for c, cl := range net.Classes {
+			if cl.Population == 0 {
+				row := q[c*nm : (c+1)*nm]
+				for i := range row {
+					row[i] = 0
+				}
 			}
 		}
-		for m := range net.Stations {
-			if cl.Visits[m] > 0 {
-				q[c*nm+m] = float64(cl.Population) / float64(visited)
+	} else {
+		// Step 1: spread each class's population evenly over the stations it
+		// visits.
+		for c, cl := range net.Classes {
+			if cl.Population == 0 {
+				continue
+			}
+			visited := 0
+			for m := range net.Stations {
+				if cl.Visits[m] > 0 {
+					visited++
+				}
+			}
+			for m := range net.Stations {
+				if cl.Visits[m] > 0 {
+					q[c*nm+m] = float64(cl.Population) / float64(visited)
+				}
 			}
 		}
 	}
+
+	var err error
+	if opts.Accel == AccelNone {
+		err = ws.iteratePlain(net, opts, r)
+	} else {
+		err = ws.iterateAccel(net, opts, r)
+	}
+	if err != nil {
+		return nil, err
+	}
+	r.Method = MethodApprox
+	for c := 0; c < nc; c++ {
+		copy(r.QueueLen[c], q[c*nm:(c+1)*nm])
+	}
+	ws.warmOK, ws.warmNC, ws.warmNM = true, nc, nm
+	return r, nil
+}
+
+// iteratePlain is the plain (optionally damped) Bard–Schweitzer successive
+// substitution, updating ws.q in place until the queue lengths stabilize.
+func (ws *Workspace) iteratePlain(net *queueing.Network, opts AMVAOptions, r *Result) error {
+	nc := len(net.Classes)
+	nm := len(net.Stations)
+	q := ws.q
+	colSum := ws.colSum
 
 	maxDelta := 0.0
 	for iter := 1; iter <= opts.MaxIterations; iter++ {
@@ -148,7 +276,7 @@ func (ws *Workspace) ApproxMultiClass(net *queueing.Network, opts AMVAOptions) (
 				cycle += cl.Visits[m] * r.Wait[c][m]
 			}
 			if cycle == 0 {
-				return nil, fmt.Errorf("mva: class %q has zero total demand", cl.Name)
+				return fmt.Errorf("mva: class %q has zero total demand", cl.Name)
 			}
 			r.Throughput[c] = ni / cycle
 			r.CycleTime[c] = cycle
@@ -165,14 +293,10 @@ func (ws *Workspace) ApproxMultiClass(net *queueing.Network, opts AMVAOptions) (
 		}
 		if maxDelta < opts.Tolerance {
 			r.Iterations = iter
-			r.Method = MethodApprox
-			for c := 0; c < nc; c++ {
-				copy(r.QueueLen[c], q[c*nm:(c+1)*nm])
-			}
-			return r, nil
+			return nil
 		}
 	}
-	return nil, &NonConvergenceError{
+	return &NonConvergenceError{
 		Iterations: opts.MaxIterations,
 		MaxDelta:   maxDelta,
 		Tolerance:  opts.Tolerance,

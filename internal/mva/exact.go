@@ -51,7 +51,23 @@ func ExactSingleClass(net *queueing.Network) (*Result, error) {
 // Π_c (N_c + 1) points, so this is only feasible for small populations; it
 // exists mainly to quantify the accuracy of the approximate solver.
 // MaxStates guards against accidental blow-up; 0 means the default of 2^22.
+//
+// The returned Result is freshly allocated and owned by the caller. For
+// repeated solves that should reuse the lattice and scratch buffers, use
+// (*Workspace).ExactMultiClass.
 func ExactMultiClass(net *queueing.Network, maxStates int) (*Result, error) {
+	var ws Workspace
+	return ws.ExactMultiClass(net, maxStates)
+}
+
+// ExactMultiClass runs the exact MVA recursion using the workspace's
+// buffers: the population lattice is walked as an iterative DP with a
+// mixed-radix odometer (no per-state index decoding), and every buffer —
+// including the states×stations queue-length table — is reused across
+// solves, so a warmed workspace solves with zero allocations. The returned
+// Result aliases the workspace and is valid until the next solve on it; see
+// the Workspace reuse contract.
+func (ws *Workspace) ExactMultiClass(net *queueing.Network, maxStates int) (*Result, error) {
 	if err := net.Validate(); err != nil {
 		return nil, err
 	}
@@ -63,81 +79,149 @@ func ExactMultiClass(net *queueing.Network, maxStates int) (*Result, error) {
 
 	// The lattice is indexed mixed-radix: class c contributes a digit in
 	// [0, N_c].
-	radix := make([]int, nc)
+	ws.radix = resizeInt(ws.radix, nc)
+	ws.stride = resizeInt(ws.stride, nc)
+	radix, stride := ws.radix, ws.stride
 	states := 1
 	for c, cl := range net.Classes {
 		radix[c] = cl.Population + 1
 		if states > maxStates/radix[c] {
 			return nil, fmt.Errorf("mva: exact state space exceeds %d states", maxStates)
 		}
+		stride[c] = states // index delta for one customer of class c
 		states *= radix[c]
 	}
 
-	// queue[idx*nm + m] is the total queue length at station m for the
-	// population vector encoded by idx. We fill the lattice in order of
-	// increasing total population; mixed-radix increasing index order is a
-	// valid topological order because removing a customer always decreases
-	// the index.
-	queue := make([]float64, states*nm)
-	pop := make([]int, nc)
-	w := make([][]float64, nc)
-	lambda := make([]float64, nc)
-	for c := range w {
-		w[c] = make([]float64, nm)
+	// Per-station residence coefficients: w = a·(1+q) + c reproduces
+	// residence() exactly (FCFS: a = s/m, c = s·(m-1)/m with c = 0 at m = 1;
+	// delay: a = 0, c = s) without branching in the per-state loop.
+	ws.resA = resizeF(ws.resA, nm)
+	ws.resC = resizeF(ws.resC, nm)
+	for m, st := range net.Stations {
+		if st.Kind == queueing.Delay {
+			ws.resA[m] = 0
+			ws.resC[m] = st.ServiceTime
+			continue
+		}
+		srv := float64(st.ServerCount())
+		ws.resA[m] = st.ServiceTime / srv
+		if srv == 1 {
+			ws.resC[m] = 0
+		} else {
+			ws.resC[m] = st.ServiceTime * (srv - 1) / srv
+		}
 	}
 
-	stride := make([]int, nc) // index delta for one customer of class c
-	s := 1
-	for c := 0; c < nc; c++ {
-		stride[c] = s
-		s *= radix[c]
+	// lattice[idx*nm + m] is the total queue length at station m for the
+	// population vector encoded by idx. We fill the lattice in order of
+	// increasing index; that is a valid topological order because removing a
+	// customer always decreases the index. Only row 0 (the empty network)
+	// needs zeroing — every other row is fully overwritten.
+	ws.lattice = resizeF(ws.lattice, states*nm)
+	lat := ws.lattice
+	for m := 0; m < nm; m++ {
+		lat[m] = 0
 	}
+	ws.pop = resizeInt(ws.pop, nc)
+	pop := ws.pop
+	for c := range pop {
+		pop[c] = 0
+	}
+	// Per-class visit-weighted coefficients fold the visit ratios into the
+	// residence step once, outside the state loop:
+	//
+	//	v_m·w_m = v_m·(a_m·(1+q_m) + c_m) = vac_m + va_m·q_m
+	//
+	// with va_m = v_m·a_m and vac_m = v_m·(a_m + c_m), so the cycle time is
+	// base_c + va·q (one dot product) and each queue-length update is two
+	// fused multiply-adds per station.
+	ws.va = resizeF(ws.va, nc*nm)
+	ws.vac = resizeF(ws.vac, nc*nm)
+	ws.base = resizeF(ws.base, nc)
+	for c, cl := range net.Classes {
+		vaRow := ws.va[c*nm : c*nm+nm]
+		vacRow := ws.vac[c*nm : c*nm+nm]
+		var base float64
+		for m, v := range cl.Visits {
+			vaRow[m] = v * ws.resA[m]
+			vacRow[m] = v*ws.resA[m] + v*ws.resC[m]
+			base += vacRow[m]
+		}
+		ws.base[c] = base
+	}
+	va, vac, baseC := ws.va, ws.vac, ws.base
 
 	for idx := 1; idx < states; idx++ {
-		decode(idx, radix, pop)
-		// Solve for population vector pop.
+		// Odometer increment: pop is the mixed-radix decomposition of idx.
 		for c := 0; c < nc; c++ {
-			lambda[c] = 0
+			pop[c]++
+			if pop[c] < radix[c] {
+				break
+			}
+			pop[c] = 0
+		}
+		// Solve for population vector pop. Classes accumulate into the row in
+		// ascending order (the first active class writes, the rest add) —
+		// idx > 0 guarantees at least one active class.
+		row := lat[idx*nm : idx*nm+nm]
+		first := true
+		for c := 0; c < nc; c++ {
 			if pop[c] == 0 {
 				continue
 			}
-			prev := idx - stride[c] // population with one class-c customer removed
-			var cycle float64
-			for m := 0; m < nm; m++ {
-				w[c][m] = residence(net.Stations[m], queue[prev*nm+m])
-				cycle += net.Classes[c].Visits[m] * w[c][m]
+			// Population with one class-c customer removed.
+			prev := lat[(idx-stride[c])*nm : (idx-stride[c])*nm+nm]
+			vaRow := va[c*nm : c*nm+nm]
+			vacRow := vac[c*nm : c*nm+nm]
+			// Four-way unrolled dot product va·prev: independent partial sums
+			// break the floating-point add dependency chain.
+			var s0, s1, s2, s3 float64
+			m := 0
+			for ; m+3 < nm; m += 4 {
+				s0 += vaRow[m] * prev[m]
+				s1 += vaRow[m+1] * prev[m+1]
+				s2 += vaRow[m+2] * prev[m+2]
+				s3 += vaRow[m+3] * prev[m+3]
 			}
+			for ; m < nm; m++ {
+				s0 += vaRow[m] * prev[m]
+			}
+			cycle := baseC[c] + (s0 + s1) + (s2 + s3)
 			if cycle == 0 {
 				return nil, fmt.Errorf("mva: class %q has zero total demand", net.Classes[c].Name)
 			}
-			lambda[c] = float64(pop[c]) / cycle
-		}
-		for m := 0; m < nm; m++ {
-			var q float64
-			for c := 0; c < nc; c++ {
-				if pop[c] > 0 {
-					q += lambda[c] * net.Classes[c].Visits[m] * w[c][m]
+			lam := float64(pop[c]) / cycle
+			if first {
+				for m, pm := range prev {
+					row[m] = lam * (vacRow[m] + vaRow[m]*pm)
+				}
+				first = false
+			} else {
+				for m, pm := range prev {
+					row[m] += lam * (vacRow[m] + vaRow[m]*pm)
 				}
 			}
-			queue[idx*nm+m] = q
 		}
 	}
 
-	// Final solve at the full population reuses the last iteration's w and
-	// lambda, which correspond to idx = states-1 (the full vector) — but only
-	// if every class has positive population. Recompute explicitly to keep
-	// the logic obvious and correct for zero-population classes.
+	// Final solve at the full population recomputes the per-class waiting
+	// times explicitly (in residence() form, off the hot path) — correct for
+	// zero-population classes too, whose rows stay zero.
 	full := states - 1
-	r := newResult(nc, nm)
+	resA, resC := ws.resA, ws.resC
+	r := ws.ensure(nc, nm, false)
+	// The exact solve overwrote q; the next warm-started approximate solve
+	// must fall back to the cold seed.
+	ws.warmOK = false
 	r.Method = MethodExact
 	for c := 0; c < nc; c++ {
 		if net.Classes[c].Population == 0 {
 			continue
 		}
-		prev := full - stride[c]
+		prev := lat[(full-stride[c])*nm:]
 		var cycle float64
 		for m := 0; m < nm; m++ {
-			wt := residence(net.Stations[m], queue[prev*nm+m])
+			wt := resA[m]*(1+prev[m]) + resC[m]
 			r.Wait[c][m] = wt
 			cycle += net.Classes[c].Visits[m] * wt
 		}
@@ -172,12 +256,4 @@ func residence(st queueing.Station, seen float64) float64 {
 		return st.ServiceTime * (1 + seen)
 	}
 	return st.ServiceTime/m*(1+seen) + st.ServiceTime*(m-1)/m
-}
-
-// decode writes the mixed-radix digits of idx into out.
-func decode(idx int, radix, out []int) {
-	for c, r := range radix {
-		out[c] = idx % r
-		idx /= r
-	}
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"lattol/internal/mms"
+	"lattol/internal/mva"
 	"lattol/internal/sweep"
 	"lattol/internal/tolerance"
 	"lattol/internal/validate"
@@ -179,6 +180,16 @@ func (e *Evaluator) worker() {
 		e.met.solves.Add(1)
 		if err != nil {
 			e.met.solveErrors.Add(1)
+		} else {
+			// Tolerance evaluations solve two systems (real + ideal); record
+			// both iteration counts so the histogram reflects every solver
+			// run, not every request.
+			if n := res.real.Iterations; n > 0 {
+				e.met.solveIterations.observe(uint64(n))
+			}
+			if n := res.ideal.Iterations; n > 0 {
+				e.met.solveIterations.observe(uint64(n))
+			}
 		}
 		if n := e.cache.complete(t.ent, res, err); n > 0 {
 			e.met.cacheEvictions.Add(uint64(n))
@@ -187,9 +198,14 @@ func (e *Evaluator) worker() {
 }
 
 // computeKey runs the evaluation a key denotes on the worker's workspace.
+// Warm starting and Anderson mixing are always on: each worker's workspace
+// carries its previous converged solution forward, so runs of same-shape
+// requests (sweeps fanned over the pool, repeated nearby configurations)
+// converge from a continuation guess instead of from scratch, and the
+// remaining iterations are accelerated (same fixed point; see mva.Accel).
 func computeKey(ws *mms.Workspace, k Key) (result, error) {
 	cfg := k.config()
-	opts := mms.SolveOptions{Solver: k.solver, Workspace: ws}
+	opts := mms.SolveOptions{Solver: k.solver, Workspace: ws, WarmStart: true, Accel: mva.AccelAnderson}
 	switch k.op {
 	case opSolve:
 		model, err := mms.Build(cfg)

@@ -44,6 +44,40 @@ func (h *histogram) writeTo(w io.Writer, name string) {
 	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
 }
 
+// iterBounds are the iteration-count histogram bucket upper bounds (decade
+// buckets from 1 to 1e5, plus +Inf — the AMVA solvers cap at 2e5).
+var iterBounds = [...]uint64{1, 10, 100, 1000, 10000, 100000}
+
+// countHistogram is histogram for dimensionless counts: decade buckets,
+// integer sum.
+type countHistogram struct {
+	buckets [len(iterBounds) + 1]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+func (h *countHistogram) observe(n uint64) {
+	i := 0
+	for i < len(iterBounds) && n > iterBounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(n)
+}
+
+func (h *countHistogram) writeTo(w io.Writer, name string) {
+	var cum uint64
+	for i, le := range iterBounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, le, cum)
+	}
+	cum += h.buckets[len(iterBounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %d\n", name, h.sum.Load())
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+}
+
 // Metrics is the service's observability surface: plain atomics incremented
 // on the request paths, rendered on demand by the /metrics endpoint. The
 // daemon thereby reports the same queueing quantities the underlying model
@@ -71,13 +105,17 @@ type Metrics struct {
 	shedQueueFull atomic.Uint64
 	shedDraining  atomic.Uint64
 
-	solves        atomic.Uint64
-	solveErrors   atomic.Uint64
-	inFlight      atomic.Int64
-	queueWait     histogram
-	solveLatency  histogram
-	queueDepth    func() int // wired to the evaluator's pending queue
-	cachedEntries func() int // wired to the cache
+	solves       atomic.Uint64
+	solveErrors  atomic.Uint64
+	inFlight     atomic.Int64
+	queueWait    histogram
+	solveLatency histogram
+	// solveIterations distributes the AMVA iteration counts of successful
+	// solver runs (real and ideal systems separately), making the
+	// warm-start/acceleration win visible in production traffic.
+	solveIterations countHistogram
+	queueDepth      func() int // wired to the evaluator's pending queue
+	cachedEntries   func() int // wired to the cache
 }
 
 func newMetrics() *Metrics {
@@ -137,4 +175,5 @@ func (m *Metrics) WriteText(w io.Writer) {
 	}
 	m.queueWait.writeTo(w, "lattold_queue_wait_seconds")
 	m.solveLatency.writeTo(w, "lattold_solve_seconds")
+	m.solveIterations.writeTo(w, "lattold_solve_iterations")
 }

@@ -342,3 +342,49 @@ func TestServerMetricsEndpoint(t *testing.T) {
 		}
 	}
 }
+
+// TestServerMetricsSolveIterations: a successful solve must land in the
+// iteration-count histogram — every decade bucket renders and the count is
+// positive (the solvers report their AMVA iteration counts).
+func TestServerMetricsSolveIterations(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	postJSON(t, ts.URL+"/v1/solve", validBody).Body.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`lattold_solve_iterations_bucket{le="1"}`,
+		`lattold_solve_iterations_bucket{le="10"}`,
+		`lattold_solve_iterations_bucket{le="100"}`,
+		`lattold_solve_iterations_bucket{le="1000"}`,
+		`lattold_solve_iterations_bucket{le="10000"}`,
+		`lattold_solve_iterations_bucket{le="100000"}`,
+		`lattold_solve_iterations_bucket{le="+Inf"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	count := -1
+	sum := -1
+	for _, line := range strings.Split(text, "\n") {
+		if _, err := fmt.Sscanf(line, "lattold_solve_iterations_count %d", &count); err == nil {
+			continue
+		}
+		fmt.Sscanf(line, "lattold_solve_iterations_sum %d", &sum)
+	}
+	if count <= 0 {
+		t.Errorf("lattold_solve_iterations_count = %d after a successful solve, want > 0", count)
+	}
+	if sum <= 0 {
+		t.Errorf("lattold_solve_iterations_sum = %d after a successful solve, want > 0", sum)
+	}
+}

@@ -22,11 +22,40 @@ import (
 	"time"
 )
 
+// Traversal selects the order in which Grid2D cells are enumerated.
+type Traversal int
+
+const (
+	// RowMajor enumerates cells row by row, each row left to right. Default.
+	RowMajor Traversal = iota
+	// Snake enumerates cells boustrophedon: even rows left to right, odd
+	// rows right to left, so consecutive cells are always grid-neighbors.
+	// Combined with Options.Chunk and a warm-starting solver, each worker
+	// walks a contiguous path of adjacent operating points and every solve
+	// continues from its neighbor's converged solution.
+	Snake
+)
+
 // Options configures a Run.
 type Options struct {
 	// Workers bounds the number of points evaluated concurrently. <= 0
 	// selects GOMAXPROCS; values above len(inputs) are clamped.
 	Workers int
+
+	// Chunk is the number of consecutive inputs a worker claims at a time.
+	// <= 0 selects 1 (pure work-stealing, the best load balance). Larger
+	// chunks give each worker runs of consecutive inputs — what a
+	// warm-starting solver wants, since consecutive inputs of a continuation
+	// sweep are neighboring operating points — at the cost of coarser load
+	// balancing. Cancellation is still checked per point.
+	Chunk int
+
+	// Traversal selects the Grid2D cell enumeration order (ignored by the
+	// flat runners, whose callers fix the input order themselves). Snake
+	// keeps consecutive cells adjacent in the grid; Grid2DCtxWithWorker then
+	// defaults Chunk to one contiguous segment per worker so warm starts
+	// survive across its whole segment.
+	Traversal Traversal
 
 	// FailFast cancels the sweep as soon as any point fails: no further
 	// points are scheduled, in-flight points finish, and the returned error
@@ -192,25 +221,36 @@ func RunWithWorker[W, In, Out any](ctx context.Context, inputs []In, opts Option
 			runPoint(w, i)
 		}
 	} else {
+		chunk := opts.Chunk
+		if chunk <= 0 {
+			chunk = 1
+		}
+		type span struct{ start, end int }
 		var wg sync.WaitGroup
-		next := make(chan int)
+		next := make(chan span)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				ws := newWorker()
-				for i := range next {
-					if runCtx.Err() != nil {
-						continue // drain promptly after cancellation
+				for sp := range next {
+					for i := sp.start; i < sp.end; i++ {
+						if runCtx.Err() != nil {
+							break // drain promptly after cancellation
+						}
+						runPoint(ws, i)
 					}
-					runPoint(ws, i)
 				}
 			}()
 		}
 	producer:
-		for i := range inputs {
+		for i := 0; i < total; i += chunk {
+			end := i + chunk
+			if end > total {
+				end = total
+			}
 			select {
-			case next <- i:
+			case next <- span{i, end}:
 			case <-runCtx.Done():
 				break producer
 			}
@@ -276,13 +316,36 @@ func Grid2DCtx[X, Y, Out any](ctx context.Context, xs []X, ys []Y, opts Options,
 // Grid2DCtxWithWorker is Grid2DCtx with per-worker state, analogous to
 // RunWithWorker: newWorker runs once per worker goroutine and its value is
 // passed to every cell that worker evaluates.
+//
+// With Options.Traversal == Snake the cells are enumerated boustrophedon
+// (consecutive cells are grid-neighbors) and, unless the caller sets
+// Options.Chunk, each worker claims one contiguous segment of the snake —
+// the traversal for continuation sweeps, where each worker's warm-started
+// solver walks a path of adjacent operating points.
 func Grid2DCtxWithWorker[W, X, Y, Out any](ctx context.Context, xs []X, ys []Y, opts Options, newWorker func() W, f func(W, X, Y) (Out, error)) ([][]Out, error) {
 	type cell struct{ xi, yi int }
+	snake := opts.Traversal == Snake
 	cells := make([]cell, 0, len(xs)*len(ys))
 	for yi := range ys {
-		for xi := range xs {
-			cells = append(cells, cell{xi, yi})
+		if snake && yi%2 == 1 {
+			for xi := len(xs) - 1; xi >= 0; xi-- {
+				cells = append(cells, cell{xi, yi})
+			}
+		} else {
+			for xi := range xs {
+				cells = append(cells, cell{xi, yi})
+			}
 		}
+	}
+	if snake && opts.Chunk <= 0 && len(cells) > 0 {
+		workers := opts.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > len(cells) {
+			workers = len(cells)
+		}
+		opts.Chunk = (len(cells) + workers - 1) / workers
 	}
 	flat, err := RunWithWorker(ctx, cells, opts, newWorker, func(w W, c cell) (Out, error) {
 		out, err := f(w, xs[c.xi], ys[c.yi])
@@ -293,8 +356,19 @@ func Grid2DCtxWithWorker[W, X, Y, Out any](ctx context.Context, xs []X, ys []Y, 
 		return out, nil
 	})
 	z := make([][]Out, len(ys))
-	for yi := range ys {
-		z[yi] = flat[yi*len(xs) : (yi+1)*len(xs)]
+	if snake {
+		// Odd rows were evaluated right to left; scatter by coordinates.
+		backing := make([]Out, len(cells))
+		for yi := range ys {
+			z[yi] = backing[yi*len(xs) : (yi+1)*len(xs)]
+		}
+		for k, c := range cells {
+			z[c.yi][c.xi] = flat[k]
+		}
+	} else {
+		for yi := range ys {
+			z[yi] = flat[yi*len(xs) : (yi+1)*len(xs)]
+		}
 	}
 	return z, err
 }

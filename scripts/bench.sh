@@ -11,6 +11,10 @@
 # Raw `go test -bench` output streams to stderr as it arrives and is kept in
 # BENCH_<date>.txt; the aggregated summary (mean/min/max ns/op, B/op,
 # allocs/op per benchmark) lands in BENCH_<date>.json via scripts/benchjson.
+#
+# A focused run (non-default bench-regex or package list) writes
+# BENCH_<date>-partial.{txt,json} instead, so quick local iterations never
+# overwrite the full-suite artifact the baseline is regenerated from.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,9 +24,18 @@ bench="${2:-.}"
 shift $(( $# > 2 ? 2 : $# )) || true
 pkgs=("${@:-./...}")
 
+case "${count}" in
+    ''|*[!0-9]*) echo "bench.sh: count must be a positive integer, got '${count}'" >&2; exit 2 ;;
+esac
+
+suffix=""
+if [[ "${bench}" != "." || "${pkgs[*]}" != "./..." ]]; then
+    suffix="-partial"
+fi
+
 date_tag="$(date +%Y-%m-%d)"
-raw="BENCH_${date_tag}.txt"
-json="BENCH_${date_tag}.json"
+raw="BENCH_${date_tag}${suffix}.txt"
+json="BENCH_${date_tag}${suffix}.json"
 
 echo "benchmarking ${pkgs[*]} (bench='${bench}', count=${count}) -> ${json}" >&2
 go test -run '^$' -bench "${bench}" -benchmem -count "${count}" "${pkgs[@]}" | tee "${raw}" >&2

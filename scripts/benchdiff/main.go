@@ -8,7 +8,9 @@
 //
 // Benchmarks present on only one side are reported but do not fail the gate,
 // so adding or retiring a benchmark does not require regenerating the
-// baseline in the same commit.
+// baseline in the same commit. Improvements beyond the same threshold are
+// flagged "faster" per benchmark and totalled in the final summary line, so
+// the bench artifact documents speedups as well as regressions.
 //
 // Usage:
 //
@@ -96,7 +98,7 @@ func main() {
 	}
 	sort.Strings(curNames)
 
-	var failures int
+	var failures, improvements int
 	for _, name := range baseNames {
 		b := base[name]
 		c, ok := cur[name]
@@ -114,6 +116,7 @@ func main() {
 			failures++
 		} else if ratio < -*rel {
 			status = "faster  "
+			improvements++
 		}
 		fmt.Printf("benchdiff: %s %s ns/op %.1f -> %.1f (%+.1f%%)\n",
 			status, name, b.NsPerOp.Mean, c.NsPerOp.Mean, 100*ratio)
@@ -136,7 +139,12 @@ func main() {
 			failures, *rel*100)
 		os.Exit(1)
 	}
-	fmt.Println("benchdiff: no regressions")
+	if improvements > 0 {
+		fmt.Printf("benchdiff: no regressions; %d benchmark(s) improved more than %.0f%% ns/op\n",
+			improvements, *rel*100)
+	} else {
+		fmt.Println("benchdiff: no regressions")
+	}
 }
 
 func fatal(err error) {
