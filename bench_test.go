@@ -444,3 +444,97 @@ func BenchmarkServeSolveCached(b *testing.B) {
 		benchErr(b, err)
 	}
 }
+
+// ---- Batched SoA solve path (DESIGN.md §13) --------------------------------
+
+// reportPointsPerSec converts whole-grid iterations into an aggregate
+// operating-points-per-second rate, the unit the batch path is judged in.
+func reportPointsPerSec(b *testing.B, points float64) {
+	b.ReportMetric(points*float64(b.N)/b.Elapsed().Seconds(), "points/sec")
+}
+
+// BenchmarkBatchVsLooped measures the SoA batch kernel against looped scalar
+// solves on the 180-point Figure 4–5 operating grid (prebuilt models, snake
+// order, one reused workspace each, so both sides measure solving only).
+// "looped-cold" solves each point from the uniform seed; "looped-warm" is the
+// best scalar configuration (continuation warm start + Anderson mixing);
+// "batch" runs all 180 points through SolveBatchInto in lockstep. The batch
+// steady state must stay at 0 allocs/op.
+func BenchmarkBatchVsLooped(b *testing.B) {
+	models := figure4SnakeModels(b)
+	points := float64(len(models))
+	b.Run("looped-cold", func(b *testing.B) {
+		ws := new(mms.Workspace)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, model := range models {
+				_, err := model.Solve(mms.SolveOptions{Workspace: ws})
+				benchErr(b, err)
+			}
+		}
+		reportPointsPerSec(b, points)
+	})
+	b.Run("looped-warm", func(b *testing.B) {
+		ws := new(mms.Workspace)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, model := range models {
+				_, err := model.Solve(mms.SolveOptions{Workspace: ws, WarmStart: true, Accel: mva.AccelAnderson})
+				benchErr(b, err)
+			}
+		}
+		reportPointsPerSec(b, points)
+	})
+	b.Run("batch", func(b *testing.B) {
+		items := make([]mms.BatchItem, len(models))
+		for i, m := range models {
+			items[i] = mms.BatchItem{Model: m}
+		}
+		dst := make([]mms.BatchResult, len(items))
+		opts := mms.SolveOptions{Workspace: new(mms.Workspace)}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mms.SolveBatchInto(dst, items, opts)
+			if dst[0].Err != nil {
+				b.Fatal(dst[0].Err)
+			}
+		}
+		reportPointsPerSec(b, points)
+	})
+}
+
+// BenchmarkServeBatchCached measures the daemon's all-hit batch path: 16
+// items canonicalized, looked up and copied out of the cache with the solver
+// never running after the priming call.
+func BenchmarkServeBatchCached(b *testing.B) {
+	eval := serve.NewEvaluator(serve.Config{})
+	defer eval.Close()
+	items := make([]serve.BatchItemRequest, 16)
+	for i := range items {
+		items[i] = serve.BatchItemRequest{ModelRequest: serve.ModelRequest{
+			K: 4, Threads: 1 + i%10, Runlength: 10, MemoryTime: 10, SwitchTime: 10,
+			PRemote: 0.2, Psw: 0.5,
+		}}
+		if i >= 10 {
+			items[i].Op = "tolerance"
+		}
+	}
+	out := make([]serve.BatchOutcome, len(items))
+	ctx := context.Background()
+	if err := eval.Batch(ctx, items, out); err != nil {
+		b.Fatal(err)
+	}
+	for i := range out {
+		if out[i].Err != nil {
+			b.Fatal(out[i].Err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eval.Batch(ctx, items, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

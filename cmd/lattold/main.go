@@ -5,13 +5,15 @@
 // Usage:
 //
 //	lattold [-addr :8080] [-workers 0] [-queue 0] [-cache 4096]
-//	        [-timeout 10s] [-drain 15s] [-maxsweep 1024]
+//	        [-timeout 10s] [-drain 15s] [-maxsweep 1024] [-maxbatch 1024]
 //
 // Endpoints:
 //
 //	POST /v1/solve      one model configuration → performance measures
 //	POST /v1/tolerance  model + subsystem → tolerance index (real & ideal)
 //	POST /v1/sweep      model + knob range → per-point measures and indices
+//	POST /v1/batch      many independent solve/tolerance items in one round
+//	                    trip; cache misses are solved as one lockstep batch
 //	GET  /healthz       liveness (503 while draining)
 //	GET  /metrics       counters and latency histograms, plaintext
 //
@@ -45,6 +47,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 10*time.Second, "per-request evaluation budget")
 		drain    = flag.Duration("drain", 15*time.Second, "graceful shutdown budget")
 		maxSweep = flag.Int("maxsweep", 1024, "max points per sweep request")
+		maxBatch = flag.Int("maxbatch", 1024, "max items per batch request")
 	)
 	flag.Parse()
 
@@ -54,6 +57,7 @@ func main() {
 		CacheEntries:   *cacheN,
 		SolveTimeout:   *timeout,
 		MaxSweepPoints: *maxSweep,
+		MaxBatchItems:  *maxBatch,
 	})
 	hs := &http.Server{
 		Addr:              *addr,

@@ -1,0 +1,281 @@
+package mms
+
+import (
+	"fmt"
+
+	"lattol/internal/mva"
+	"lattol/internal/validate"
+)
+
+// BatchItem is one operating point of a batch solve.
+type BatchItem struct {
+	// Config describes the point; it is elaborated with Build unless Model
+	// is set.
+	Config Config
+	// Model, when non-nil, is the prebuilt model solved for this item and
+	// Config is ignored. Passing prebuilt models keeps repeated batches
+	// allocation-free.
+	Model *Model
+	// Solver selects the solution procedure for this item. SymmetricAMVA
+	// items (the default) ride the lockstep batch kernel; FullAMVA and
+	// ExactMVA items fall back to scalar solves on the same workspace.
+	Solver Solver
+}
+
+// BatchResult is the positional outcome of one batch item.
+type BatchResult struct {
+	Metrics Metrics
+	Err     error
+}
+
+// SolveBatch solves many operating points as one batch and reports each
+// outcome positionally: a failing item (invalid configuration, non-converged
+// lane) never affects its neighbors. Symmetric-AMVA items of equal station
+// shape are iterated in lockstep by the mva batch kernel — with warm-start
+// continuation between the points and across successive batches on the same
+// workspace — and land on the same fixed point as item-by-item Model.Solve
+// calls (same raw-residual stopping rule and tolerance).
+//
+// opts supplies Tolerance, MaxIterations and the Workspace; opts.Solver is
+// ignored (each item carries its own) and Accel/WarmStart apply only to the
+// scalar-fallback items, since the kernel's continuation seeding subsumes
+// them.
+func SolveBatch(items []BatchItem, opts SolveOptions) []BatchResult {
+	out := make([]BatchResult, len(items))
+	SolveBatchInto(out, items, opts)
+	return out
+}
+
+// SolveBatchInto is SolveBatch writing into caller-provided storage, so
+// steady-state callers (benchmarks, the serve layer's worker loop) can keep
+// the solve path allocation-free. len(dst) must equal len(items).
+func SolveBatchInto(dst []BatchResult, items []BatchItem, opts SolveOptions) {
+	if len(dst) != len(items) {
+		panic(fmt.Sprintf("mms: SolveBatchInto: len(dst) = %d, want len(items) = %d", len(dst), len(items)))
+	}
+	if len(items) == 0 {
+		return
+	}
+	if err := opts.Validate(); err != nil {
+		for i := range dst {
+			dst[i] = BatchResult{Err: err}
+		}
+		return
+	}
+	opts = opts.withDefaults()
+	ws := opts.Workspace
+	if ws == nil {
+		ws = getWorkspace()
+		defer putWorkspace(ws)
+		opts.Workspace = ws
+	}
+	models := resizeModels(ws.batchModels, len(items))
+	ws.batchModels = models
+	done := resizeBool(ws.batchDone, len(items))
+	ws.batchDone = done
+
+	// Pass 1: elaborate models, dispatch scalar-only items, resolve the
+	// trivial ones. Whatever remains is symmetric-AMVA work for the kernel.
+	for i := range items {
+		dst[i] = BatchResult{}
+		done[i] = false
+		m := items[i].Model
+		if m == nil {
+			var err error
+			if m, err = Build(items[i].Config); err != nil {
+				dst[i].Err = err
+				done[i] = true
+				models[i] = nil
+				continue
+			}
+		}
+		models[i] = m
+		switch items[i].Solver {
+		case SymmetricAMVA:
+			if m.cfg.Threads == 0 {
+				done[i] = true // zero-valued Metrics, as in Model.Solve
+			}
+		case FullAMVA, ExactMVA:
+			sopts := opts
+			sopts.Solver = items[i].Solver
+			dst[i].Metrics, dst[i].Err = m.Solve(sopts)
+			done[i] = true
+		default:
+			dst[i].Err = validate.Fieldf("mms.BatchItem", "Solver",
+				"= %d, want SymmetricAMVA, FullAMVA or ExactMVA", int(items[i].Solver))
+			done[i] = true
+		}
+	}
+
+	// Pass 2: partition the kernel work by merged station shape and run each
+	// shape as one batch, preserving the caller's item order within a shape
+	// so the kernel's cascade seeding walks the points in submission order.
+	shapes := resizeShapes(ws.batchShapes, len(items))
+	ws.batchShapes = shapes
+	for i := range items {
+		if !done[i] {
+			shapes[i] = batchShapeOf(models[i])
+		}
+	}
+	for i := range items {
+		if done[i] {
+			continue
+		}
+		idx := ws.batchIdx[:0]
+		for j := i; j < len(items); j++ {
+			if !done[j] && shapes[j] == shapes[i] {
+				idx = append(idx, j)
+				done[j] = true
+			}
+		}
+		ws.batchIdx = idx
+		solveSymmetricBatch(ws, models, idx, shapes[i], opts, dst)
+	}
+}
+
+// batchShape is the merged station signature of one lane: how many distinct
+// (visit ratio) values each role carries once zero-visit stations are
+// dropped. The symmetric MMS topology makes most stations of a role
+// identical — on the class-0 chain, stations of one role share service time
+// and server count, so stations with equal visit ratios are exact copies of
+// each other and hold identical queue lengths at every Bard–Schweitzer
+// iterate. Each distinct value becomes ONE kernel row whose physical
+// multiplicity (mva.BatchWorkspace.SetWeight) is the copy count, shrinking
+// the lockstep loops by the dedup factor (a 4×4 torus under the default
+// distance-decay pattern: 49 physical stations → 22 rows). Lanes may only
+// share a lockstep batch when their row/group layout agrees, hence the
+// partition on this signature.
+type batchShape struct {
+	mem, out, in int
+}
+
+// rows returns the kernel station count of the merged layout (processor +
+// distinct rows per role).
+func (sh batchShape) rows() int { return 1 + sh.mem + sh.out + sh.in }
+
+// distinctVisits compacts vis into (value, physical count) pairs, dropping
+// zero visits, first-seen order. vals/counts are reused scratch.
+func distinctVisits(vis, vals, counts []float64) ([]float64, []float64) {
+	vals, counts = vals[:0], counts[:0]
+	for _, x := range vis {
+		if x == 0 {
+			continue
+		}
+		found := false
+		for k := range vals {
+			if vals[k] == x {
+				counts[k]++
+				found = true
+				break
+			}
+		}
+		if !found {
+			vals = append(vals, x)
+			counts = append(counts, 1)
+		}
+	}
+	return vals, counts
+}
+
+// batchShapeOf reads a model's merged station signature off the row lists
+// cached at Build.
+func batchShapeOf(m *Model) batchShape {
+	return batchShape{
+		mem: len(m.mergeVals[0]),
+		out: len(m.mergeVals[1]),
+		in:  len(m.mergeVals[2]),
+	}
+}
+
+// solveSymmetricBatch loads one merged shape's items into the SoA kernel —
+// the symmetric solver's class-0 layout (0 = processor, then memory,
+// outbound, inbound role groups) with each role collapsed to its distinct
+// visit values as weighted representative rows — and assembles each lane's
+// metrics exactly as solveSymmetric does, the role sums weighted by the
+// physical station counts.
+func solveSymmetricBatch(ws *Workspace, models []*Model, idx []int, sh batchShape, opts SolveOptions, dst []BatchResult) {
+	bw := &ws.batch
+	bw.Reset(len(idx), sh.rows(), 4)
+	bw.SetGroup(0, int(Processor))
+	for r := 0; r < sh.mem; r++ {
+		bw.SetGroup(1+r, int(Memory))
+	}
+	for r := 0; r < sh.out; r++ {
+		bw.SetGroup(1+sh.mem+r, int(Outbound))
+	}
+	for r := 0; r < sh.in; r++ {
+		bw.SetGroup(1+sh.mem+sh.out+r, int(Inbound))
+	}
+	// Per-lane role parameters, hoisted so the row-major load below reads
+	// four floats per lane instead of re-deriving them from the Config per
+	// element.
+	role := resizeF(ws.batchRole, 4*len(idx))
+	ws.batchRole = role
+	for b, it := range idx {
+		cfg := &models[it].cfg
+		bw.SetPopulation(b, float64(cfg.Threads))
+		bw.Set(0, b, 1, cfg.processorService(), 1)
+		role[4*b] = cfg.MemoryTime
+		role[4*b+1] = float64(cfg.memoryPorts())
+		role[4*b+2] = cfg.SwitchTime
+		role[4*b+3] = float64(cfg.switchPorts())
+	}
+	// Role rows load row-major — the kernel's buffers are station-major, so
+	// walking the lanes innermost writes each row contiguously instead of
+	// striding a cache line per store.
+	rolesOf := [3]int{sh.mem, sh.out, sh.in}
+	row := 1
+	for r := 0; r < 3; r++ {
+		off := 2
+		if r == 0 {
+			off = 0
+		}
+		for k := 0; k < rolesOf[r]; k++ {
+			for b, it := range idx {
+				m := models[it]
+				bw.Set(row, b, m.mergeVals[r][k], role[4*b+off], role[4*b+off+1])
+				bw.SetWeight(row, b, m.mergeCounts[r][k])
+			}
+			row++
+		}
+	}
+	bw.Run(mva.BatchOptions{Tolerance: opts.Tolerance, MaxIterations: opts.MaxIterations})
+	for b, it := range idx {
+		if err := bw.Err(b); err != nil {
+			dst[it].Err = fmt.Errorf("mms: batch item %d: %w", it, err)
+			continue
+		}
+		lambda := bw.Lambda(b)
+		var lObs, sObsSum float64
+		for r := 1; r <= sh.mem; r++ {
+			lObs += bw.Weight(r, b) * bw.Visit(r, b) * bw.Residence(r, b)
+		}
+		for r := 1 + sh.mem; r < sh.rows(); r++ {
+			sObsSum += bw.Weight(r, b) * bw.Visit(r, b) * bw.Residence(r, b)
+		}
+		met := models[it].assembleMetrics(lambda, lObs, sObsSum)
+		met.Iterations = bw.Iterations(b)
+		dst[it].Metrics = met
+	}
+}
+
+func resizeModels(buf []*Model, n int) []*Model {
+	if cap(buf) < n {
+		return make([]*Model, n)
+	}
+	return buf[:n]
+}
+
+func resizeBool(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	return buf[:n]
+}
+
+func resizeShapes(buf []batchShape, n int) []batchShape {
+	if cap(buf) < n {
+		return make([]batchShape, n)
+	}
+	return buf[:n]
+}

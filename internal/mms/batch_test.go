@@ -1,0 +1,156 @@
+package mms
+
+import (
+	"math"
+	"testing"
+
+	"lattol/internal/validate"
+)
+
+// batchCompareMetrics asserts two metric sets agree within relTol on every
+// measure (|a-b| / max(|a|,|b|,1)).
+func batchCompareMetrics(t *testing.T, label string, got, want Metrics, relTol float64) {
+	t.Helper()
+	for _, c := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"Up", got.Up, want.Up},
+		{"LambdaProc", got.LambdaProc, want.LambdaProc},
+		{"LambdaNet", got.LambdaNet, want.LambdaNet},
+		{"SObs", got.SObs, want.SObs},
+		{"LObs", got.LObs, want.LObs},
+		{"CycleTime", got.CycleTime, want.CycleTime},
+		{"MemUtilization", got.MemUtilization, want.MemUtilization},
+		{"OutUtilization", got.OutUtilization, want.OutUtilization},
+		{"InUtilization", got.InUtilization, want.InUtilization},
+	} {
+		scale := math.Max(math.Max(math.Abs(c.got), math.Abs(c.want)), 1)
+		if math.Abs(c.got-c.want)/scale > relTol {
+			t.Errorf("%s: %s = %v, want %v (rel %g)", label, c.name, c.got, c.want,
+				math.Abs(c.got-c.want)/scale)
+		}
+	}
+}
+
+// TestSolveBatchMatchesSolve pins SolveBatch to item-by-item Model.Solve over
+// a mixed batch: two station shapes (K=2 and K=4), varying thread counts and
+// remote fractions, a multiported point, and scalar-fallback items (FullAMVA
+// and ExactMVA). Both sides iterate to a 1e-12 residual and must agree at
+// 1e-9.
+func TestSolveBatchMatchesSolve(t *testing.T) {
+	mk := func(k, nt int, p float64) Config {
+		cfg := DefaultConfig()
+		cfg.K = k
+		cfg.Threads = nt
+		cfg.PRemote = p
+		return cfg
+	}
+	multi := mk(4, 6, 0.5)
+	multi.MemoryPorts = 2
+	multi.SwitchPorts = 2
+	items := []BatchItem{
+		{Config: mk(4, 8, 0.2)},
+		{Config: mk(2, 3, 0.4)},
+		{Config: mk(4, 1, 0.05)},
+		{Config: mk(2, 1, 0.9), Solver: ExactMVA},
+		{Config: mk(4, 10, 0.7)},
+		{Config: mk(2, 5, 0.2), Solver: FullAMVA},
+		{Config: multi},
+		{Config: mk(4, 8, 0)}, // no remote accesses at all
+	}
+	opts := SolveOptions{Tolerance: 1e-12}
+	results := SolveBatch(items, opts)
+	if len(results) != len(items) {
+		t.Fatalf("results = %d, want %d", len(results), len(items))
+	}
+	for i, it := range items {
+		if results[i].Err != nil {
+			t.Fatalf("item %d: %v", i, results[i].Err)
+		}
+		model, err := Build(it.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := model.Solve(SolveOptions{Solver: it.Solver, Tolerance: 1e-12})
+		if err != nil {
+			t.Fatalf("scalar item %d: %v", i, err)
+		}
+		batchCompareMetrics(t, "item", results[i].Metrics, want, 1e-9)
+		if it.Solver != ExactMVA && results[i].Metrics.Iterations <= 0 {
+			t.Errorf("item %d: Iterations = %d, want > 0", i, results[i].Metrics.Iterations)
+		}
+	}
+}
+
+// TestSolveBatchPositionalErrors mixes an invalid configuration and a
+// zero-thread point into a healthy batch: errors land on their own index and
+// nowhere else.
+func TestSolveBatchPositionalErrors(t *testing.T) {
+	bad := DefaultConfig()
+	bad.K = -1
+	zero := DefaultConfig()
+	zero.Threads = 0
+	items := []BatchItem{
+		{Config: DefaultConfig()},
+		{Config: bad},
+		{Config: zero},
+		{Config: DefaultConfig(), Solver: Solver(99)},
+		{Config: DefaultConfig()},
+	}
+	results := SolveBatch(items, SolveOptions{})
+	if results[0].Err != nil || results[4].Err != nil {
+		t.Errorf("healthy items failed: [0]=%v [4]=%v", results[0].Err, results[4].Err)
+	}
+	if validate.Field(results[1].Err) != "K" {
+		t.Errorf("invalid config: field = %q (err %v), want K", validate.Field(results[1].Err), results[1].Err)
+	}
+	if results[2].Err != nil || results[2].Metrics != (Metrics{}) {
+		t.Errorf("zero threads: metrics %+v err %v, want zero metrics and nil", results[2].Metrics, results[2].Err)
+	}
+	if validate.Field(results[3].Err) != "Solver" {
+		t.Errorf("bad solver: field = %q (err %v), want Solver", validate.Field(results[3].Err), results[3].Err)
+	}
+	if results[0].Metrics.Up <= 0 || results[4].Metrics.Up <= 0 {
+		t.Errorf("healthy U_p = %v, %v, want > 0", results[0].Metrics.Up, results[4].Metrics.Up)
+	}
+}
+
+// TestSolveBatchIntoAllocates0 pins the steady-state contract: with prebuilt
+// models, a reused workspace and caller-provided result storage, a batch
+// solve allocates nothing.
+func TestSolveBatchIntoAllocates0(t *testing.T) {
+	items := make([]BatchItem, 12)
+	for i := range items {
+		cfg := DefaultConfig()
+		cfg.Threads = 1 + i
+		model, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items[i] = BatchItem{Model: model}
+	}
+	ws := new(Workspace)
+	dst := make([]BatchResult, len(items))
+	opts := SolveOptions{Workspace: ws}
+	SolveBatchInto(dst, items, opts)
+	allocs := testing.AllocsPerRun(50, func() {
+		SolveBatchInto(dst, items, opts)
+		if dst[0].Err != nil {
+			t.Fatal(dst[0].Err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("batch solve allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestSolveBatchIntoLengthMismatch documents the misuse panic.
+func TestSolveBatchIntoLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on dst/items length mismatch")
+		}
+	}()
+	SolveBatchInto(make([]BatchResult, 1), make([]BatchItem, 2), SolveOptions{})
+}

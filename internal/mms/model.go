@@ -54,6 +54,13 @@ type Model struct {
 	visitOut []float64 // eo[0][j]
 	visitIn  []float64 // ei[0][j]
 
+	// Merged batch-kernel rows, one (visit value, physical count) list per
+	// role (memory, outbound, inbound) with zero-visit stations dropped —
+	// computed once at Build so SolveBatch's per-item kernel load reads
+	// plain cached slices (see batchShapeOf, solveSymmetricBatch).
+	mergeVals   [3][]float64
+	mergeCounts [3][]float64
+
 	// netOnce/net cache the network for the internal read-only solver path;
 	// see network().
 	netOnce sync.Once
@@ -90,6 +97,9 @@ func (m *Model) computeVisits() {
 		q = func(dst topology.Node) float64 { return m.pattern.Prob(0, dst) }
 	}
 	m.visitMem, m.visitOut, m.visitIn = visitsFrom(m.torus, 0, m.cfg.PRemote, q)
+	for r, vis := range [3][]float64{m.visitMem, m.visitOut, m.visitIn} {
+		m.mergeVals[r], m.mergeCounts[r] = distinctVisits(vis, nil, nil)
+	}
 }
 
 // visitsFrom computes the per-cycle visit ratios of the class anchored at

@@ -100,12 +100,18 @@ func (o SolveOptions) Validate() error {
 	return nil
 }
 
+// DefaultMaxIterations is the iteration budget selected by a zero
+// SolveOptions.MaxIterations. It is deliberately above mva.DefaultMaxIterations:
+// the service layer solves through this package, so observability bucketing
+// must cover this cap.
+const DefaultMaxIterations = 200000
+
 func (o SolveOptions) withDefaults() SolveOptions {
 	if o.Tolerance <= 0 {
 		o.Tolerance = 1e-10
 	}
 	if o.MaxIterations <= 0 {
-		o.MaxIterations = 200000
+		o.MaxIterations = DefaultMaxIterations
 	}
 	return o
 }

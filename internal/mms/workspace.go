@@ -35,6 +35,20 @@ type Workspace struct {
 	// solve of the same station count seeds its iterate from it.
 	symWarmOK bool
 	symWarmN  int
+
+	// Batch-solve scratch: the SoA lockstep kernel plus the grouping
+	// bookkeeping of SolveBatch (lane→item indices, per-item models, shape
+	// partition flags). Disjoint from the scalar buffers above, so batch and
+	// scalar solves can interleave on one workspace.
+	batch       mva.BatchWorkspace
+	batchIdx    []int
+	batchModels []*Model
+	batchDone   []bool
+	// Station-dedup scratch: the per-item merged shapes of the current
+	// batch (the row lists themselves are cached on each Model at Build)
+	// and the hoisted per-lane role parameters of the kernel load.
+	batchShapes []batchShape
+	batchRole   []float64
 }
 
 // ensureSym sizes the symmetric-solver vectors for n stations. Contents are

@@ -118,12 +118,24 @@ func (o AMVAOptions) Validate() error {
 	return nil
 }
 
+// Defaults selected by zero-valued AMVAOptions fields. Exported so layers
+// above (metrics bucketing, documentation) can reference the real caps
+// instead of restating them.
+const (
+	// DefaultTolerance is the convergence threshold on the raw residual
+	// ‖G(n) − n‖∞ selected by a zero Tolerance.
+	DefaultTolerance = 1e-10
+	// DefaultMaxIterations is the fixed-point iteration budget selected by a
+	// zero MaxIterations.
+	DefaultMaxIterations = 100000
+)
+
 func (o AMVAOptions) withDefaults() AMVAOptions {
 	if o.Tolerance <= 0 {
-		o.Tolerance = 1e-10
+		o.Tolerance = DefaultTolerance
 	}
 	if o.MaxIterations <= 0 {
-		o.MaxIterations = 100000
+		o.MaxIterations = DefaultMaxIterations
 	}
 	if o.AndersonDepth <= 0 {
 		o.AndersonDepth = 3

@@ -1,0 +1,282 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"lattol/internal/validate"
+)
+
+// TestEvaluatorBatch drives a mixed batch — solves, a tolerance item, a
+// duplicate key and three invalid items — and checks that every outcome is
+// positional, matches the single-request endpoints exactly, and lands in the
+// shared cache.
+func TestEvaluatorBatch(t *testing.T) {
+	e := NewEvaluator(Config{})
+	defer e.Close()
+	ctx := context.Background()
+
+	bad := baseRequest()
+	bad.K = 0
+	items := []BatchItemRequest{
+		{ModelRequest: baseRequest()},
+		{ModelRequest: baseRequest(), Op: "tolerance"},
+		{ModelRequest: bad},
+		{ModelRequest: baseRequest()}, // same key as item 0
+		{ModelRequest: baseRequest(), Op: "tolerance", Subsystem: "memory", Mode: "zero-remote"},
+		{ModelRequest: uniqueRequest(3), Op: "bogus"},
+	}
+	out := make([]BatchOutcome, len(items))
+	if err := e.Batch(ctx, items, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Err != nil || out[1].Err != nil || out[3].Err != nil {
+		t.Fatalf("healthy items failed: [0]=%v [1]=%v [3]=%v", out[0].Err, out[1].Err, out[3].Err)
+	}
+	if validate.Field(out[2].Err) != "K" {
+		t.Errorf("invalid config: field = %q (err %v), want K", validate.Field(out[2].Err), out[2].Err)
+	}
+	if validate.Field(out[4].Err) != "mode" {
+		t.Errorf("memory+zero-remote: field = %q (err %v), want mode", validate.Field(out[4].Err), out[4].Err)
+	}
+	if validate.Field(out[5].Err) != "op" {
+		t.Errorf("bad op: field = %q (err %v), want op", validate.Field(out[5].Err), out[5].Err)
+	}
+	if out[0].Cache != stateLead {
+		t.Errorf("item 0 cache = %v, want miss", out[0].Cache)
+	}
+	if out[3].Cache != stateWait {
+		t.Errorf("duplicate item cache = %v, want coalesced", out[3].Cache)
+	}
+
+	// Positional results match the single-request endpoints — which are now
+	// pure cache hits on the very entries the batch populated.
+	met, st, err := e.Solve(ctx, baseRequest())
+	if err != nil || st != stateHit {
+		t.Fatalf("follow-up solve: state %v err %v, want hit", st, err)
+	}
+	if out[0].Metrics != met || out[3].Metrics != met {
+		t.Errorf("batch metrics differ from solve: [0]=%+v [3]=%+v want %+v", out[0].Metrics, out[3].Metrics, met)
+	}
+	tol, st, err := e.Tolerance(ctx, ToleranceRequest{ModelRequest: baseRequest()})
+	if err != nil || st != stateHit {
+		t.Fatalf("follow-up tolerance: state %v err %v, want hit", st, err)
+	}
+	if out[1].Tolerance != tol {
+		t.Errorf("batch tolerance %+v differs from endpoint %+v", out[1].Tolerance, tol)
+	}
+
+	// A repeated batch is served from cache: every valid position hits and no
+	// further solver runs happen.
+	before := e.Metrics().solves.Load()
+	out2 := make([]BatchOutcome, len(items))
+	if err := e.Batch(ctx, items, out2); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 1, 3} {
+		if out2[i].Cache != stateHit || out2[i].Err != nil {
+			t.Errorf("repeat item %d: cache %v err %v, want hit", i, out2[i].Cache, out2[i].Err)
+		}
+	}
+	if after := e.Metrics().solves.Load(); after != before {
+		t.Errorf("repeated batch ran %d extra solves", after-before)
+	}
+}
+
+// TestEvaluatorBatchMissesSolveAsOneTask pins the batching contract: all
+// cache misses of one Batch call are submitted as a single worker task, so
+// the solve-latency histogram records one observation while the solve counter
+// records one run per item.
+func TestEvaluatorBatchMissesSolveAsOneTask(t *testing.T) {
+	e := NewEvaluator(Config{Workers: 1})
+	defer e.Close()
+
+	items := []BatchItemRequest{
+		{ModelRequest: uniqueRequest(1)},
+		{ModelRequest: uniqueRequest(2)},
+		{ModelRequest: uniqueRequest(3), Op: "tolerance"},
+	}
+	out := make([]BatchOutcome, len(items))
+	if err := e.Batch(context.Background(), items, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if out[i].Err != nil {
+			t.Fatalf("item %d: %v", i, out[i].Err)
+		}
+		if out[i].Cache != stateLead {
+			t.Errorf("item %d cache = %v, want miss", i, out[i].Cache)
+		}
+	}
+	if s := e.Metrics().solves.Load(); s != 3 {
+		t.Errorf("solves = %d, want 3", s)
+	}
+	var buf bytes.Buffer
+	e.Metrics().WriteText(&buf)
+	if !strings.Contains(buf.String(), "lattold_solve_seconds_count 1\n") {
+		t.Errorf("batch misses did not run as one worker task:\n%s", buf.String())
+	}
+}
+
+// TestEvaluatorBatchEnvelope checks the envelope errors (empty and oversized
+// batches) and the misuse panic on mismatched output storage.
+func TestEvaluatorBatchEnvelope(t *testing.T) {
+	e := NewEvaluator(Config{MaxBatchItems: 2})
+	defer e.Close()
+	ctx := context.Background()
+
+	if err := e.Batch(ctx, nil, nil); validate.Field(err) != "items" {
+		t.Errorf("empty batch: field = %q (err %v), want items", validate.Field(err), err)
+	}
+	three := []BatchItemRequest{
+		{ModelRequest: baseRequest()}, {ModelRequest: baseRequest()}, {ModelRequest: baseRequest()},
+	}
+	if err := e.Batch(ctx, three, make([]BatchOutcome, 3)); validate.Field(err) != "items" {
+		t.Errorf("oversized batch: field = %q (err %v), want items", validate.Field(err), err)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on items/out length mismatch")
+		}
+	}()
+	_ = e.Batch(ctx, three[:1], nil)
+}
+
+// TestEvaluatorBatchSheds fills the worker and the queue, then expects a
+// batch's misses to shed as a whole: the envelope succeeds and every miss
+// position reports ErrQueueFull.
+func TestEvaluatorBatchSheds(t *testing.T) {
+	e := NewEvaluator(Config{Workers: 1, QueueDepth: 1})
+	var solves atomic.Int32
+	gate := make(chan struct{})
+	e.solveHook = func(Key) {
+		if solves.Add(1) == 1 {
+			<-gate
+		}
+	}
+	defer e.Close()
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); _, _, _ = e.Solve(ctx, uniqueRequest(1)) }()
+	waitUntil(t, "worker occupied", func() bool { return solves.Load() == 1 })
+	wg.Add(1)
+	go func() { defer wg.Done(); _, _, _ = e.Solve(ctx, uniqueRequest(2)) }()
+	waitUntil(t, "queue slot filled", func() bool { return len(e.tasks) == 1 })
+
+	items := []BatchItemRequest{{ModelRequest: uniqueRequest(3)}, {ModelRequest: uniqueRequest(4)}}
+	out := make([]BatchOutcome, len(items))
+	if err := e.Batch(ctx, items, out); err != nil {
+		t.Fatalf("envelope error: %v", err)
+	}
+	for i := range out {
+		if !errors.Is(out[i].Err, ErrQueueFull) {
+			t.Errorf("item %d error = %v, want ErrQueueFull", i, out[i].Err)
+		}
+	}
+	close(gate)
+	wg.Wait()
+}
+
+// TestEvaluatorWaiterRetriesOnForeignCancel is the regression test for the
+// coalesced-waiter inheritance bug: a request with a live context coalesces
+// onto a leader whose context is cancelled before a worker picks its task up.
+// The worker completes the entry with the leader's context error; that error
+// belongs to the leader's request, not to the key, so the waiter must retry
+// its own admission and obtain a result — never surface a stranger's
+// context.Canceled.
+func TestEvaluatorWaiterRetriesOnForeignCancel(t *testing.T) {
+	e := NewEvaluator(Config{Workers: 1, QueueDepth: 4})
+	var solves atomic.Int32
+	gate := make(chan struct{})
+	e.solveHook = func(Key) {
+		if solves.Add(1) == 1 {
+			<-gate
+		}
+	}
+	defer e.Close()
+
+	// Occupy the only worker so the leader's task stays queued.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); _, _, _ = e.Solve(context.Background(), uniqueRequest(1)) }()
+	waitUntil(t, "worker occupied", func() bool { return solves.Load() == 1 })
+
+	// The leader submits its task and then its context dies while queued.
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	defer cancelLeader()
+	var leaderErr error
+	wg.Add(1)
+	go func() { defer wg.Done(); _, _, leaderErr = e.Solve(leaderCtx, uniqueRequest(2)) }()
+	waitUntil(t, "leader task queued", func() bool { return len(e.tasks) == 1 })
+
+	// A second request with a live context coalesces onto the leader's entry.
+	var waiterUp float64
+	var waiterErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		met, _, err := e.Solve(context.Background(), uniqueRequest(2))
+		waiterUp, waiterErr = met.Up, err
+	}()
+	waitUntil(t, "waiter coalesced", func() bool { return e.Metrics().cacheCoalesced.Load() == 1 })
+
+	// Kill the leader's context, then release the worker: it picks the task
+	// up dead and completes the entry with context.Canceled.
+	cancelLeader()
+	close(gate)
+	wg.Wait()
+
+	if !errors.Is(leaderErr, context.Canceled) {
+		t.Errorf("leader error = %v, want context.Canceled", leaderErr)
+	}
+	if waiterErr != nil {
+		t.Fatalf("waiter inherited a foreign error: %v", waiterErr)
+	}
+	if waiterUp <= 0 {
+		t.Errorf("waiter U_p = %v, want > 0", waiterUp)
+	}
+}
+
+// TestEvaluatorEvictionWithWaitersPending hammers a capacity-1 single-shard
+// cache with distinct keys solving and coalescing concurrently. Pending
+// entries are never on the LRU list, so eviction pressure from completing
+// neighbors must not disturb them: every request gets a result. Run with
+// -race this exercises complete/trim against getOrStart.
+func TestEvaluatorEvictionWithWaitersPending(t *testing.T) {
+	e := NewEvaluator(Config{Workers: 2, QueueDepth: 64, CacheEntries: 1, CacheShards: 1})
+	defer e.Close()
+	ctx := context.Background()
+
+	const keys, dup = 6, 3
+	errs := make([]error, keys*dup)
+	var wg sync.WaitGroup
+	for i := 0; i < keys; i++ {
+		for j := 0; j < dup; j++ {
+			wg.Add(1)
+			go func(i, j int) {
+				defer wg.Done()
+				_, _, errs[i*dup+j] = e.Solve(ctx, uniqueRequest(i))
+			}(i, j)
+		}
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("request %d: %v", i, err)
+		}
+	}
+	if ev := e.Metrics().cacheEvictions.Load(); ev < keys-1 {
+		t.Errorf("evictions = %d, want >= %d on a capacity-1 cache", ev, keys-1)
+	}
+	if n := e.cache.len(); n != 1 {
+		t.Errorf("cached entries = %d, want 1", n)
+	}
+}

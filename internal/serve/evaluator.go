@@ -12,7 +12,6 @@ import (
 
 	"lattol/internal/mms"
 	"lattol/internal/mva"
-	"lattol/internal/sweep"
 	"lattol/internal/tolerance"
 	"lattol/internal/validate"
 )
@@ -46,6 +45,9 @@ type Config struct {
 	SolveTimeout time.Duration
 	// MaxSweepPoints bounds the grid of one /v1/sweep request. Default 1024.
 	MaxSweepPoints int
+	// MaxBatchItems bounds the item list of one /v1/batch request. Default
+	// 1024.
+	MaxBatchItems int
 }
 
 func (c Config) withDefaults() Config {
@@ -67,14 +69,20 @@ func (c Config) withDefaults() Config {
 	if c.MaxSweepPoints <= 0 {
 		c.MaxSweepPoints = 1024
 	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 1024
+	}
 	return c
 }
 
-// task is one admitted evaluation waiting for a worker.
+// task is one admitted evaluation waiting for a worker: either a single
+// entry (ent) or the cache-missing entries of one batch request (ents),
+// solved together as one lockstep batch.
 type task struct {
-	ent *entry
-	ctx context.Context
-	enq time.Time
+	ent  *entry
+	ents []*entry
+	ctx  context.Context
+	enq  time.Time
 }
 
 // Evaluator is the concurrent model-evaluation engine: canonicalized
@@ -163,9 +171,14 @@ func (e *Evaluator) worker() {
 	ws := new(mms.Workspace)
 	for t := range e.tasks {
 		e.met.queueWait.observe(time.Since(t.enq))
+		if t.ents != nil {
+			e.runBatch(ws, t)
+			continue
+		}
 		if err := t.ctx.Err(); err != nil {
-			// The leader (and every coalesced waiter) is already gone or
-			// about to observe the same context error; don't burn a solve.
+			// The submitter's context is the only one the task carries, so the
+			// completion error is its context error. Coalesced waiters whose
+			// own contexts are live treat that as foreign and retry (evalKey).
 			e.cache.complete(t.ent, result{}, err)
 			continue
 		}
@@ -177,21 +190,103 @@ func (e *Evaluator) worker() {
 		res, err := computeKey(ws, t.ent.key)
 		e.met.solveLatency.observe(time.Since(start))
 		e.met.inFlight.Add(-1)
-		e.met.solves.Add(1)
-		if err != nil {
-			e.met.solveErrors.Add(1)
-		} else {
-			// Tolerance evaluations solve two systems (real + ideal); record
-			// both iteration counts so the histogram reflects every solver
-			// run, not every request.
-			if n := res.real.Iterations; n > 0 {
-				e.met.solveIterations.observe(uint64(n))
-			}
-			if n := res.ideal.Iterations; n > 0 {
-				e.met.solveIterations.observe(uint64(n))
-			}
-		}
+		e.recordSolve(res, err)
 		if n := e.cache.complete(t.ent, res, err); n > 0 {
+			e.met.cacheEvictions.Add(uint64(n))
+		}
+	}
+}
+
+// recordSolve updates the solve counters for one completed evaluation.
+// Tolerance evaluations solve two systems (real + ideal); both iteration
+// counts are recorded so the histogram reflects every solver run, not every
+// request.
+func (e *Evaluator) recordSolve(res result, err error) {
+	e.met.solves.Add(1)
+	if err != nil {
+		e.met.solveErrors.Add(1)
+		return
+	}
+	if n := res.real.Iterations; n > 0 {
+		e.met.solveIterations.observe(uint64(n))
+	}
+	if n := res.ideal.Iterations; n > 0 {
+		e.met.solveIterations.observe(uint64(n))
+	}
+}
+
+// runBatch solves the cache-missing entries of one batch request as a single
+// mms batch on this worker's workspace, completing each entry positionally.
+func (e *Evaluator) runBatch(ws *mms.Workspace, t task) {
+	if err := t.ctx.Err(); err != nil {
+		// The batch submitter is gone; complete every entry with its context
+		// error. Waiters that coalesced onto these entries from other
+		// requests see a foreign context error and retry.
+		for _, ent := range t.ents {
+			e.cache.complete(ent, result{}, err)
+		}
+		return
+	}
+	e.met.inFlight.Add(1)
+	if e.solveHook != nil {
+		for _, ent := range t.ents {
+			e.solveHook(ent.key)
+		}
+	}
+	start := time.Now()
+	e.computeBatch(ws, t.ents)
+	e.met.solveLatency.observe(time.Since(start))
+	e.met.inFlight.Add(-1)
+}
+
+// computeBatch translates entries into mms batch items — one per solve key,
+// two per tolerance key (real system, then ideal) — runs them as one lockstep
+// batch and completes each entry from its span of the positional results.
+func (e *Evaluator) computeBatch(ws *mms.Workspace, ents []*entry) {
+	items := make([]mms.BatchItem, 0, 2*len(ents))
+	for _, ent := range ents {
+		k := ent.key
+		cfg := k.config()
+		items = append(items, mms.BatchItem{Config: cfg, Solver: k.solver})
+		if k.op == opTolerance {
+			ideal, err := tolerance.IdealConfig(cfg, k.sub, k.mode)
+			if err != nil {
+				// Canonical keys carry validated subsystem/mode pairs, so this
+				// is unreachable; keep the span aligned and report it below.
+				ideal = cfg
+			}
+			items = append(items, mms.BatchItem{Config: ideal, Solver: k.solver})
+		}
+	}
+	results := mms.SolveBatch(items, mms.SolveOptions{Workspace: ws, WarmStart: true, Accel: mva.AccelAnderson})
+	pos := 0
+	for _, ent := range ents {
+		k := ent.key
+		var res result
+		var err error
+		switch k.op {
+		case opTolerance:
+			re, id := results[pos], results[pos+1]
+			pos += 2
+			switch {
+			case re.Err != nil:
+				err = re.Err
+			case id.Err != nil:
+				err = id.Err
+			default:
+				if _, ierr := tolerance.IdealConfig(k.config(), k.sub, k.mode); ierr != nil {
+					err = ierr
+					break
+				}
+				res = result{real: re.Metrics, ideal: id.Metrics, tol: tolerance.Ratio(re.Metrics.Up, id.Metrics.Up)}
+			}
+		default: // opSolve
+			re := results[pos]
+			pos++
+			res.real, err = re.Metrics, re.Err
+		}
+		e.recordSolve(res, err)
+		if n := e.cache.complete(ent, res, err); n > 0 {
 			e.met.cacheEvictions.Add(uint64(n))
 		}
 	}
@@ -228,37 +323,145 @@ func computeKey(ws *mms.Workspace, k Key) (result, error) {
 	}
 }
 
+// retryableCompletion reports whether an entry's completion error belongs to
+// the leader's request rather than to the key itself: the leader's context
+// expired before a worker picked the task up, or its submission was shed.
+// Nothing about the key is wrong in those cases, so a coalesced waiter whose
+// own context is live must not inherit the error — it retries getOrStart.
+// Solver and validation errors are properties of the key and surface to every
+// waiter.
+func retryableCompletion(err error) bool {
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, ErrQueueFull) ||
+		errors.Is(err, ErrDraining)
+}
+
 // evalKey satisfies one canonical evaluation: cache hit, coalesce onto an
 // identical in-flight evaluation, or lead a new one through the pool. When
 // the caller's context expires while leading, the solve itself keeps running
-// and its result still lands in the cache for later requests.
+// and its result still lands in the cache for later requests. A waiter that
+// coalesced onto a leader whose context died (or whose submission was shed)
+// retries with its own admission rather than inheriting the foreign error.
 func (e *Evaluator) evalKey(ctx context.Context, k Key) (result, cacheState, error) {
-	ent, st := e.cache.getOrStart(k)
-	switch st {
-	case stateHit:
-		e.met.cacheHits.Add(1)
-		return ent.res, st, nil
-	case stateWait:
-		e.met.cacheCoalesced.Add(1)
-		select {
-		case <-ent.done:
-			return ent.res, st, ent.err
-		case <-ctx.Done():
-			return result{}, st, ctx.Err()
+	for {
+		ent, st := e.cache.getOrStart(k)
+		switch st {
+		case stateHit:
+			e.met.cacheHits.Add(1)
+			return ent.res, st, nil
+		case stateWait:
+			e.met.cacheCoalesced.Add(1)
+			select {
+			case <-ent.done:
+				if retryableCompletion(ent.err) && ctx.Err() == nil {
+					continue
+				}
+				return ent.res, st, ent.err
+			case <-ctx.Done():
+				return result{}, st, ctx.Err()
+			}
+		default: // stateLead
+			e.met.cacheMisses.Add(1)
+			if err := e.submit(task{ent: ent, ctx: ctx, enq: time.Now()}); err != nil {
+				// Wake any waiter that coalesced onto us in the meantime; our
+				// admission error is foreign to them, so they retry. Nothing
+				// is cached.
+				e.cache.complete(ent, result{}, err)
+				return result{}, st, err
+			}
+			select {
+			case <-ent.done:
+				return ent.res, st, ent.err
+			case <-ctx.Done():
+				return result{}, st, ctx.Err()
+			}
 		}
 	}
-	e.met.cacheMisses.Add(1)
-	if err := e.submit(task{ent: ent, ctx: ctx, enq: time.Now()}); err != nil {
-		// Wake any waiter that coalesced onto us in the meantime; nothing
-		// is cached, so the next identical request retries admission.
-		e.cache.complete(ent, result{}, err)
-		return result{}, st, err
+}
+
+// keyOutcome is the per-position product of evalKeyBatch.
+type keyOutcome struct {
+	res result
+	st  cacheState
+	err error
+}
+
+// evalKeyBatch satisfies a positional list of canonical keys. Cache hits are
+// extracted inline before any solver runs; keys already in flight elsewhere
+// are coalesced; every remaining miss is submitted as ONE batch task, so a
+// single worker iterates all of them in lockstep with continuation seeding
+// between the points. Positions whose key is the zero Key (op 0) are skipped —
+// the caller has already resolved them. out must have len(keys).
+func (e *Evaluator) evalKeyBatch(ctx context.Context, keys []Key, out []keyOutcome) {
+	var pending []*entry // index-aligned with keys; nil on the all-hit fast path
+	var leads []*entry
+	for i := range keys {
+		if keys[i].op == 0 {
+			continue
+		}
+		ent, st := e.cache.getOrStart(keys[i])
+		out[i].st = st
+		switch st {
+		case stateHit:
+			e.met.cacheHits.Add(1)
+			out[i].res = ent.res
+		case stateWait:
+			e.met.cacheCoalesced.Add(1)
+			if pending == nil {
+				pending = make([]*entry, len(keys))
+			}
+			pending[i] = ent
+		default: // stateLead
+			e.met.cacheMisses.Add(1)
+			if pending == nil {
+				pending = make([]*entry, len(keys))
+			}
+			pending[i] = ent
+			leads = append(leads, ent)
+		}
 	}
-	select {
-	case <-ent.done:
-		return ent.res, st, ent.err
-	case <-ctx.Done():
-		return result{}, st, ctx.Err()
+	if pending == nil {
+		return
+	}
+	if len(leads) > 0 {
+		if err := e.submit(task{ents: leads, ctx: ctx, enq: time.Now()}); err != nil {
+			// Admission failed for the whole batch. Complete our entries so
+			// strangers coalesced onto them retry; our own positions surface
+			// the admission error through the wait loop below.
+			for _, ent := range leads {
+				e.cache.complete(ent, result{}, err)
+			}
+		}
+	}
+	for i := range keys {
+		ent := pending[i]
+		if ent == nil {
+			continue
+		}
+		if out[i].st != stateWait {
+			// Our own lead: its completion error — solver, admission or our
+			// context — is ours to surface. No retry.
+			select {
+			case <-ent.done:
+				out[i].res, out[i].err = ent.res, ent.err
+			case <-ctx.Done():
+				out[i].err = ctx.Err()
+			}
+			continue
+		}
+		// Coalesced onto a stranger's in-flight evaluation: retry on foreign
+		// completion errors, exactly as the single-key path does.
+		select {
+		case <-ent.done:
+			if retryableCompletion(ent.err) && ctx.Err() == nil {
+				out[i].res, out[i].st, out[i].err = e.evalKey(ctx, keys[i])
+			} else {
+				out[i].res, out[i].err = ent.res, ent.err
+			}
+		case <-ctx.Done():
+			out[i].err = ctx.Err()
+		}
 	}
 }
 
@@ -315,6 +518,67 @@ func (e *Evaluator) Tolerance(ctx context.Context, r ToleranceRequest) (Toleranc
 	return ToleranceOutcome{Subsystem: sub, Mode: mode, Tol: res.tol, Real: res.real, Ideal: res.ideal}, st, nil
 }
 
+// BatchOutcome is the positional product of one batch item. Err covers the
+// item's own failure — validation, admission, context or solver — and leaves
+// its neighbors untouched. Exactly one of Metrics (op "solve") and Tolerance
+// (op "tolerance") is meaningful, matching the item's operation.
+type BatchOutcome struct {
+	Cache     cacheState
+	Err       error
+	Metrics   mms.Metrics
+	Tolerance ToleranceOutcome
+}
+
+// Batch evaluates a positional list of items. Each item's canonical key flows
+// through the cache first — hits and in-flight coalescing are resolved before
+// any solver runs — and all remaining misses are solved as one lockstep batch
+// on a single worker, with continuation seeding between the points. out must
+// have len(items). The returned error is an envelope error (malformed batch
+// as a whole); per-item failures are positional in out.
+func (e *Evaluator) Batch(ctx context.Context, items []BatchItemRequest, out []BatchOutcome) error {
+	if len(out) != len(items) {
+		panic(fmt.Sprintf("serve: Batch: len(out) = %d, want len(items) = %d", len(out), len(items)))
+	}
+	if len(items) == 0 || len(items) > e.cfg.MaxBatchItems {
+		return validate.Fieldf("serve.BatchRequest", "items", "has %d items, want in [1,%d]",
+			len(items), e.cfg.MaxBatchItems)
+	}
+	e.met.batchItems.Add(uint64(len(items)))
+	keys := make([]Key, len(items))
+	outcomes := make([]keyOutcome, len(items))
+	for i := range items {
+		k, err := items[i].key()
+		if err != nil {
+			out[i] = BatchOutcome{Err: err}
+			continue // keys[i] stays the zero Key; evalKeyBatch skips it
+		}
+		keys[i] = k
+	}
+	e.evalKeyBatch(ctx, keys, outcomes)
+	for i := range items {
+		if keys[i].op == 0 {
+			continue
+		}
+		o := outcomes[i]
+		out[i] = BatchOutcome{Cache: o.st, Err: o.err}
+		if o.err != nil {
+			continue
+		}
+		if keys[i].op == opTolerance {
+			out[i].Tolerance = ToleranceOutcome{
+				Subsystem: keys[i].sub,
+				Mode:      keys[i].mode,
+				Tol:       o.res.tol,
+				Real:      o.res.real,
+				Ideal:     o.res.ideal,
+			}
+		} else {
+			out[i].Metrics = o.res.real
+		}
+	}
+	return nil
+}
+
 // SweepPoint is one evaluated point of a sweep: the paper's measures plus
 // both tolerance indices at that knob setting.
 type SweepPoint struct {
@@ -324,11 +588,12 @@ type SweepPoint struct {
 	TolMemory  float64     `json:"tol_memory"`
 }
 
-// Sweep evaluates tolerance indices over a knob range. Points fan out on the
-// sweep runner and flow point-by-point through the same cache and worker
-// pool as single requests, so repeated sweeps hit the cache and a sweep
-// competes fairly with interactive traffic for the bounded workers; under
-// overload individual points are shed and the sweep fails fast.
+// Sweep evaluates tolerance indices over a knob range. The grid is routed
+// over the batch path: per-point cache hits are extracted up front, and every
+// remaining point (two tolerance keys each: network and memory) is solved as
+// one lockstep batch on a single worker, so the kernel's continuation seeding
+// walks the grid in order. Repeated sweeps hit the cache; under overload the
+// batch is shed as a whole and the sweep fails fast.
 func (e *Evaluator) Sweep(ctx context.Context, r SweepRequest) ([]SweepPoint, error) {
 	knob, err := mms.ParseParam(r.Param)
 	if err != nil {
@@ -353,30 +618,33 @@ func (e *Evaluator) Sweep(ctx context.Context, r SweepRequest) ([]SweepPoint, er
 	// overwritten), and an out-of-range swept value is reported against the
 	// point that produced it.
 	values := knob.Grid(r.From, r.To, r.Steps)
-	points, err := sweep.Run(ctx, values, sweep.Options{Workers: e.cfg.Workers, FailFast: true},
-		func(v float64) (SweepPoint, error) {
-			pcfg := cfg
-			knob.Apply(&pcfg, v)
-			if err := validateConfig(pcfg, pat); err != nil {
-				return SweepPoint{}, err
-			}
-			net, _, err := e.evalKey(ctx, canonicalKey(pcfg, pat, geo, solver, opTolerance, tolerance.Network, tolerance.ZeroRemote))
-			if err != nil {
-				return SweepPoint{}, err
-			}
-			mem, _, err := e.evalKey(ctx, canonicalKey(pcfg, pat, geo, solver, opTolerance, tolerance.Memory, tolerance.ZeroDelay))
-			if err != nil {
-				return SweepPoint{}, err
-			}
-			return SweepPoint{
-				Value:      v,
-				Metrics:    metricsBody(net.real),
-				TolNetwork: net.tol,
-				TolMemory:  mem.tol,
-			}, nil
-		})
-	if err != nil {
-		return nil, err
+	keys := make([]Key, 2*len(values))
+	for i, v := range values {
+		pcfg := cfg
+		knob.Apply(&pcfg, v)
+		if err := validateConfig(pcfg, pat); err != nil {
+			return nil, err
+		}
+		keys[2*i] = canonicalKey(pcfg, pat, geo, solver, opTolerance, tolerance.Network, tolerance.ZeroRemote)
+		keys[2*i+1] = canonicalKey(pcfg, pat, geo, solver, opTolerance, tolerance.Memory, tolerance.ZeroDelay)
+	}
+	out := make([]keyOutcome, len(keys))
+	e.evalKeyBatch(ctx, keys, out)
+	points := make([]SweepPoint, len(values))
+	for i, v := range values {
+		net, mem := out[2*i], out[2*i+1]
+		if net.err != nil {
+			return nil, net.err
+		}
+		if mem.err != nil {
+			return nil, mem.err
+		}
+		points[i] = SweepPoint{
+			Value:      v,
+			Metrics:    metricsBody(net.res.real),
+			TolNetwork: net.res.tol,
+			TolMemory:  mem.res.tol,
+		}
 	}
 	return points, nil
 }

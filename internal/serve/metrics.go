@@ -15,7 +15,6 @@ var latencyBounds = [...]float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
 // so the hot paths never contend on a lock to record an observation.
 type histogram struct {
 	buckets  [len(latencyBounds) + 1]atomic.Uint64
-	count    atomic.Uint64
 	sumNanos atomic.Int64
 }
 
@@ -26,12 +25,14 @@ func (h *histogram) observe(d time.Duration) {
 		i++
 	}
 	h.buckets[i].Add(1)
-	h.count.Add(1)
 	h.sumNanos.Add(int64(d))
 }
 
 // writeTo renders the histogram in Prometheus exposition style: cumulative
-// _bucket{le=...} counts, _sum (seconds) and _count.
+// _bucket{le=...} counts, _sum (seconds) and _count. _count is the cumulative
+// sum of the buckets — Prometheus requires _count == the +Inf bucket, and a
+// separately incremented counter could be observed out of step with the
+// bucket it accompanies under concurrent updates.
 func (h *histogram) writeTo(w io.Writer, name string) {
 	var cum uint64
 	for i, le := range latencyBounds {
@@ -41,18 +42,20 @@ func (h *histogram) writeTo(w io.Writer, name string) {
 	cum += h.buckets[len(latencyBounds)].Load()
 	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
 	fmt.Fprintf(w, "%s_sum %g\n", name, time.Duration(h.sumNanos.Load()).Seconds())
-	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+	fmt.Fprintf(w, "%s_count %d\n", name, cum)
 }
 
 // iterBounds are the iteration-count histogram bucket upper bounds (decade
-// buckets from 1 to 1e5, plus +Inf — the AMVA solvers cap at 2e5).
-var iterBounds = [...]uint64{1, 10, 100, 1000, 10000, 100000}
+// buckets from 1 to 1e6, plus +Inf). The largest finite bucket must cover
+// the solvers' iteration caps — mva.DefaultMaxIterations (1e5) and
+// mms.DefaultMaxIterations (2e5) — so capped runs don't vanish into +Inf
+// (asserted by TestIterBoundsCoverSolverCaps).
+var iterBounds = [...]uint64{1, 10, 100, 1000, 10000, 100000, 1000000}
 
 // countHistogram is histogram for dimensionless counts: decade buckets,
 // integer sum.
 type countHistogram struct {
 	buckets [len(iterBounds) + 1]atomic.Uint64
-	count   atomic.Uint64
 	sum     atomic.Uint64
 }
 
@@ -62,10 +65,12 @@ func (h *countHistogram) observe(n uint64) {
 		i++
 	}
 	h.buckets[i].Add(1)
-	h.count.Add(1)
 	h.sum.Add(n)
 }
 
+// writeTo renders the count histogram; as with histogram.writeTo, _count is
+// derived from the cumulative bucket sum so the exposition is internally
+// consistent.
 func (h *countHistogram) writeTo(w io.Writer, name string) {
 	var cum uint64
 	for i, le := range iterBounds {
@@ -75,7 +80,7 @@ func (h *countHistogram) writeTo(w io.Writer, name string) {
 	cum += h.buckets[len(iterBounds)].Load()
 	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
 	fmt.Fprintf(w, "%s_sum %d\n", name, h.sum.Load())
-	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+	fmt.Fprintf(w, "%s_count %d\n", name, cum)
 }
 
 // Metrics is the service's observability surface: plain atomics incremented
@@ -90,8 +95,13 @@ type Metrics struct {
 	requestsSolve     atomic.Uint64
 	requestsTolerance atomic.Uint64
 	requestsSweep     atomic.Uint64
+	requestsBatch     atomic.Uint64
 	requestsHealth    atomic.Uint64
 	requestsMetrics   atomic.Uint64
+
+	// batchItems counts individual items across all /v1/batch requests (the
+	// requestsBatch counter counts envelopes).
+	batchItems atomic.Uint64
 
 	// responsesByClass counts responses by status class (index code/100;
 	// 2 → 2xx, 4 → 4xx, 5 → 5xx).
@@ -149,11 +159,13 @@ func (m *Metrics) WriteText(w io.Writer) {
 		{"solve", &m.requestsSolve},
 		{"tolerance", &m.requestsTolerance},
 		{"sweep", &m.requestsSweep},
+		{"batch", &m.requestsBatch},
 		{"healthz", &m.requestsHealth},
 		{"metrics", &m.requestsMetrics},
 	} {
 		fmt.Fprintf(w, "lattold_requests_total{endpoint=%q} %d\n", c.endpoint, c.v.Load())
 	}
+	fmt.Fprintf(w, "lattold_batch_items_total %d\n", m.batchItems.Load())
 	for class := 2; class <= 5; class++ {
 		fmt.Fprintf(w, "lattold_responses_total{class=\"%dxx\"} %d\n", class, m.responsesByClass[class].Load())
 	}

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lattol/internal/mms"
+	"lattol/internal/mva"
+)
+
+// parseHistogram extracts the rendered +Inf bucket and _count of one
+// histogram from exposition text. Returns -1 for lines it cannot find.
+func parseHistogram(text, name string) (inf, count int) {
+	inf, count = -1, -1
+	for _, line := range strings.Split(text, "\n") {
+		if n := -1; strings.HasPrefix(line, name+`_bucket{le="+Inf"} `) {
+			fmt.Sscanf(line, name+`_bucket{le="+Inf"} %d`, &n)
+			inf = n
+		}
+		if n := -1; strings.HasPrefix(line, name+"_count ") {
+			fmt.Sscanf(line, name+"_count %d", &n)
+			count = n
+		}
+	}
+	return inf, count
+}
+
+// TestHistogramCountMatchesBuckets pins the exposition invariant Prometheus
+// requires: _count equals the cumulative +Inf bucket, for both histogram
+// flavors, including observations beyond the largest finite bound.
+func TestHistogramCountMatchesBuckets(t *testing.T) {
+	var h histogram
+	for _, d := range []time.Duration{time.Microsecond, time.Millisecond, time.Second, 20 * time.Second} {
+		h.observe(d)
+	}
+	var buf bytes.Buffer
+	h.writeTo(&buf, "x")
+	if inf, count := parseHistogram(buf.String(), "x"); inf != 4 || count != 4 {
+		t.Errorf("latency histogram: +Inf bucket %d, _count %d, want 4 and 4\n%s", inf, count, buf.String())
+	}
+
+	var ch countHistogram
+	for _, n := range []uint64{1, 5, 50000, 5000000} {
+		ch.observe(n)
+	}
+	buf.Reset()
+	ch.writeTo(&buf, "y")
+	if inf, count := parseHistogram(buf.String(), "y"); inf != 4 || count != 4 {
+		t.Errorf("count histogram: +Inf bucket %d, _count %d, want 4 and 4\n%s", inf, count, buf.String())
+	}
+}
+
+// TestHistogramCountConsistentUnderConcurrentObserve is the regression test
+// for the internally inconsistent rendering: with _count kept in a separate
+// atomic, a render racing concurrent observers could report _count out of
+// step with the +Inf bucket. Deriving _count from the cumulative bucket sum
+// makes every snapshot consistent by construction; this hammers renders
+// against writers and asserts the invariant on each one.
+func TestHistogramCountConsistentUnderConcurrentObserve(t *testing.T) {
+	var h histogram
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.observe(time.Millisecond)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		var buf bytes.Buffer
+		h.writeTo(&buf, "x")
+		if inf, count := parseHistogram(buf.String(), "x"); inf != count {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("snapshot %d: +Inf bucket %d != _count %d", i, inf, count)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestIterBoundsCoverSolverCaps asserts the largest finite iteration bucket
+// covers both solvers' default iteration caps, so a run that hits its cap is
+// still distinguishable from a runaway in the histogram instead of vanishing
+// into +Inf.
+func TestIterBoundsCoverSolverCaps(t *testing.T) {
+	largest := iterBounds[len(iterBounds)-1]
+	if largest < uint64(mva.DefaultMaxIterations) {
+		t.Errorf("largest finite iteration bucket %d < mva.DefaultMaxIterations %d", largest, mva.DefaultMaxIterations)
+	}
+	if largest < uint64(mms.DefaultMaxIterations) {
+		t.Errorf("largest finite iteration bucket %d < mms.DefaultMaxIterations %d", largest, mms.DefaultMaxIterations)
+	}
+}

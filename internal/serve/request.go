@@ -70,6 +70,61 @@ type SweepRequest struct {
 	Steps int     `json:"steps"`
 }
 
+// BatchItemRequest is one element of POST /v1/batch's items: a model plus the
+// operation to perform on it. Subsystem and mode apply to tolerance items
+// only.
+type BatchItemRequest struct {
+	ModelRequest
+	Op        string `json:"op,omitempty"`        // "" or "solve" (default), or "tolerance"
+	Subsystem string `json:"subsystem,omitempty"` // as in ToleranceRequest
+	Mode      string `json:"mode,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch: a positional list of
+// independent evaluations answered in one round trip. Item failures are
+// positional — they never fail the batch.
+type BatchRequest struct {
+	Items []BatchItemRequest `json:"items"`
+}
+
+// key canonicalizes one batch item: operation parse, component parse and
+// configuration validation, yielding the same Key the single-request
+// endpoints would, so batch items share cache lines with /v1/solve and
+// /v1/tolerance traffic.
+func (r BatchItemRequest) key() (Key, error) {
+	var op opKind
+	switch r.Op {
+	case "", "solve":
+		op = opSolve
+	case "tolerance":
+		op = opTolerance
+	default:
+		return Key{}, validate.Fieldf("serve.BatchItemRequest", "op", "= %q, want solve or tolerance", r.Op)
+	}
+	var sub tolerance.Subsystem
+	var mode tolerance.IdealMode
+	if op == opTolerance {
+		var err error
+		if sub, err = parseSubsystem(r.Subsystem); err != nil {
+			return Key{}, err
+		}
+		if mode, err = parseMode(r.Mode, sub); err != nil {
+			return Key{}, err
+		}
+	} else if r.Subsystem != "" || r.Mode != "" {
+		return Key{}, validate.Fieldf("serve.BatchItemRequest", "op",
+			"= %q with subsystem/mode set; only tolerance items judge a subsystem", r.Op)
+	}
+	cfg, pat, geo, solver, err := r.components()
+	if err != nil {
+		return Key{}, err
+	}
+	if err := validateConfig(cfg, pat); err != nil {
+		return Key{}, err
+	}
+	return canonicalKey(cfg, pat, geo, solver, op, sub, mode), nil
+}
+
 // patternKind is the canonical encoding of ModelRequest.Pattern.
 type patternKind uint8
 

@@ -63,6 +63,23 @@ type SweepResponse struct {
 	Points []SweepPoint `json:"points"`
 }
 
+// BatchItemResponse is the positional outcome of one batch item. Exactly one
+// of Error, Solve and Tolerance is set; Cache accompanies the successful
+// outcomes.
+type BatchItemResponse struct {
+	Error     *ErrorBody         `json:"error,omitempty"`
+	Cache     string             `json:"cache,omitempty"`
+	Solve     *SolveResponse     `json:"solve,omitempty"`
+	Tolerance *ToleranceResponse `json:"tolerance,omitempty"`
+}
+
+// BatchResponse is the body of POST /v1/batch. The envelope is 200 whenever
+// the batch itself was well-formed; item failures are reported positionally
+// with the same status codes their single-request endpoints would return.
+type BatchResponse struct {
+	Results []BatchItemResponse `json:"results"`
+}
+
 // ErrorBody names what went wrong; Field is present for validation failures
 // and holds the wire name of the offending request field.
 type ErrorBody struct {
@@ -125,6 +142,7 @@ func NewServerWith(eval *Evaluator) *Server {
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/tolerance", s.handleTolerance)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -266,6 +284,48 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, SweepResponse{Param: req.Param, Points: points})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.eval.met.requestsBatch.Add(1)
+	var req BatchRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.reqContext(r)
+	defer cancel()
+	out := make([]BatchOutcome, len(req.Items))
+	if err := s.eval.Batch(ctx, req.Items, out); err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	resp := BatchResponse{Results: make([]BatchItemResponse, len(out))}
+	for i := range out {
+		if err := out[i].Err; err != nil {
+			resp.Results[i].Error = &ErrorBody{
+				Status:  statusFor(err),
+				Message: err.Error(),
+				Field:   wireField(validate.Field(err)),
+			}
+			continue
+		}
+		resp.Results[i].Cache = out[i].Cache.String()
+		if req.Items[i].Op == "tolerance" {
+			t := out[i].Tolerance
+			resp.Results[i].Tolerance = &ToleranceResponse{
+				Subsystem: t.Subsystem.String(),
+				Mode:      t.Mode.String(),
+				Tol:       t.Tol,
+				Zone:      t.Zone().String(),
+				Real:      metricsBody(t.Real),
+				Ideal:     metricsBody(t.Ideal),
+			}
+		} else {
+			resp.Results[i].Solve = &SolveResponse{Metrics: metricsBody(out[i].Metrics)}
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

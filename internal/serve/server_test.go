@@ -388,3 +388,90 @@ func TestServerMetricsSolveIterations(t *testing.T) {
 		t.Errorf("lattold_solve_iterations_sum = %d after a successful solve, want > 0", sum)
 	}
 }
+
+// TestServerBatch exercises POST /v1/batch end to end: a mixed item list
+// returns a 200 envelope with positional outcomes — solve metrics, a
+// tolerance judgment and a field-named 400 for the invalid item — and the
+// batch counters land in /metrics.
+func TestServerBatch(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	tolItem := `{"k":4,"threads":8,"runlength":10,"memory_time":10,"switch_time":10,"p_remote":0.2,"psw":0.5,"op":"tolerance"}`
+	body := `{"items":[` + validBody + `,` + tolItem + `,{"k":0}]}`
+	resp := postJSON(t, ts.URL+"/v1/batch", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var out BatchResponse
+	decodeBody(t, resp, &out)
+	if len(out.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(out.Results))
+	}
+
+	if r := out.Results[0]; r.Solve == nil || r.Error != nil || r.Tolerance != nil {
+		t.Fatalf("item 0 = %+v, want a solve result", r)
+	} else {
+		if r.Cache != "miss" {
+			t.Errorf("item 0 cache = %q, want miss", r.Cache)
+		}
+		if up := r.Solve.Metrics.Up; up <= 0 || up > 1 {
+			t.Errorf("item 0 U_p = %v, want in (0,1]", up)
+		}
+	}
+	if r := out.Results[1]; r.Tolerance == nil || r.Error != nil {
+		t.Fatalf("item 1 = %+v, want a tolerance result", r)
+	} else {
+		if r.Tolerance.Subsystem != "network" || r.Tolerance.Mode != "zero-remote" {
+			t.Errorf("item 1 defaults = %s/%s, want network/zero-remote", r.Tolerance.Subsystem, r.Tolerance.Mode)
+		}
+		if r.Tolerance.Zone == "" || r.Tolerance.Tol <= 0 {
+			t.Errorf("item 1 tol = %v zone = %q", r.Tolerance.Tol, r.Tolerance.Zone)
+		}
+	}
+	if r := out.Results[2]; r.Error == nil {
+		t.Fatalf("item 2 = %+v, want an error", r)
+	} else if r.Error.Status != http.StatusBadRequest || r.Error.Field != "k" {
+		t.Errorf("item 2 error = %+v, want status 400 field k", r.Error)
+	}
+
+	// The batch shares cache lines with the single-request endpoints.
+	solveResp := postJSON(t, ts.URL+"/v1/solve", validBody)
+	if got := solveResp.Header.Get("X-Lattold-Cache"); got != "hit" {
+		t.Errorf("follow-up solve cache = %q, want hit", got)
+	}
+	solveResp.Body.Close()
+
+	metResp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer metResp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(metResp.Body); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`lattold_requests_total{endpoint="batch"} 1`,
+		"lattold_batch_items_total 3",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+// TestServerBatchEnvelopeErrors: a malformed batch as a whole (no items) is a
+// 400 on the envelope, not a 200 with positional errors.
+func TestServerBatchEnvelopeErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp := postJSON(t, ts.URL+"/v1/batch", `{"items":[]}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	var out ErrorResponse
+	decodeBody(t, resp, &out)
+	if out.Error.Field != "items" {
+		t.Errorf("field = %q, want items", out.Error.Field)
+	}
+}

@@ -147,6 +147,20 @@ func IdealConfig(cfg mms.Config, sub Subsystem, mode IdealMode) (mms.Config, err
 	return cfg, nil
 }
 
+// Ratio forms the tolerance index from the two processor utilizations
+// (Definition 4.3), with the degenerate zero-thread case defined as fully
+// tolerated. Shared by Compute and callers that solve the two systems
+// themselves (the serve layer's batch path).
+func Ratio(realUp, idealUp float64) float64 {
+	if idealUp > 0 {
+		return realUp / idealUp
+	}
+	if realUp == 0 {
+		return 1 // zero threads: degenerate, define as fully tolerated
+	}
+	return 0
+}
+
 // Compute evaluates the tolerance index of a subsystem for the given
 // configuration, solving both the real and the ideal system.
 func Compute(cfg mms.Config, sub Subsystem, mode IdealMode, opts mms.SolveOptions) (Index, error) {
@@ -171,11 +185,7 @@ func Compute(cfg mms.Config, sub Subsystem, mode IdealMode, opts mms.SolveOption
 		return Index{}, fmt.Errorf("tolerance: solving ideal system: %w", err)
 	}
 	idx := Index{Subsystem: sub, Mode: mode, Real: real, Ideal: ideal}
-	if ideal.Up > 0 {
-		idx.Tol = real.Up / ideal.Up
-	} else if real.Up == 0 {
-		idx.Tol = 1 // zero threads: degenerate, define as fully tolerated
-	}
+	idx.Tol = Ratio(real.Up, ideal.Up)
 	return idx, nil
 }
 
