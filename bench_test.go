@@ -12,6 +12,7 @@ package lattol
 
 import (
 	"context"
+	"math"
 	"testing"
 
 	"lattol/internal/access"
@@ -20,6 +21,7 @@ import (
 	"lattol/internal/mva"
 	"lattol/internal/serve"
 	"lattol/internal/simmms"
+	"lattol/internal/surrogate"
 	"lattol/internal/tolerance"
 	"lattol/internal/topology"
 )
@@ -441,6 +443,76 @@ func BenchmarkServeSolveCached(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, _, err := eval.Solve(ctx, req)
+		benchErr(b, err)
+	}
+}
+
+// BenchmarkServeSolveMiss measures the daemon's cache-miss path end to end:
+// canonicalization, leadership election and a full solver run per request.
+// Every iteration queries a fresh operating point scattered over the
+// (runlength, p_remote) plane by golden-ratio stepping, so no request repeats
+// (always a miss) and the worker's warm start gets no free lunch from
+// near-identical neighbors — this is the cold-traffic path the surrogate tier
+// replaces, and its ratio to BenchmarkServeSolveSurrogate is the headline
+// speedup.
+func BenchmarkServeSolveMiss(b *testing.B) {
+	eval := serve.NewEvaluator(serve.Config{})
+	defer eval.Close()
+	req := serve.ModelRequest{
+		K: 10, Threads: 4, Runlength: 10, MemoryTime: 10, SwitchTime: 10,
+		PRemote: 0.2, Psw: 0.5,
+	}
+	ctx := context.Background()
+	const phi = 0.6180339887498949
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fr := math.Mod(float64(i)*phi, 1)
+		fp := math.Mod(float64(i)*phi*phi, 1)
+		req.Runlength = 5 + 25*fr
+		req.PRemote = 0.05 + 0.85*fp
+		_, _, err := eval.Solve(ctx, req)
+		benchErr(b, err)
+	}
+}
+
+// benchSurrogateSpec is the serve benchmark grid: small enough to build
+// quickly, wide enough that the benchmark query interpolates mid-cell on both
+// continuous axes. It pins the paper's larger 10×10 torus — the regime where
+// precomputation pays — so the miss/surrogate pair measures the same
+// workload; lookup cost itself is independent of K.
+func benchSurrogateSpec() surrogate.Spec {
+	return surrogate.Spec{
+		Solver:     mva.SolverVersion,
+		MemoryTime: 10,
+		SwitchTime: 10,
+		K:          []int{10},
+		NT:         []int{2, 4, 8},
+		R:          []float64{10, 15, 20},
+		PRemote:    []float64{0.1, 0.2, 0.3, 0.4},
+		Psw:        []float64{0.5},
+	}
+}
+
+// BenchmarkServeSolveSurrogate measures the surrogate-hit path: a max_error
+// request interpolated mid-cell from the precomputed grid, never touching the
+// LRU (the result is not cached) or the solver. Must stay at 0 allocs/op and
+// ≥100x faster than BenchmarkServeSolveMiss.
+func BenchmarkServeSolveSurrogate(b *testing.B) {
+	grid, err := surrogate.Build(benchSurrogateSpec(), surrogate.BuildOptions{})
+	benchErr(b, err)
+	eval := serve.NewEvaluator(serve.Config{})
+	defer eval.Close()
+	eval.SetSurrogate(grid)
+	req := serve.ModelRequest{
+		K: 10, Threads: 4, Runlength: 12.5, MemoryTime: 10, SwitchTime: 10,
+		PRemote: 0.25, Psw: 0.5, MaxError: 0.9,
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _, err := eval.SolveBounded(ctx, req)
 		benchErr(b, err)
 	}
 }

@@ -6,6 +6,7 @@
 //
 //	lattold [-addr :8080] [-workers 0] [-queue 0] [-cache 4096]
 //	        [-timeout 10s] [-drain 15s] [-maxsweep 1024] [-maxbatch 1024]
+//	        [-store DIR]
 //
 // Endpoints:
 //
@@ -16,6 +17,13 @@
 //	                    trip; cache misses are solved as one lockstep batch
 //	GET  /healthz       liveness (503 while draining)
 //	GET  /metrics       counters and latency histograms, plaintext
+//
+// With -store DIR the daemon keeps a content-addressed artifact store at DIR:
+// at boot it loads (or builds and persists) the default surrogate grid so
+// max_error requests are served by interpolation, and restores the previous
+// run's LRU snapshot; at shutdown it snapshots the LRU back. Damaged or
+// version-mismatched artifacts are logged and rebuilt — the daemon always
+// comes up, at worst cold.
 //
 // SIGINT/SIGTERM drains gracefully: the listener stops accepting, in-flight
 // requests finish (bounded by -drain), then the worker pool shuts down.
@@ -33,6 +41,7 @@ import (
 	"time"
 
 	"lattol/internal/serve"
+	"lattol/internal/surrogate"
 )
 
 func main() {
@@ -48,6 +57,7 @@ func main() {
 		drain    = flag.Duration("drain", 15*time.Second, "graceful shutdown budget")
 		maxSweep = flag.Int("maxsweep", 1024, "max points per sweep request")
 		maxBatch = flag.Int("maxbatch", 1024, "max items per batch request")
+		storeDir = flag.String("store", "", "artifact store directory for the surrogate grid and LRU snapshot (empty = in-memory only)")
 	)
 	flag.Parse()
 
@@ -59,6 +69,23 @@ func main() {
 		MaxSweepPoints: *maxSweep,
 		MaxBatchItems:  *maxBatch,
 	})
+
+	var store *surrogate.Store
+	if *storeDir != "" {
+		var err error
+		if store, err = surrogate.NewStore(*storeDir); err != nil {
+			log.Fatalf("store: %v", err)
+		}
+		grid, err := surrogate.OpenGrid(store, surrogate.DefaultSpec(), log.Printf)
+		if err != nil {
+			log.Fatalf("surrogate grid: %v", err)
+		}
+		srv.Evaluator().SetSurrogate(grid)
+		log.Printf("surrogate grid ready: %d nodes, ref %s", grid.Nodes(), grid.Spec().RefName())
+		if n := srv.Evaluator().RestoreCache(store, log.Printf); n > 0 {
+			log.Printf("restored %d cached results from snapshot", n)
+		}
+	}
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -91,5 +118,12 @@ func main() {
 	}
 	// The listener is quiet; drain the worker pool.
 	srv.Close()
+	if store != nil {
+		if n, err := srv.Evaluator().SnapshotCache(store); err != nil {
+			log.Printf("cache snapshot: %v", err)
+		} else {
+			log.Printf("snapshotted %d cached results", n)
+		}
+	}
 	log.Printf("drained, exiting")
 }

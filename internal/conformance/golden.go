@@ -53,10 +53,13 @@ func (g GoldenPoint) Config() mms.Config {
 	}
 }
 
-// GoldenConfigs enumerates the corpus operating points: the Table 1 default
-// and a grid over the axes of Figures 4 and 5 (R ∈ {10, 20}, n_t ∈
+// GoldenConfigs enumerates the corpus operating points: the Table 1 default,
+// a grid over the axes of Figures 4 and 5 (R ∈ {10, 20}, n_t ∈
 // {1, 2, 4, 8, 10}, p_remote ∈ {0.1, 0.2, 0.5, 0.9}) on the paper's 4×4
-// torus with the geometric pattern at p_sw = 0.5.
+// torus with the geometric pattern at p_sw = 0.5, and a handful of mid-cell
+// points chosen to sit strictly between the surrogate DefaultSpec lattice
+// values on every continuous axis — these exercise genuine interpolation (not
+// node lookups) when the corpus audits the surrogate tier.
 func GoldenConfigs() []mms.Config {
 	cfgs := []mms.Config{mms.DefaultConfig()}
 	for _, r := range []float64{10, 20} {
@@ -69,6 +72,21 @@ func GoldenConfigs() []mms.Config {
 				cfgs = append(cfgs, cfg)
 			}
 		}
+	}
+	for _, mc := range []struct {
+		nt int
+		r  float64
+		p  float64
+	}{
+		{8, 12.5, 0.275}, {8, 17.5, 0.425}, {4, 12.5, 0.625}, {4, 22.5, 0.125},
+		{2, 7.5, 0.075}, {6, 27.5, 0.875}, {10, 12.5, 0.225}, {3, 17.5, 0.325},
+		{5, 22.5, 0.525}, {7, 7.5, 0.725},
+	} {
+		cfg := mms.DefaultConfig()
+		cfg.Threads = mc.nt
+		cfg.Runlength = mc.r
+		cfg.PRemote = mc.p
+		cfgs = append(cfgs, cfg)
 	}
 	return cfgs
 }

@@ -1,0 +1,49 @@
+package conformance
+
+import (
+	"errors"
+	"testing"
+
+	"lattol/internal/mva"
+	"lattol/internal/surrogate"
+)
+
+// TestSurrogateGridRespectsCertifiedBounds is the acceptance audit for the
+// surrogate tier: over every golden-corpus point the production grid covers
+// (including the off-lattice mid-cell points) and 1000 seeded random in-grid
+// queries, the interpolated answer must sit within the certified per-cell
+// bound of a fresh exact solve on every metric field.
+func TestSurrogateGridRespectsCertifiedBounds(t *testing.T) {
+	g, err := surrogate.Build(surrogate.DefaultSpec(), surrogate.BuildOptions{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := CheckSurrogateGrid(g, 1000, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckSurrogateGridRequiresCorpusCoverage: a grid that covers none of
+// the golden corpus cannot be meaningfully audited, and the checker says so
+// rather than passing vacuously.
+func TestCheckSurrogateGridRequiresCorpusCoverage(t *testing.T) {
+	spec := surrogate.Spec{
+		Solver:     mva.SolverVersion,
+		MemoryTime: 10,
+		SwitchTime: 10,
+		K:          []int{4},
+		NT:         []int{2, 4},
+		R:          []float64{10, 20},
+		PRemote:    []float64{0.1, 0.4},
+		Psw:        []float64{0.2}, // corpus is pinned at p_sw = 0.5: no coverage
+	}
+	g, err := surrogate.Build(spec, surrogate.BuildOptions{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	err = CheckSurrogateGrid(g, 0, 1)
+	var v *Violation
+	if !errors.As(err, &v) || v.Check != "surrogate" {
+		t.Fatalf("zero-coverage grid not flagged: %v", err)
+	}
+}

@@ -27,6 +27,10 @@ const (
 	// stateLead: the request is the leader — it must compute and complete
 	// the entry.
 	stateLead
+	// stateSurrogate: the answer was interpolated from a precomputed grid
+	// within the client's stated error bound; no solver ran and nothing was
+	// cached (the LRU holds exact results only).
+	stateSurrogate
 )
 
 func (s cacheState) String() string {
@@ -35,6 +39,8 @@ func (s cacheState) String() string {
 		return "hit"
 	case stateWait:
 		return "coalesced"
+	case stateSurrogate:
+		return "surrogate"
 	default:
 		return "miss"
 	}
@@ -119,7 +125,7 @@ func newCache(entries, shards int) *cache {
 	return c
 }
 
-func (c *cache) shardFor(k Key) *cacheShard {
+func (c *cache) shardFor(k *Key) *cacheShard {
 	return &c.shards[k.hash()&c.mask]
 }
 
@@ -128,7 +134,7 @@ func (c *cache) shardFor(k Key) *cacheShard {
 // stateWait the caller must wait on entry.done; on stateLead the caller owns
 // the computation and must eventually call complete exactly once.
 func (c *cache) getOrStart(k Key) (*entry, cacheState) {
-	s := c.shardFor(k)
+	s := c.shardFor(&k)
 	s.mu.Lock()
 	if e := s.m[k]; e != nil {
 		select {
@@ -155,7 +161,7 @@ func (c *cache) getOrStart(k Key) (*entry, cacheState) {
 // beyond capacity); failures are forgotten so the next identical request
 // recomputes. Returns the number of evicted entries.
 func (c *cache) complete(e *entry, res result, err error) (evicted int) {
-	s := c.shardFor(e.key)
+	s := c.shardFor(&e.key)
 	s.mu.Lock()
 	e.res, e.err = res, err
 	if err != nil {
@@ -172,6 +178,64 @@ func (c *cache) complete(e *entry, res result, err error) (evicted int) {
 	close(e.done)
 	s.mu.Unlock()
 	return evicted
+}
+
+// peek returns k's completed result without taking leadership: a miss stays
+// a miss, no pending entry is created. The surrogate-eligible solve path
+// peeks first (a cached exact result always beats interpolation) and only
+// falls through to the interpolated tier — and from there to getOrStart —
+// when nothing is cached. A hit refreshes the entry's LRU position.
+func (c *cache) peek(k *Key) (result, bool) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	if e := s.m[*k]; e != nil {
+		select {
+		case <-e.done:
+			s.unlink(e)
+			s.pushFront(e)
+			s.mu.Unlock()
+			return e.res, true
+		default:
+		}
+	}
+	s.mu.Unlock()
+	return result{}, false
+}
+
+// insert adds a completed successful result (snapshot restore). An existing
+// entry for the key — completed or in flight — wins; live state is never
+// overwritten by a restore.
+func (c *cache) insert(k Key, res result) bool {
+	s := c.shardFor(&k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m[k] != nil {
+		return false
+	}
+	e := &entry{key: k, done: make(chan struct{}), res: res}
+	close(e.done)
+	s.m[k] = e
+	s.pushFront(e)
+	for s.linked > s.capacity {
+		lru := s.tail
+		s.unlink(lru)
+		delete(s.m, lru.key)
+	}
+	return true
+}
+
+// dump visits every completed successful entry, least recently used first
+// within each shard, so replaying the dump through insert (which pushes to
+// the front) reproduces each shard's recency order.
+func (c *cache) dump(visit func(Key, result)) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for e := s.tail; e != nil; e = e.prev {
+			visit(e.key, e.res)
+		}
+		s.mu.Unlock()
+	}
 }
 
 // len returns the number of completed entries currently cached.

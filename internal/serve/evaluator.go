@@ -8,10 +8,13 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"lattol/internal/access"
 	"lattol/internal/mms"
 	"lattol/internal/mva"
+	"lattol/internal/surrogate"
 	"lattol/internal/tolerance"
 	"lattol/internal/validate"
 )
@@ -101,6 +104,34 @@ type Evaluator struct {
 	// solveHook, when non-nil, runs in the worker immediately before each
 	// solver invocation. Tests use it to count and gate solves.
 	solveHook func(Key)
+
+	// surr is the optional middle tier of the three-level lookup
+	// (LRU → surrogate → solver), installed with SetSurrogate. Atomic so a
+	// grid can be installed after the evaluator already serves traffic.
+	surr atomic.Pointer[surrogateTier]
+}
+
+// surrogateTier pairs a loaded grid with its background refiner.
+type surrogateTier struct {
+	grid *surrogate.Grid
+	ref  *surrogate.Refiner
+}
+
+// query maps a canonical key onto the grid's query space. Only keys matching
+// everything the grid holds fixed qualify: plain symmetric-AMVA solves under
+// the default geometric/per-distance pattern, no context-switch overhead,
+// single-ported stations, and the grid's memory and switch times. Whether
+// the remaining coordinates fall inside the lattice is the grid's own call
+// (Lookup reports Ineligible).
+func (t *surrogateTier) query(k *Key) (surrogate.Query, bool) {
+	spec := t.grid.Spec()
+	if k.op != opSolve || k.solver != mms.SymmetricAMVA ||
+		k.pattern != patternGeometric || k.geoMode != access.PerDistance ||
+		k.contextSwitch != 0 || k.memPorts != 1 || k.swPorts != 1 ||
+		k.memoryTime != spec.MemoryTime || k.switchTime != spec.SwitchTime {
+		return surrogate.Query{}, false
+	}
+	return surrogate.Query{K: k.k, NT: k.threads, R: k.runlength, PRemote: k.pRemote, Psw: k.psw}, true
 }
 
 // NewEvaluator starts the worker pool and returns a ready evaluator. Call
@@ -125,6 +156,53 @@ func NewEvaluator(cfg Config) *Evaluator {
 // Metrics returns the evaluator's live counters.
 func (e *Evaluator) Metrics() *Metrics { return e.met }
 
+// SetSurrogate installs (or, with nil, removes) the interpolated answer tier
+// and starts a background refiner for it. Requests that state a max_error
+// and miss the LRU consult the grid before falling back to the solver pool.
+// Safe to call while serving; Close stops the refiner.
+func (e *Evaluator) SetSurrogate(g *surrogate.Grid) {
+	var t *surrogateTier
+	if g != nil {
+		t = &surrogateTier{grid: g, ref: surrogate.NewRefiner(g, surrogate.BuildOptions{})}
+	}
+	if old := e.surr.Swap(t); old != nil && old.ref != nil {
+		old.ref.Close()
+	}
+}
+
+// surrogateLookup tries the interpolated tier for a canonical key. It
+// returns ok only when the grid certifies the answer within maxErr; every
+// other outcome (no grid, ineligible key, bound too wide) is a recorded
+// fall-through to the exact path. A bound-exceeded cell is handed to the
+// background refiner so later identical traffic can hit.
+func (e *Evaluator) surrogateLookup(k *Key, maxErr float64) (mms.Metrics, float64, bool) {
+	t := e.surr.Load()
+	if t == nil {
+		return mms.Metrics{}, 0, false
+	}
+	q, ok := t.query(k)
+	if !ok {
+		e.met.surrogateIneligible.Add(1)
+		return mms.Metrics{}, 0, false
+	}
+	start := time.Now()
+	met, bound, st := t.grid.Lookup(q, maxErr)
+	switch st {
+	case surrogate.Hit:
+		e.met.surrogateLatency.observe(time.Since(start))
+		e.met.surrogateHits.Add(1)
+		return met, bound, true
+	case surrogate.BoundExceeded:
+		e.met.surrogateBoundExceeded.Add(1)
+		if t.ref != nil && t.ref.Request(q) {
+			e.met.surrogateRefines.Add(1)
+		}
+	default:
+		e.met.surrogateIneligible.Add(1)
+	}
+	return mms.Metrics{}, 0, false
+}
+
 // Draining reports whether Close has begun.
 func (e *Evaluator) Draining() bool {
 	e.mu.Lock()
@@ -143,6 +221,9 @@ func (e *Evaluator) Close() {
 	}
 	e.mu.Unlock()
 	e.wg.Wait()
+	if t := e.surr.Swap(nil); t != nil && t.ref != nil {
+		t.ref.Close()
+	}
 }
 
 // submit admits a task or sheds it. It never blocks: a full queue is an
@@ -468,16 +549,37 @@ func (e *Evaluator) evalKeyBatch(ctx context.Context, keys []Key, out []keyOutco
 // Solve evaluates one model configuration, reporting how the cache satisfied
 // the request alongside the metrics.
 func (e *Evaluator) Solve(ctx context.Context, r ModelRequest) (mms.Metrics, cacheState, error) {
+	met, _, st, err := e.SolveBounded(ctx, r)
+	return met, st, err
+}
+
+// SolveBounded is Solve through the three-level lookup, additionally
+// reporting the certified relative error bound of the answer. When the
+// request states a MaxError, the tiers are consulted in order — LRU (exact,
+// bound 0), surrogate grid (interpolated, bound ≤ MaxError), solver pool
+// (exact, bound 0) — and the first to answer wins. Without a MaxError the
+// request takes the exact path unchanged. The LRU and surrogate tiers run
+// inline and allocation-free.
+func (e *Evaluator) SolveBounded(ctx context.Context, r ModelRequest) (mms.Metrics, float64, cacheState, error) {
 	cfg, pat, geo, solver, err := r.components()
 	if err != nil {
-		return mms.Metrics{}, stateLead, err
+		return mms.Metrics{}, 0, stateLead, err
 	}
 	if err := validateConfig(cfg, pat); err != nil {
-		return mms.Metrics{}, stateLead, err
+		return mms.Metrics{}, 0, stateLead, err
 	}
 	k := canonicalKey(cfg, pat, geo, solver, opSolve, 0, 0)
+	if r.MaxError > 0 {
+		if res, ok := e.cache.peek(&k); ok {
+			e.met.cacheHits.Add(1)
+			return res.real, 0, stateHit, nil
+		}
+		if met, bound, ok := e.surrogateLookup(&k, r.MaxError); ok {
+			return met, bound, stateSurrogate, nil
+		}
+	}
 	res, st, err := e.evalKey(ctx, k)
-	return res.real, st, err
+	return res.real, 0, st, err
 }
 
 // ToleranceOutcome is the resolved product of one tolerance evaluation.
@@ -527,6 +629,9 @@ type BatchOutcome struct {
 	Err       error
 	Metrics   mms.Metrics
 	Tolerance ToleranceOutcome
+	// Bound is the certified relative error bound of an interpolated answer
+	// (Cache == stateSurrogate); 0 for exact results.
+	Bound float64
 }
 
 // Batch evaluates a positional list of items. Each item's canonical key flows
@@ -546,6 +651,8 @@ func (e *Evaluator) Batch(ctx context.Context, items []BatchItemRequest, out []B
 	e.met.batchItems.Add(uint64(len(items)))
 	keys := make([]Key, len(items))
 	outcomes := make([]keyOutcome, len(items))
+	var preResolved []bool
+	var bounds []float64
 	for i := range items {
 		k, err := items[i].key()
 		if err != nil {
@@ -553,9 +660,39 @@ func (e *Evaluator) Batch(ctx context.Context, items []BatchItemRequest, out []B
 			continue // keys[i] stays the zero Key; evalKeyBatch skips it
 		}
 		keys[i] = k
+		// Per-item three-level lookup: a solve item stating a MaxError tries
+		// the LRU (without taking leadership) and then the surrogate grid
+		// before joining the lockstep solver batch.
+		if k.op != opSolve || items[i].MaxError <= 0 {
+			continue
+		}
+		if res, ok := e.cache.peek(&k); ok {
+			e.met.cacheHits.Add(1)
+			outcomes[i] = keyOutcome{res: res, st: stateHit}
+		} else if met, bound, ok := e.surrogateLookup(&k, items[i].MaxError); ok {
+			outcomes[i] = keyOutcome{res: result{real: met}, st: stateSurrogate}
+			if bounds == nil {
+				bounds = make([]float64, len(items))
+			}
+			bounds[i] = bound
+		} else {
+			continue
+		}
+		if preResolved == nil {
+			preResolved = make([]bool, len(items))
+		}
+		preResolved[i] = true
+		keys[i] = Key{} // resolved; evalKeyBatch skips it
 	}
 	e.evalKeyBatch(ctx, keys, outcomes)
 	for i := range items {
+		if preResolved != nil && preResolved[i] {
+			out[i] = BatchOutcome{Cache: outcomes[i].st, Metrics: outcomes[i].res.real}
+			if bounds != nil {
+				out[i].Bound = bounds[i]
+			}
+			continue
+		}
 		if keys[i].op == 0 {
 			continue
 		}

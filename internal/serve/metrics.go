@@ -115,6 +115,23 @@ type Metrics struct {
 	shedQueueFull atomic.Uint64
 	shedDraining  atomic.Uint64
 
+	// Surrogate-tier outcomes for requests that stated a max_error:
+	// surrogateHits answered by interpolation; surrogateBoundExceeded and
+	// surrogateIneligible fell through to the exact solver (cell bound too
+	// wide, resp. query outside the grid or no grid loaded);
+	// surrogateRefines counts background cell refinements enqueued.
+	surrogateHits          atomic.Uint64
+	surrogateBoundExceeded atomic.Uint64
+	surrogateIneligible    atomic.Uint64
+	surrogateRefines       atomic.Uint64
+	// surrogateLatency distributes interpolated-answer lookup times,
+	// alongside solveLatency for the tier it replaces.
+	surrogateLatency histogram
+
+	// snapshotRestored counts cache entries restored from a persisted LRU
+	// snapshot at boot.
+	snapshotRestored atomic.Uint64
+
 	solves       atomic.Uint64
 	solveErrors  atomic.Uint64
 	inFlight     atomic.Int64
@@ -177,6 +194,16 @@ func (m *Metrics) WriteText(w io.Writer) {
 	if m.cachedEntries != nil {
 		fmt.Fprintf(w, "lattold_cache_entries %d\n", m.cachedEntries())
 	}
+	fmt.Fprintf(w, "lattold_surrogate_hits_total %d\n", m.surrogateHits.Load())
+	fmt.Fprintf(w, "lattold_surrogate_fallbacks_total{reason=\"bound_exceeded\"} %d\n", m.surrogateBoundExceeded.Load())
+	fmt.Fprintf(w, "lattold_surrogate_fallbacks_total{reason=\"ineligible\"} %d\n", m.surrogateIneligible.Load())
+	fmt.Fprintf(w, "lattold_surrogate_refines_total %d\n", m.surrogateRefines.Load())
+	// Per-tier serve counts of the three-level lookup, derived from the
+	// counters above: every request lands in exactly one tier.
+	fmt.Fprintf(w, "lattold_tier_served_total{tier=\"lru\"} %d\n", m.cacheHits.Load()+m.cacheCoalesced.Load())
+	fmt.Fprintf(w, "lattold_tier_served_total{tier=\"surrogate\"} %d\n", m.surrogateHits.Load())
+	fmt.Fprintf(w, "lattold_tier_served_total{tier=\"solver\"} %d\n", m.cacheMisses.Load())
+	fmt.Fprintf(w, "lattold_snapshot_restored_entries %d\n", m.snapshotRestored.Load())
 	fmt.Fprintf(w, "lattold_shed_total{reason=\"queue_full\"} %d\n", m.shedQueueFull.Load())
 	fmt.Fprintf(w, "lattold_shed_total{reason=\"draining\"} %d\n", m.shedDraining.Load())
 	fmt.Fprintf(w, "lattold_solves_total %d\n", m.solves.Load())
@@ -187,5 +214,6 @@ func (m *Metrics) WriteText(w io.Writer) {
 	}
 	m.queueWait.writeTo(w, "lattold_queue_wait_seconds")
 	m.solveLatency.writeTo(w, "lattold_solve_seconds")
+	m.surrogateLatency.writeTo(w, "lattold_surrogate_seconds")
 	m.solveIterations.writeTo(w, "lattold_solve_iterations")
 }

@@ -49,6 +49,15 @@ type ModelRequest struct {
 	MemoryPorts   int     `json:"memory_ports,omitempty"`
 	SwitchPorts   int     `json:"switch_ports,omitempty"`
 	Solver        string  `json:"solver,omitempty"` // "", "symmetric", "full" or "exact"
+
+	// MaxError, when positive, states the relative error the client will
+	// accept on each reported metric and opts the request into the surrogate
+	// tier: if a precomputed grid certifies an interpolated answer within
+	// MaxError, that answer is served in sub-µs instead of running a solver.
+	// Zero (the default) demands exact solves only. Cached exact results are
+	// always preferred over interpolation. Applies to solve operations;
+	// tolerance evaluations ignore it.
+	MaxError float64 `json:"max_error,omitempty"`
 }
 
 // ToleranceRequest is the body of POST /v1/tolerance: a model plus the
@@ -204,19 +213,19 @@ func canonicalKey(cfg mms.Config, pat patternKind, geo access.GeometricMode, sol
 	return key
 }
 
-// hash is FNV-1a over the key's fields, used to pick a cache shard.
-func (k Key) hash() uint64 {
+// hash mixes the key's fields into a shard selector: word-at-a-time FNV-1a
+// (whole uint64 per xor/multiply step, not per byte — the byte-wise variant
+// costs ~120 serial multiplies and dominated the cache-hit profile) with a
+// murmur3-style finalizer so the low bits the shard mask reads are fully
+// avalanched despite the multiply-last word mixing.
+func (k *Key) hash() uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
 	)
 	h := uint64(offset64)
 	mix := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			h ^= v & 0xff
-			h *= prime64
-			v >>= 8
-		}
+		h = (h ^ v) * prime64
 	}
 	mix(uint64(k.op) | uint64(k.sub)<<8 | uint64(k.mode)<<16 | uint64(k.solver)<<24 |
 		uint64(k.pattern)<<32 | uint64(k.geoMode)<<40)
@@ -230,6 +239,11 @@ func (k Key) hash() uint64 {
 	mix(math.Float64bits(k.switchTime))
 	mix(math.Float64bits(k.pRemote))
 	mix(math.Float64bits(k.psw))
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
 	return h
 }
 
@@ -317,6 +331,12 @@ func parseMode(name string, sub tolerance.Subsystem) (tolerance.IdealMode, error
 // components parses the request's enum fields and assembles the (not yet
 // validated) solver configuration.
 func (r ModelRequest) components() (cfg mms.Config, pat patternKind, geo access.GeometricMode, solver mms.Solver, err error) {
+	// MaxError is not part of the canonical Key (it selects how a result may
+	// be produced, not which result), but it is still client input.
+	if math.IsNaN(r.MaxError) || r.MaxError < 0 || r.MaxError >= 1 {
+		err = validate.Fieldf("serve.ModelRequest", "MaxError", "= %v, want in [0,1)", r.MaxError)
+		return
+	}
 	if pat, err = parsePattern(r.Pattern); err != nil {
 		return
 	}

@@ -42,9 +42,13 @@ func metricsBody(m mms.Metrics) MetricsBody {
 	}
 }
 
-// SolveResponse is the body of a successful POST /v1/solve.
+// SolveResponse is the body of a successful POST /v1/solve. ErrorBound is
+// present on interpolated (surrogate-tier) answers: the certified relative
+// error bound of every reported metric, at most the request's max_error.
+// Exact answers omit it.
 type SolveResponse struct {
-	Metrics MetricsBody `json:"metrics"`
+	Metrics    MetricsBody `json:"metrics"`
+	ErrorBound float64     `json:"error_bound,omitempty"`
 }
 
 // ToleranceResponse is the body of a successful POST /v1/tolerance.
@@ -113,6 +117,7 @@ var goToWireField = map[string]string{
 	"MemoryPorts":   "memory_ports",
 	"SwitchPorts":   "switch_ports",
 	"Solver":        "solver",
+	"MaxError":      "max_error",
 	"Tolerance":     "tolerance",
 	"Damping":       "damping",
 }
@@ -235,13 +240,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.reqContext(r)
 	defer cancel()
-	met, st, err := s.eval.Solve(ctx, req)
+	met, bound, st, err := s.eval.SolveBounded(ctx, req)
 	if err != nil {
 		s.writeError(w, statusFor(err), err)
 		return
 	}
 	w.Header().Set("X-Lattold-Cache", st.String())
-	s.writeJSON(w, http.StatusOK, SolveResponse{Metrics: metricsBody(met)})
+	s.writeJSON(w, http.StatusOK, SolveResponse{Metrics: metricsBody(met), ErrorBound: bound})
 }
 
 func (s *Server) handleTolerance(w http.ResponseWriter, r *http.Request) {
@@ -322,7 +327,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				Ideal:     metricsBody(t.Ideal),
 			}
 		} else {
-			resp.Results[i].Solve = &SolveResponse{Metrics: metricsBody(out[i].Metrics)}
+			resp.Results[i].Solve = &SolveResponse{Metrics: metricsBody(out[i].Metrics), ErrorBound: out[i].Bound}
 		}
 	}
 	s.writeJSON(w, http.StatusOK, resp)

@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"lattol/internal/surrogate"
+)
+
+func newSnapStore(t *testing.T) *surrogate.Store {
+	t.Helper()
+	s, err := surrogate.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	return s
+}
+
+// primeEvaluator runs a few distinct exact evaluations so the cache has
+// content worth snapshotting.
+func primeEvaluator(t *testing.T, e *Evaluator) int {
+	t.Helper()
+	n := 0
+	for _, threads := range []int{2, 4, 8} {
+		req := baseRequest()
+		req.Threads = threads
+		if _, _, err := e.Solve(context.Background(), req); err != nil {
+			t.Fatalf("prime solve (threads=%d): %v", threads, err)
+		}
+		n++
+	}
+	tr := ToleranceRequest{ModelRequest: baseRequest()}
+	if _, _, err := e.Tolerance(context.Background(), tr); err != nil {
+		t.Fatalf("prime tolerance: %v", err)
+	}
+	return n + 1
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	store := newSnapStore(t)
+
+	a := NewEvaluator(Config{Workers: 2})
+	want := primeEvaluator(t, a)
+	n, err := a.SnapshotCache(store)
+	a.Close()
+	if err != nil {
+		t.Fatalf("SnapshotCache: %v", err)
+	}
+	if n != want {
+		t.Fatalf("snapshot wrote %d entries, want %d", n, want)
+	}
+
+	b := NewEvaluator(Config{Workers: 2})
+	defer b.Close()
+	var solves atomic.Int64
+	b.solveHook = func(Key) { solves.Add(1) }
+	var logs []string
+	if got := b.RestoreCache(store, func(f string, a ...any) { logs = append(logs, fmt.Sprintf(f, a...)) }); got != n {
+		t.Fatalf("restored %d entries, want %d (logs: %q)", got, n, logs)
+	}
+	if len(logs) != 0 {
+		t.Errorf("clean restore warned: %q", logs)
+	}
+
+	// Every primed request is now a cache hit on the restarted evaluator —
+	// no solver runs.
+	for _, threads := range []int{2, 4, 8} {
+		req := baseRequest()
+		req.Threads = threads
+		met, st, err := b.Solve(context.Background(), req)
+		if err != nil || st != stateHit {
+			t.Fatalf("restored solve (threads=%d): st=%v err=%v", threads, st, err)
+		}
+		if met.Up <= 0 {
+			t.Errorf("restored Up = %v", met.Up)
+		}
+	}
+	if out, st, err := b.Tolerance(context.Background(), ToleranceRequest{ModelRequest: baseRequest()}); err != nil || st != stateHit || out.Tol <= 0 {
+		t.Fatalf("restored tolerance: st=%v tol=%v err=%v", st, out.Tol, err)
+	}
+	if solves.Load() != 0 {
+		t.Errorf("%d solver runs after restore, want 0", solves.Load())
+	}
+	if got := b.Metrics().snapshotRestored.Load(); got != uint64(n) {
+		t.Errorf("snapshotRestored metric = %d, want %d", got, n)
+	}
+}
+
+func TestRestoreMissingSnapshotIsSilentColdStart(t *testing.T) {
+	e := NewEvaluator(Config{Workers: 1})
+	defer e.Close()
+	var logs []string
+	if n := e.RestoreCache(newSnapStore(t), func(f string, a ...any) { logs = append(logs, fmt.Sprintf(f, a...)) }); n != 0 {
+		t.Errorf("restored %d from an empty store, want 0", n)
+	}
+	if len(logs) != 0 {
+		t.Errorf("cold start warned: %q", logs)
+	}
+}
+
+// relinkMutated rewrites the current snapshot blob through mutate and points
+// the snapshot ref at the mutated copy (keeping the store self-consistent,
+// since blobs are content-addressed).
+func relinkMutated(t *testing.T, store *surrogate.Store, mutate func([]byte) []byte) {
+	t.Helper()
+	h, err := store.Resolve(SnapshotRefName)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	data, err := store.Get(h)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	h2, err := store.Put(mutate(append([]byte(nil), data...)))
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := store.Link(SnapshotRefName, h2); err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+}
+
+// snapshotThen returns a store holding a snapshot of a primed evaluator,
+// mutated by mutate, plus a fresh evaluator to restore into.
+func snapshotThen(t *testing.T, mutate func(*surrogate.Store)) (*Evaluator, *surrogate.Store, *[]string) {
+	t.Helper()
+	store := newSnapStore(t)
+	a := NewEvaluator(Config{Workers: 2})
+	primeEvaluator(t, a)
+	if _, err := a.SnapshotCache(store); err != nil {
+		t.Fatalf("SnapshotCache: %v", err)
+	}
+	a.Close()
+	mutate(store)
+	b := NewEvaluator(Config{Workers: 1})
+	t.Cleanup(b.Close)
+	logs := new([]string)
+	n := b.RestoreCache(store, func(f string, a ...any) { *logs = append(*logs, fmt.Sprintf(f, a...)) })
+	if n != 0 {
+		t.Fatalf("restored %d entries from a damaged snapshot, want 0", n)
+	}
+	return b, store, logs
+}
+
+// assertWarnedAndServes checks the damaged-snapshot contract: a warning was
+// logged, and the evaluator still answers exact requests correctly.
+func assertWarnedAndServes(t *testing.T, e *Evaluator, logs *[]string, wantSubstr string) {
+	t.Helper()
+	found := false
+	for _, l := range *logs {
+		if strings.Contains(l, wantSubstr) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no warning containing %q, got %q", wantSubstr, *logs)
+	}
+	met, st, err := e.Solve(context.Background(), baseRequest())
+	if err != nil || st != stateLead || met.Up <= 0 {
+		t.Errorf("post-recovery solve: st=%v up=%v err=%v, want clean miss", st, met.Up, err)
+	}
+}
+
+func TestRestoreCorruptSnapshotWarnsAndStartsCold(t *testing.T) {
+	e, _, logs := snapshotThen(t, func(store *surrogate.Store) {
+		// Corrupt the blob in place: Get's checksum catches it.
+		h, err := store.Resolve(SnapshotRefName)
+		if err != nil {
+			t.Fatalf("Resolve: %v", err)
+		}
+		path := filepath.Join(store.Dir(), "blobs", h)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("ReadFile: %v", err)
+		}
+		data[len(data)/2] ^= 0xff
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatalf("WriteFile: %v", err)
+		}
+	})
+	assertWarnedAndServes(t, e, logs, "starting cold")
+}
+
+func TestRestoreTruncatedSnapshotWarnsAndStartsCold(t *testing.T) {
+	e, _, logs := snapshotThen(t, func(store *surrogate.Store) {
+		relinkMutated(t, store, func(b []byte) []byte { return b[:len(b)/2] })
+	})
+	assertWarnedAndServes(t, e, logs, "starting cold")
+}
+
+func TestRestoreFormatVersionMismatchWarnsAndStartsCold(t *testing.T) {
+	e, _, logs := snapshotThen(t, func(store *surrogate.Store) {
+		relinkMutated(t, store, func(b []byte) []byte {
+			b[len(snapMagic)] = 99 // the u32 layout version follows the magic
+			return b
+		})
+	})
+	assertWarnedAndServes(t, e, logs, "starting cold")
+}
+
+func TestRestoreSolverVersionMismatchWarnsAndStartsCold(t *testing.T) {
+	e, _, logs := snapshotThen(t, func(store *surrogate.Store) {
+		relinkMutated(t, store, func(b []byte) []byte {
+			// The solver tag string follows magic + version + length; flip
+			// its first character. Same length, so the layout stays intact.
+			b[len(snapMagic)+8] ^= 0x20
+			return b
+		})
+	})
+	assertWarnedAndServes(t, e, logs, "solver version")
+}
+
+func TestRestartAgainstPersistedGridServesFirstRequestFromSurrogate(t *testing.T) {
+	// The acceptance scenario: one process builds and persists the grid;
+	// a restarted process loads it from disk and answers its very first
+	// max_error request from the surrogate tier, no solver warm-up.
+	store := newSnapStore(t)
+	if _, err := surrogate.SaveGrid(store, buildTestGrid(t)); err != nil {
+		t.Fatalf("SaveGrid: %v", err)
+	}
+
+	// "Restart": a fresh evaluator whose grid comes purely from disk.
+	g, err := surrogate.LoadGrid(store, testGridSpec())
+	if err != nil {
+		t.Fatalf("LoadGrid: %v", err)
+	}
+	e := NewEvaluator(Config{Workers: 1})
+	defer e.Close()
+	var solves atomic.Int64
+	e.solveHook = func(Key) { solves.Add(1) }
+	e.SetSurrogate(g)
+
+	req := midCellRequest()
+	req.MaxError = 0.9
+	met, bound, st, err := e.SolveBounded(context.Background(), req)
+	if err != nil {
+		t.Fatalf("first request: %v", err)
+	}
+	if st != stateSurrogate {
+		t.Fatalf("first request state = %v, want surrogate", st)
+	}
+	if solves.Load() != 0 {
+		t.Errorf("first request ran %d solves, want 0", solves.Load())
+	}
+	if !(bound > 0) || met.Up <= 0 {
+		t.Errorf("first request (bound %v, Up %v)", bound, met.Up)
+	}
+}

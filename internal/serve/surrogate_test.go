@@ -1,0 +1,289 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"lattol/internal/mva"
+	"lattol/internal/surrogate"
+)
+
+// testGridSpec covers the base request's neighborhood: K=4, the default
+// memory/switch times, a thread axis containing 8, runlengths around 10 and
+// a p_remote band around 0.2, with the locality axis pinned at 0.5.
+func testGridSpec() surrogate.Spec {
+	return surrogate.Spec{
+		Solver:     mva.SolverVersion,
+		MemoryTime: 10,
+		SwitchTime: 10,
+		K:          []int{4},
+		NT:         []int{2, 4, 8},
+		R:          []float64{10, 15, 20},
+		PRemote:    []float64{0.1, 0.2, 0.3, 0.4},
+		Psw:        []float64{0.5},
+	}
+}
+
+func buildTestGrid(t testing.TB) *surrogate.Grid {
+	t.Helper()
+	g, err := surrogate.Build(testGridSpec(), surrogate.BuildOptions{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+// newSurrogateEvaluator returns an evaluator with the test grid installed
+// and a counter of actual solver invocations.
+func newSurrogateEvaluator(t testing.TB) (*Evaluator, *atomic.Int64) {
+	t.Helper()
+	e := NewEvaluator(Config{Workers: 2})
+	t.Cleanup(e.Close)
+	var solves atomic.Int64
+	e.solveHook = func(Key) { solves.Add(1) }
+	e.SetSurrogate(buildTestGrid(t))
+	return e, &solves
+}
+
+// midCellRequest sits strictly inside a grid cell on every interpolation
+// axis, so only the surrogate tier (or a solver) can answer it.
+func midCellRequest() ModelRequest {
+	r := baseRequest()
+	r.Threads = 4 // the NT=4 plane certifies a mid-cell bound ≈0.33; NT=8 exceeds 0.9
+	r.Runlength = 12.5
+	r.PRemote = 0.25
+	return r
+}
+
+func TestSolveBoundedServesFromSurrogate(t *testing.T) {
+	e, solves := newSurrogateEvaluator(t)
+	req := midCellRequest()
+	req.MaxError = 0.9 // far above any cell bound of the smooth test grid
+
+	met, bound, st, err := e.SolveBounded(context.Background(), req)
+	if err != nil {
+		t.Fatalf("SolveBounded: %v", err)
+	}
+	if st != stateSurrogate {
+		t.Fatalf("state = %v, want surrogate", st)
+	}
+	if !(bound > 0 && bound <= req.MaxError) {
+		t.Errorf("bound = %v, want in (0, %v]", bound, req.MaxError)
+	}
+	if solves.Load() != 0 {
+		t.Errorf("%d solver runs, want 0", solves.Load())
+	}
+	if met.Up <= 0 || met.Up > 1 {
+		t.Errorf("interpolated Up = %v, want in (0,1]", met.Up)
+	}
+	if met.Iterations != 0 {
+		t.Errorf("interpolated Iterations = %d, want 0", met.Iterations)
+	}
+
+	// The interpolated answer is within its own certified bound of the
+	// exact solve (which now runs, since MaxError 0 demands exactness).
+	exact, _, st2, err := e.SolveBounded(context.Background(), midCellRequest())
+	if err != nil || st2 == stateSurrogate {
+		t.Fatalf("exact solve: st=%v err=%v", st2, err)
+	}
+	if rel := math.Abs(met.Up-exact.Up) / exact.Up; rel > bound {
+		t.Errorf("interpolated Up off by %.3g, certified %.3g", rel, bound)
+	}
+	if m := e.Metrics(); m.surrogateHits.Load() != 1 {
+		t.Errorf("surrogateHits = %d, want 1", m.surrogateHits.Load())
+	}
+}
+
+func TestSolveBoundedPrefersCachedExactResult(t *testing.T) {
+	e, solves := newSurrogateEvaluator(t)
+	req := midCellRequest()
+
+	// Prime the LRU with the exact result.
+	if _, _, err := e.Solve(context.Background(), req); err != nil {
+		t.Fatalf("priming solve: %v", err)
+	}
+	before := solves.Load()
+
+	req.MaxError = 0.9
+	_, bound, st, err := e.SolveBounded(context.Background(), req)
+	if err != nil {
+		t.Fatalf("SolveBounded: %v", err)
+	}
+	if st != stateHit {
+		t.Errorf("state = %v, want hit (LRU outranks surrogate)", st)
+	}
+	if bound != 0 {
+		t.Errorf("bound = %v, want 0 for an exact cached result", bound)
+	}
+	if solves.Load() != before {
+		t.Errorf("solver ran %d more times, want 0", solves.Load()-before)
+	}
+}
+
+func TestSolveBoundedFallsBackWhenBoundExceeded(t *testing.T) {
+	e, solves := newSurrogateEvaluator(t)
+	req := midCellRequest()
+	req.MaxError = 1e-12 // tighter than any mid-cell bound can certify
+
+	_, bound, st, err := e.SolveBounded(context.Background(), req)
+	if err != nil {
+		t.Fatalf("SolveBounded: %v", err)
+	}
+	if st != stateLead {
+		t.Errorf("state = %v, want miss (solver answered)", st)
+	}
+	if bound != 0 {
+		t.Errorf("bound = %v, want 0 for an exact solve", bound)
+	}
+	if solves.Load() != 1 {
+		t.Errorf("%d solver runs, want 1", solves.Load())
+	}
+	m := e.Metrics()
+	if m.surrogateBoundExceeded.Load() != 1 {
+		t.Errorf("surrogateBoundExceeded = %d, want 1", m.surrogateBoundExceeded.Load())
+	}
+	if m.surrogateRefines.Load() != 1 {
+		t.Errorf("surrogateRefines = %d, want 1 (cell handed to the refiner)", m.surrogateRefines.Load())
+	}
+}
+
+func TestSolveBoundedIneligibleRequestsSolve(t *testing.T) {
+	e, solves := newSurrogateEvaluator(t)
+	cases := map[string]ModelRequest{}
+
+	r := midCellRequest()
+	r.Pattern = "uniform"
+	r.Psw = 0
+	cases["uniform pattern"] = r
+
+	r = midCellRequest()
+	r.K = 2 // off the grid's K axis
+	cases["off-lattice k"] = r
+
+	r = midCellRequest()
+	r.MemoryTime = 20 // grid pinned L=10
+	cases["different memory time"] = r
+
+	for name, req := range cases {
+		req.MaxError = 0.9
+		before := solves.Load()
+		_, bound, st, err := e.SolveBounded(context.Background(), req)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if st == stateSurrogate {
+			t.Errorf("%s: served from surrogate, want exact path", name)
+		}
+		if bound != 0 {
+			t.Errorf("%s: bound = %v, want 0", name, bound)
+		}
+		if solves.Load() != before+1 {
+			t.Errorf("%s: solver runs %d, want %d", name, solves.Load(), before+1)
+		}
+	}
+	if n := e.Metrics().surrogateIneligible.Load(); n != uint64(len(cases)) {
+		t.Errorf("surrogateIneligible = %d, want %d", n, len(cases))
+	}
+}
+
+func TestSolveWithoutMaxErrorNeverConsultsSurrogate(t *testing.T) {
+	e, solves := newSurrogateEvaluator(t)
+	met, st, err := e.Solve(context.Background(), midCellRequest())
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if st != stateLead {
+		t.Errorf("state = %v, want miss", st)
+	}
+	if solves.Load() != 1 {
+		t.Errorf("%d solver runs, want 1", solves.Load())
+	}
+	if met.Iterations == 0 {
+		t.Error("exact solve reported 0 iterations")
+	}
+	if n := e.Metrics().surrogateHits.Load(); n != 0 {
+		t.Errorf("surrogateHits = %d, want 0", n)
+	}
+}
+
+func TestSolveBoundedWithoutGridSolves(t *testing.T) {
+	e := NewEvaluator(Config{Workers: 1})
+	defer e.Close()
+	req := midCellRequest()
+	req.MaxError = 0.9
+	_, bound, st, err := e.SolveBounded(context.Background(), req)
+	if err != nil {
+		t.Fatalf("SolveBounded: %v", err)
+	}
+	if st == stateSurrogate || bound != 0 {
+		t.Errorf("(st, bound) = (%v, %v), want exact path with no grid installed", st, bound)
+	}
+}
+
+func TestMaxErrorValidation(t *testing.T) {
+	e := NewEvaluator(Config{Workers: 1})
+	defer e.Close()
+	for _, bad := range []float64{-0.1, 1, 1.5, math.NaN(), math.Inf(1)} {
+		req := baseRequest()
+		req.MaxError = bad
+		_, _, _, err := e.SolveBounded(context.Background(), req)
+		if err == nil {
+			t.Errorf("MaxError = %v accepted, want rejection", bad)
+		}
+	}
+}
+
+func TestBatchSurrogateExtraction(t *testing.T) {
+	e, solves := newSurrogateEvaluator(t)
+
+	mid := midCellRequest()
+	mid.MaxError = 0.9
+	exact := midCellRequest()
+	bad := baseRequest()
+	bad.K = -1
+
+	items := []BatchItemRequest{
+		{ModelRequest: mid},
+		{ModelRequest: exact},
+		{ModelRequest: bad},
+	}
+	out := make([]BatchOutcome, len(items))
+	if err := e.Batch(context.Background(), items, out); err != nil {
+		t.Fatalf("Batch: %v", err)
+	}
+
+	if out[0].Err != nil || out[0].Cache != stateSurrogate {
+		t.Errorf("item 0 = (cache %v, err %v), want surrogate hit", out[0].Cache, out[0].Err)
+	}
+	if !(out[0].Bound > 0 && out[0].Bound <= mid.MaxError) {
+		t.Errorf("item 0 bound = %v, want in (0, %v]", out[0].Bound, mid.MaxError)
+	}
+	if out[1].Err != nil || out[1].Cache == stateSurrogate || out[1].Bound != 0 {
+		t.Errorf("item 1 = (cache %v, bound %v, err %v), want exact solve", out[1].Cache, out[1].Bound, out[1].Err)
+	}
+	if out[2].Err == nil {
+		t.Error("item 2 accepted an invalid configuration")
+	}
+	if rel := math.Abs(out[0].Metrics.Up-out[1].Metrics.Up) / out[1].Metrics.Up; rel > out[0].Bound {
+		t.Errorf("batch surrogate Up off by %.3g, certified %.3g", rel, out[0].Bound)
+	}
+	if solves.Load() != 1 {
+		t.Errorf("%d solver runs, want 1 (only the exact item)", solves.Load())
+	}
+}
+
+func TestSurrogateHitPathZeroAllocs(t *testing.T) {
+	e, _ := newSurrogateEvaluator(t)
+	req := midCellRequest()
+	req.MaxError = 0.9
+	ctx := context.Background()
+	if n := testing.AllocsPerRun(200, func() {
+		if _, _, st, err := e.SolveBounded(ctx, req); err != nil || st != stateSurrogate {
+			t.Fatalf("SolveBounded: st=%v err=%v", st, err)
+		}
+	}); n != 0 {
+		t.Errorf("surrogate hit path allocates %v per request, want 0", n)
+	}
+}

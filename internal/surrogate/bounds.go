@@ -1,0 +1,211 @@
+package surrogate
+
+import "math"
+
+// This file derives the certified per-cell error bounds.
+//
+// The multilinear interpolant I over a cell is a convex combination of the
+// 2^d corner values, so min(corners) <= I <= max(corners) everywhere in the
+// cell. When the true surface f is coordinate-wise monotone along each
+// interpolation axis across the cell box — checked on the lattice with a
+// small relative slack — f is likewise trapped between the corner extremes:
+// walking from any interior point to a corner one coordinate at a time moves
+// f monotonically, ending at the minimizing (resp. maximizing) corner. Both I
+// and f in [min, max] gives the rigorous bound
+//
+//	|I - f| <= spread = max(corners) - min(corners).
+//
+// For a positive field, dividing by min(corners) <= f turns it into a
+// relative bound: |I - f| / f <= spread / min(corners).
+//
+// Two refinements, both conservative and both strictly cell-local — an early
+// version assessed monotonicity and curvature over the whole (k, n_t) plane,
+// which let one coarse axis (R, step 5) bleed its curvature into every cell
+// and pushed even tight p_remote cells past any useful tolerance:
+//
+//  1. Curvature margin. On a smooth cell the spread wildly overestimates the
+//     interpolation error, which scales with the second derivative:
+//     |I - f| <= sum_axis h_a² max|∂²f/∂x_a²| / 8 for linear interpolation
+//     axis by axis. The lattice second difference v[t-1] - 2v[t] + v[t+1]
+//     estimates h² ∂²f; per axis we take the max over the (at most two)
+//     triples whose support overlaps the cell interval, evaluated on each of
+//     the cell's corner lines, and double the 1/8 factor to 1/4, absorbing
+//     the gap between a finite difference and a true derivative bound.
+//     Monotone cells certify min(spread, curvature): the spread is rigorous,
+//     the curvature term tightens it where the surface is flat but tilted.
+//
+//  2. Non-monotone cells. If any cell edge along an axis opposes the
+//     direction of the cell's other edges on that axis (beyond the slack),
+//     the corner-trapping argument fails for f — the surface may hump
+//     between corners. The bound degrades to spread + curvature, the corner
+//     envelope widened by the estimated overshoot of the hump.
+//
+// A cell whose smallest corner is not strictly positive gets a +Inf bound
+// (no relative statement is possible) and is simply never served.
+
+// monoSlack is the relative slack for monotonicity detection, mirroring
+// conformance.DefaultBands().Monotone: adjacent converged values closer than
+// this are numerically equal, not a direction change.
+const monoSlack = 1e-6
+
+// computeBounds derives the per-cell certified relative bounds and curvature
+// margins for a node lattice. vals is node-major with numFields floats per
+// node, in the Spec axis order.
+func computeBounds(spec Spec, vals []float64) (bounds, curvs []float64) {
+	nK, nN := len(spec.K), len(spec.NT)
+	nR, nP, nS := len(spec.R), len(spec.PRemote), len(spec.Psw)
+	cR, cP, cS := cellsPerAxis(nR), cellsPerAxis(nP), cellsPerAxis(nS)
+	bounds = make([]float64, nK*nN*cR*cP*cS)
+	curvs = make([]float64, len(bounds))
+
+	node := func(ki, ni, ri, pi, si int) int {
+		return (((ki*nN+ni)*nR+ri)*nP+pi)*nS + si
+	}
+
+	axisLens := [3]int{nR, nP, nS}
+	for ki := 0; ki < nK; ki++ {
+		for ni := 0; ni < nN; ni++ {
+			val := func(f, ri, pi, si int) float64 {
+				return vals[node(ki, ni, ri, pi, si)*numFields+f]
+			}
+			// Plane magnitude scale per field, for the monotonicity slack.
+			var slack [numFields]float64
+			for f := 0; f < numFields; f++ {
+				scale := 0.0
+				for ri := 0; ri < nR; ri++ {
+					for pi := 0; pi < nP; pi++ {
+						for si := 0; si < nS; si++ {
+							if a := math.Abs(val(f, ri, pi, si)); a > scale {
+								scale = a
+							}
+						}
+					}
+				}
+				slack[f] = monoSlack * scale
+			}
+
+			for cr := 0; cr < cR; cr++ {
+				for cp := 0; cp < cP; cp++ {
+					for cs := 0; cs < cS; cs++ {
+						cell := (((ki*nN+ni)*cR+cr)*cP+cp)*cS + cs
+						lo := [3]int{cr, cp, cs}
+						// hiOff is the per-axis corner offset cap: 0 on a
+						// single-value (degenerate) axis.
+						var hiOff [3]int
+						for ax := 0; ax < 3; ax++ {
+							if axisLens[ax] > 1 {
+								hiOff[ax] = 1
+							}
+						}
+						// at reads the lattice at position t along axis ax,
+						// the other two axes pinned to cell corner offsets.
+						at := func(f, ax, t, du, dw int) float64 {
+							switch ax {
+							case 0:
+								return val(f, t, cp+du, cs+dw)
+							case 1:
+								return val(f, cr+du, t, cs+dw)
+							default:
+								return val(f, cr+du, cp+dw, t)
+							}
+						}
+
+						worstB, worstC := 0.0, 0.0
+						for f := 0; f < numFields; f++ {
+							mn, mx := math.Inf(1), math.Inf(-1)
+							for dr := 0; dr <= hiOff[0]; dr++ {
+								for dp := 0; dp <= hiOff[1]; dp++ {
+									for ds := 0; ds <= hiOff[2]; ds++ {
+										v := val(f, cr+dr, cp+dp, cs+ds)
+										mn = math.Min(mn, v)
+										mx = math.Max(mx, v)
+									}
+								}
+							}
+							spread := mx - mn
+
+							monotone := true
+							curvSum := 0.0
+							// curvKnown: every interpolated axis produced a
+							// second-difference estimate. A 2-node axis has no
+							// interior triple; its curvature is unknowable at
+							// this resolution and the curvature term must not
+							// be allowed to undercut the rigorous spread.
+							curvKnown := true
+							for ax := 0; ax < 3; ax++ {
+								n := axisLens[ax]
+								if n < 2 {
+									continue // degenerate axis: exact match, no error term
+								}
+								if n < 3 {
+									curvKnown = false
+								}
+								u, w := (ax+1)%3, (ax+2)%3
+								// Cell edges along ax: direction of the
+								// largest, violations against it.
+								dir, maxD2 := 0.0, 0.0
+								for du := 0; du <= hiOff[u]; du++ {
+									for dw := 0; dw <= hiOff[w]; dw++ {
+										d := at(f, ax, lo[ax]+1, du, dw) - at(f, ax, lo[ax], du, dw)
+										if math.Abs(d) > math.Abs(dir) {
+											dir = d
+										}
+									}
+								}
+								for du := 0; du <= hiOff[u]; du++ {
+									for dw := 0; dw <= hiOff[w]; dw++ {
+										d := at(f, ax, lo[ax]+1, du, dw) - at(f, ax, lo[ax], du, dw)
+										if d*dir < 0 && math.Abs(d) > slack[f] {
+											monotone = false
+										}
+										// Second differences whose support
+										// overlaps the cell interval.
+										for t := lo[ax]; t <= lo[ax]+1; t++ {
+											if t < 1 || t+1 >= n {
+												continue
+											}
+											d2 := math.Abs(at(f, ax, t-1, du, dw) - 2*at(f, ax, t, du, dw) + at(f, ax, t+1, du, dw))
+											if d2 > maxD2 {
+												maxD2 = d2
+											}
+										}
+									}
+								}
+								curvSum += maxD2
+							}
+							// h² M₂ / 8 per axis, doubled: the finite
+							// difference is an estimate, not a bound.
+							abs := 0.25 * curvSum
+
+							var b float64
+							switch {
+							case monotone && curvKnown:
+								b = math.Min(spread, abs)
+							case monotone:
+								b = spread
+							default:
+								b = spread + abs
+							}
+							relB, relC := math.Inf(1), math.Inf(1)
+							if b == 0 {
+								relB = 0
+							} else if mn > 0 {
+								relB = b / mn
+							}
+							if abs == 0 {
+								relC = 0
+							} else if mn > 0 {
+								relC = abs / mn
+							}
+							worstB = math.Max(worstB, relB)
+							worstC = math.Max(worstC, relC)
+						}
+						bounds[cell] = worstB
+						curvs[cell] = worstC
+					}
+				}
+			}
+		}
+	}
+	return bounds, curvs
+}

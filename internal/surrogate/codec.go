@@ -1,0 +1,244 @@
+package surrogate
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// On-disk grid format (all integers little-endian, all floats IEEE 754 bits):
+//
+//	magic "LTSG" | u32 format version
+//	spec: str Solver | f64 MemoryTime | f64 SwitchTime
+//	      | axis K (u32 n, i64 each) | axis NT
+//	      | axis R (u32 n, f64 each) | axis PRemote | axis Psw
+//	u32 numFields | u64 len(vals) | f64 each
+//	u64 len(bounds) | f64 each | u64 len(curvs) | f64 each
+//
+// The encoding is a pure function of the grid: fixed field order, no maps,
+// no timestamps, floats written as exact bit patterns. Two builds of the same
+// spec by the same solver version produce byte-identical artifacts — the
+// property the nightly determinism job asserts, and what makes the content
+// address (sha256 of these bytes) stable.
+
+const (
+	gridMagic = "LTSG"
+	// FormatVersion is the grid encoding version. Bump on any layout change;
+	// old artifacts then fail to load with ErrVersion and are rebuilt.
+	FormatVersion = 1
+)
+
+// ErrCorrupt marks an artifact that cannot be decoded: wrong magic,
+// truncated, trailing bytes, or failing its own checksum.
+var ErrCorrupt = errors.New("corrupt or truncated artifact")
+
+// ErrVersion marks an artifact written by a different format or solver
+// version. It is not an error in the data — just not trustworthy now.
+var ErrVersion = errors.New("artifact version mismatch")
+
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+func appendStr(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// appendSpec encodes a spec deterministically; it is both the persisted
+// header and the content hashed by Spec.Hash.
+func appendSpec(b []byte, s Spec) []byte {
+	b = append(b, gridMagic...)
+	b = appendU32(b, FormatVersion)
+	b = appendStr(b, s.Solver)
+	b = appendF64(b, s.MemoryTime)
+	b = appendF64(b, s.SwitchTime)
+	for _, ax := range [][]int{s.K, s.NT} {
+		b = appendU32(b, uint32(len(ax)))
+		for _, v := range ax {
+			b = appendU64(b, uint64(int64(v)))
+		}
+	}
+	for _, ax := range [][]float64{s.R, s.PRemote, s.Psw} {
+		b = appendU32(b, uint32(len(ax)))
+		for _, v := range ax {
+			b = appendF64(b, v)
+		}
+	}
+	return b
+}
+
+// Hash returns the hex sha256 of the spec's canonical encoding. Because the
+// encoding leads with the format version and the spec carries the solver
+// version, the hash names exactly one reproducible artifact.
+func (s Spec) Hash() string {
+	sum := sha256.Sum256(appendSpec(nil, s))
+	return hex.EncodeToString(sum[:])
+}
+
+// RefName returns the store ref name a grid of this spec is linked under.
+func (s Spec) RefName() string { return "grid-" + s.Hash()[:16] }
+
+// Encode serializes the grid. The output is byte-identical across builds of
+// the same spec (deterministic solves, deterministic layout).
+func (g *Grid) Encode() []byte {
+	n := len(g.vals) + len(g.bounds) + len(g.curvs)
+	b := make([]byte, 0, 128+16*len(g.spec.R)+8*n)
+	b = appendSpec(b, g.spec)
+	b = appendU32(b, numFields)
+	b = appendU64(b, uint64(len(g.vals)))
+	for _, v := range g.vals {
+		b = appendF64(b, v)
+	}
+	b = appendU64(b, uint64(len(g.bounds)))
+	for _, v := range g.bounds {
+		b = appendF64(b, v)
+	}
+	b = appendU64(b, uint64(len(g.curvs)))
+	for _, v := range g.curvs {
+		b = appendF64(b, v)
+	}
+	return b
+}
+
+// reader is a cursor over an encoded artifact that latches the first
+// truncation instead of panicking; callers check err once at the end of a
+// fixed-layout section.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.b) || n < 0 {
+		r.err = fmt.Errorf("%w: need %d bytes at offset %d, have %d", ErrCorrupt, n, r.off, len(r.b)-r.off)
+		return nil
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+
+func (r *reader) u32() uint32 {
+	if s := r.take(4); s != nil {
+		return binary.LittleEndian.Uint32(s)
+	}
+	return 0
+}
+
+func (r *reader) u64() uint64 {
+	if s := r.take(8); s != nil {
+		return binary.LittleEndian.Uint64(s)
+	}
+	return 0
+}
+
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *reader) str() string {
+	n := r.u32()
+	if n > 1<<10 {
+		r.err = fmt.Errorf("%w: string length %d", ErrCorrupt, n)
+		return ""
+	}
+	return string(r.take(int(n)))
+}
+
+// maxAxisLen rejects absurd axis lengths before they size an allocation.
+const maxAxisLen = 1 << 16
+
+func (r *reader) intAxis() []int {
+	n := r.u32()
+	if n > maxAxisLen {
+		r.err = fmt.Errorf("%w: axis length %d", ErrCorrupt, n)
+		return nil
+	}
+	out := make([]int, 0, n)
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		out = append(out, int(int64(r.u64())))
+	}
+	return out
+}
+
+func (r *reader) floatAxis() []float64 {
+	n := r.u32()
+	if n > maxAxisLen {
+		r.err = fmt.Errorf("%w: axis length %d", ErrCorrupt, n)
+		return nil
+	}
+	out := make([]float64, 0, n)
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		out = append(out, r.f64())
+	}
+	return out
+}
+
+func (r *reader) floats(want int) []float64 {
+	n := r.u64()
+	if r.err != nil {
+		return nil
+	}
+	if int(n) != want {
+		r.err = fmt.Errorf("%w: section holds %d floats, spec implies %d", ErrCorrupt, n, want)
+		return nil
+	}
+	out := make([]float64, 0, want)
+	for i := 0; i < want && r.err == nil; i++ {
+		out = append(out, r.f64())
+	}
+	return out
+}
+
+// Decode parses an encoded grid, distinguishing version mismatches
+// (ErrVersion — rebuild) from corruption (ErrCorrupt — rebuild and warn
+// louder). The decoded grid revalidates its spec and all section lengths;
+// trailing bytes are corruption, never ignored.
+func Decode(data []byte) (*Grid, error) {
+	r := &reader{b: data}
+	if string(r.take(len(gridMagic))) != gridMagic {
+		if r.err != nil {
+			return nil, r.err
+		}
+		return nil, fmt.Errorf("%w: bad magic, not a surrogate grid", ErrCorrupt)
+	}
+	if v := r.u32(); r.err == nil && v != FormatVersion {
+		return nil, fmt.Errorf("%w: grid format v%d, this build reads v%d", ErrVersion, v, FormatVersion)
+	}
+	var spec Spec
+	spec.Solver = r.str()
+	spec.MemoryTime = r.f64()
+	spec.SwitchTime = r.f64()
+	spec.K = r.intAxis()
+	spec.NT = r.intAxis()
+	spec.R = r.floatAxis()
+	spec.PRemote = r.floatAxis()
+	spec.Psw = r.floatAxis()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: decoded spec invalid: %v", ErrCorrupt, err)
+	}
+	if nf := r.u32(); r.err == nil && nf != numFields {
+		return nil, fmt.Errorf("%w: grid has %d fields per node, this build reads %d", ErrVersion, nf, numFields)
+	}
+	g := &Grid{spec: spec}
+	g.vals = r.floats(spec.nodes() * numFields)
+	g.bounds = r.floats(spec.cells())
+	g.curvs = r.floats(spec.cells())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-r.off)
+	}
+	return g, nil
+}

@@ -1,0 +1,212 @@
+package surrogate
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Store is a minimal content-addressed blob store on a local directory,
+// upspin-shaped: immutable blobs named by the hex sha256 of their content
+// under blobs/, plus mutable named refs under refs/ pointing at a blob.
+//
+//	<dir>/blobs/<64-hex sha256>   immutable content
+//	<dir>/refs/<name>             text file holding one blob hash
+//
+// Writes are atomic (temp file + rename in the same directory), so a crash
+// mid-write leaves at worst a stray .tmp file, never a half blob under its
+// final name. Get re-hashes what it reads: a corrupted blob is detected at
+// load, not served.
+type Store struct {
+	dir string
+}
+
+// NewStore opens (creating if needed) a store rooted at dir.
+func NewStore(dir string) (*Store, error) {
+	for _, d := range []string{dir, filepath.Join(dir, "blobs"), filepath.Join(dir, "refs")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("surrogate: opening store: %w", err)
+		}
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func isHexHash(h string) bool {
+	if len(h) != 2*sha256.Size {
+		return false
+	}
+	for i := 0; i < len(h); i++ {
+		c := h[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func validRefName(name string) error {
+	if name == "" || len(name) > 128 || strings.ContainsAny(name, "/\\") || strings.HasPrefix(name, ".") {
+		return fmt.Errorf("surrogate: invalid ref name %q", name)
+	}
+	return nil
+}
+
+// writeAtomic writes data to path via a temp file in the same directory and
+// an atomic rename.
+func writeAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return errors.Join(werr, cerr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// Put stores a blob and returns its content hash. Storing bytes that already
+// exist is a no-op (content addressing: same bytes, same name).
+func (s *Store) Put(data []byte) (string, error) {
+	sum := sha256.Sum256(data)
+	h := hex.EncodeToString(sum[:])
+	path := filepath.Join(s.dir, "blobs", h)
+	// An existing blob is only a no-op when its bytes actually match; a
+	// damaged file squatting on the name is healed by rewriting.
+	if old, err := os.ReadFile(path); err == nil && bytes.Equal(old, data) {
+		return h, nil
+	}
+	if err := writeAtomic(path, data); err != nil {
+		return "", fmt.Errorf("surrogate: storing blob: %w", err)
+	}
+	return h, nil
+}
+
+// Get loads a blob by hash, verifying the content matches its name. A
+// mismatch reports ErrCorrupt.
+func (s *Store) Get(h string) ([]byte, error) {
+	if !isHexHash(h) {
+		return nil, fmt.Errorf("surrogate: %w: malformed blob hash %q", ErrCorrupt, h)
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, "blobs", h))
+	if err != nil {
+		return nil, err
+	}
+	if sum := sha256.Sum256(data); hex.EncodeToString(sum[:]) != h {
+		return nil, fmt.Errorf("surrogate: %w: blob %s fails its checksum", ErrCorrupt, h[:12])
+	}
+	return data, nil
+}
+
+// Link points the named ref at a blob hash (atomically replacing any
+// previous target).
+func (s *Store) Link(name, h string) error {
+	if err := validRefName(name); err != nil {
+		return err
+	}
+	if !isHexHash(h) {
+		return fmt.Errorf("surrogate: linking %q: malformed blob hash %q", name, h)
+	}
+	if err := writeAtomic(filepath.Join(s.dir, "refs", name), []byte(h+"\n")); err != nil {
+		return fmt.Errorf("surrogate: linking %q: %w", name, err)
+	}
+	return nil
+}
+
+// Resolve returns the blob hash a named ref points at; fs.ErrNotExist when
+// the ref was never written, ErrCorrupt when its content is not a hash.
+func (s *Store) Resolve(name string) (string, error) {
+	if err := validRefName(name); err != nil {
+		return "", err
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, "refs", name))
+	if err != nil {
+		return "", err
+	}
+	h := strings.TrimSpace(string(data))
+	if !isHexHash(h) {
+		return "", fmt.Errorf("surrogate: %w: ref %q does not hold a blob hash", ErrCorrupt, name)
+	}
+	return h, nil
+}
+
+// SaveGrid persists a grid: the encoded blob under its content hash, plus
+// the spec-derived ref pointing at it. Returns the blob hash.
+func SaveGrid(s *Store, g *Grid) (string, error) {
+	h, err := s.Put(g.Encode())
+	if err != nil {
+		return "", err
+	}
+	if err := s.Link(g.spec.RefName(), h); err != nil {
+		return "", err
+	}
+	return h, nil
+}
+
+// LoadGrid loads the persisted grid of the given spec. It reports
+// fs.ErrNotExist when no grid was ever saved for the spec, ErrVersion when a
+// persisted artifact exists but was written by a different format, and
+// ErrCorrupt for damaged artifacts. The decoded spec must match the
+// requested one bit-for-bit; since the ref name commits to only a hash
+// prefix, the full spec encoding is compared after decode.
+func LoadGrid(s *Store, spec Spec) (*Grid, error) {
+	h, err := s.Resolve(spec.RefName())
+	if err != nil {
+		return nil, err
+	}
+	data, err := s.Get(h)
+	if err != nil {
+		return nil, err
+	}
+	g, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(appendSpec(nil, g.spec), appendSpec(nil, spec)) {
+		return nil, fmt.Errorf("surrogate: %w: stored grid's spec differs from the requested one", ErrCorrupt)
+	}
+	return g, nil
+}
+
+// OpenGrid loads the persisted grid for spec, or builds and persists it when
+// none is loadable. Damaged or version-mismatched artifacts are reported
+// through logf (a log.Printf-shaped sink; nil discards) and replaced — the
+// tier starts cold but never crashes and never serves a stale grid. A plain
+// cache miss (nothing persisted yet) builds silently.
+func OpenGrid(s *Store, spec Spec, logf func(format string, args ...any)) (*Grid, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	g, err := LoadGrid(s, spec)
+	switch {
+	case err == nil:
+		return g, nil
+	case errors.Is(err, fs.ErrNotExist):
+		// Cold start: nothing persisted for this spec yet.
+	default:
+		logf("surrogate: persisted grid unusable, rebuilding cold: %v", err)
+	}
+	g, err = Build(spec, BuildOptions{})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := SaveGrid(s, g); err != nil {
+		logf("surrogate: persisting rebuilt grid failed (serving from memory): %v", err)
+	}
+	return g, nil
+}

@@ -1,0 +1,237 @@
+package surrogate
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func newTestStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	return s
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	g := buildSmall(t)
+	data := g.Encode()
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !bytes.Equal(got.Encode(), data) {
+		t.Error("re-encoded grid differs from the original bytes")
+	}
+	if got.Nodes() != g.Nodes() || got.Cells() != g.Cells() {
+		t.Errorf("decoded shape (%d nodes, %d cells), want (%d, %d)",
+			got.Nodes(), got.Cells(), g.Nodes(), g.Cells())
+	}
+}
+
+func TestBuildIsDeterministic(t *testing.T) {
+	a := buildSmall(t)
+	b := buildSmall(t)
+	if !bytes.Equal(a.Encode(), b.Encode()) {
+		t.Error("two builds of the same spec produce different bytes")
+	}
+}
+
+func TestSaveLoadGrid(t *testing.T) {
+	s := newTestStore(t)
+	g := buildSmall(t)
+	h, err := SaveGrid(s, g)
+	if err != nil {
+		t.Fatalf("SaveGrid: %v", err)
+	}
+	if got, err := s.Resolve(g.Spec().RefName()); err != nil || got != h {
+		t.Fatalf("Resolve = (%q, %v), want (%q, nil)", got, err, h)
+	}
+	loaded, err := LoadGrid(s, smallSpec())
+	if err != nil {
+		t.Fatalf("LoadGrid: %v", err)
+	}
+	if !bytes.Equal(loaded.Encode(), g.Encode()) {
+		t.Error("loaded grid differs from the saved one")
+	}
+}
+
+func TestLoadGridMissingIsNotExist(t *testing.T) {
+	if _, err := LoadGrid(newTestStore(t), smallSpec()); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("LoadGrid on empty store = %v, want fs.ErrNotExist", err)
+	}
+}
+
+func TestSolverVersionChangesRefName(t *testing.T) {
+	// A grid persisted by a different solver version must be invisible to
+	// this one: the spec hash — and so the ref name — moves with the tag.
+	s := newTestStore(t)
+	old := smallSpec()
+	old.Solver = "amva/0-test"
+	g, err := Build(old, BuildOptions{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if _, err := SaveGrid(s, g); err != nil {
+		t.Fatalf("SaveGrid: %v", err)
+	}
+	if _, err := LoadGrid(s, smallSpec()); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("LoadGrid under a new solver version = %v, want fs.ErrNotExist (cold start)", err)
+	}
+}
+
+// corruptBlob flips one byte in the middle of the stored blob for spec's ref.
+func corruptBlob(t *testing.T, s *Store, spec Spec) {
+	t.Helper()
+	h, err := s.Resolve(spec.RefName())
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	path := filepath.Join(s.Dir(), "blobs", h)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+}
+
+func TestLoadGridCorruptBlob(t *testing.T) {
+	s := newTestStore(t)
+	if _, err := SaveGrid(s, buildSmall(t)); err != nil {
+		t.Fatalf("SaveGrid: %v", err)
+	}
+	corruptBlob(t, s, smallSpec())
+	if _, err := LoadGrid(s, smallSpec()); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("LoadGrid on corrupt blob = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLoadGridTruncatedBlob(t *testing.T) {
+	s := newTestStore(t)
+	if _, err := SaveGrid(s, buildSmall(t)); err != nil {
+		t.Fatalf("SaveGrid: %v", err)
+	}
+	h, _ := s.Resolve(smallSpec().RefName())
+	path := filepath.Join(s.Dir(), "blobs", h)
+	if err := os.Truncate(path, 100); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	if _, err := LoadGrid(s, smallSpec()); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("LoadGrid on truncated blob = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLoadGridCorruptRef(t *testing.T) {
+	s := newTestStore(t)
+	spec := smallSpec()
+	path := filepath.Join(s.Dir(), "refs", spec.RefName())
+	if err := os.WriteFile(path, []byte("not a hash\n"), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if _, err := LoadGrid(s, spec); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("LoadGrid on corrupt ref = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecodeVersionMismatch(t *testing.T) {
+	data := buildSmall(t).Encode()
+	// The u32 format version sits right after the 4-byte magic.
+	data[len(gridMagic)] = 99
+	if _, err := Decode(data); !errors.Is(err, ErrVersion) {
+		t.Errorf("Decode with format v99 = %v, want ErrVersion", err)
+	}
+}
+
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	data := append(buildSmall(t).Encode(), 0xde, 0xad)
+	if _, err := Decode(data); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Decode with trailing bytes = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecodeRejectsWrongMagic(t *testing.T) {
+	if _, err := Decode([]byte("JUNKdata and more")); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Decode of junk = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestOpenGridColdBuildsSilently(t *testing.T) {
+	s := newTestStore(t)
+	var logs []string
+	logf := func(format string, args ...any) { logs = append(logs, fmt.Sprintf(format, args...)) }
+	g, err := OpenGrid(s, smallSpec(), logf)
+	if err != nil {
+		t.Fatalf("OpenGrid: %v", err)
+	}
+	if g == nil || g.Nodes() == 0 {
+		t.Fatal("OpenGrid returned no grid")
+	}
+	if len(logs) != 0 {
+		t.Errorf("cold OpenGrid warned: %q", logs)
+	}
+	// The rebuilt grid was persisted: a second open loads identical bytes.
+	g2, err := OpenGrid(s, smallSpec(), logf)
+	if err != nil {
+		t.Fatalf("second OpenGrid: %v", err)
+	}
+	if !bytes.Equal(g.Encode(), g2.Encode()) {
+		t.Error("reloaded grid differs from the built one")
+	}
+}
+
+func TestOpenGridWarnsAndRebuildsOnCorruption(t *testing.T) {
+	s := newTestStore(t)
+	g, err := OpenGrid(s, smallSpec(), nil)
+	if err != nil {
+		t.Fatalf("OpenGrid: %v", err)
+	}
+	corruptBlob(t, s, smallSpec())
+	var logs []string
+	logf := func(format string, args ...any) { logs = append(logs, fmt.Sprintf(format, args...)) }
+	g2, err := OpenGrid(s, smallSpec(), logf)
+	if err != nil {
+		t.Fatalf("OpenGrid after corruption: %v", err)
+	}
+	if !bytes.Equal(g.Encode(), g2.Encode()) {
+		t.Error("rebuilt grid differs from the original build")
+	}
+	found := false
+	for _, l := range logs {
+		if strings.Contains(l, "rebuilding cold") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no corruption warning logged, got %q", logs)
+	}
+	// The rebuild re-persisted a good blob.
+	if _, err := LoadGrid(s, smallSpec()); err != nil {
+		t.Errorf("LoadGrid after rebuild: %v", err)
+	}
+}
+
+func TestStoreRejectsBadRefNames(t *testing.T) {
+	s := newTestStore(t)
+	h, err := s.Put([]byte("x"))
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	for _, name := range []string{"", "../escape", "a/b", ".hidden", strings.Repeat("x", 200)} {
+		if err := s.Link(name, h); err == nil {
+			t.Errorf("Link(%q) accepted", name)
+		}
+		if _, err := s.Resolve(name); err == nil {
+			t.Errorf("Resolve(%q) accepted", name)
+		}
+	}
+}

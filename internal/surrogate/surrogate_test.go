@@ -1,0 +1,269 @@
+package surrogate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"lattol/internal/mms"
+	"lattol/internal/mva"
+	"lattol/internal/validate"
+)
+
+// smallSpec is a fast-to-build grid exercising a degenerate (single-value)
+// Psw axis alongside real interpolation axes.
+func smallSpec() Spec {
+	return Spec{
+		Solver:     mva.SolverVersion,
+		MemoryTime: 10,
+		SwitchTime: 10,
+		K:          []int{4},
+		NT:         []int{2, 4, 8},
+		R:          []float64{10, 15, 20},
+		PRemote:    []float64{0.1, 0.2, 0.3, 0.4},
+		Psw:        []float64{0.5},
+	}
+}
+
+func buildSmall(t testing.TB) *Grid {
+	t.Helper()
+	g, err := Build(smallSpec(), BuildOptions{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+// solveRef solves a query's configuration exactly, for comparison.
+func solveRef(t testing.TB, s Spec, q Query) mms.Metrics {
+	t.Helper()
+	m, err := mms.Build(mms.Config{
+		K: q.K, Threads: q.NT, Runlength: q.R,
+		MemoryTime: s.MemoryTime, SwitchTime: s.SwitchTime,
+		PRemote: q.PRemote, Psw: q.Psw,
+	})
+	if err != nil {
+		t.Fatalf("Build(%+v): %v", q, err)
+	}
+	met, err := m.Solve(mms.SolveOptions{})
+	if err != nil {
+		t.Fatalf("Solve(%+v): %v", q, err)
+	}
+	return met
+}
+
+// maxFieldRelErr returns the worst per-field relative error of got against
+// want over the interpolated fields.
+func maxFieldRelErr(got, want mms.Metrics) float64 {
+	var gf, wf [numFields]float64
+	fieldsOf(got, &gf)
+	fieldsOf(want, &wf)
+	worst := 0.0
+	for i := range gf {
+		d := math.Abs(gf[i] - wf[i])
+		if wf[i] != 0 {
+			d /= math.Abs(wf[i])
+		}
+		worst = math.Max(worst, d)
+	}
+	return worst
+}
+
+func TestLookupAtNodesIsExact(t *testing.T) {
+	s := smallSpec()
+	g := buildSmall(t)
+	for _, nt := range s.NT {
+		for _, r := range s.R {
+			for _, p := range s.PRemote {
+				q := Query{K: 4, NT: nt, R: r, PRemote: p, Psw: 0.5}
+				met, bound, st := g.Lookup(q, 0) // maxRel 0: only exact answers qualify
+				if st != Hit {
+					t.Fatalf("Lookup(%+v, 0) = %v, want Hit", q, st)
+				}
+				if bound != 0 {
+					t.Errorf("Lookup(%+v) bound = %v, want 0 on a lattice node", q, bound)
+				}
+				if rel := maxFieldRelErr(met, solveRef(t, s, q)); rel > 1e-9 {
+					t.Errorf("Lookup(%+v) diverges from fresh solve by %.3g", q, rel)
+				}
+				if met.Iterations != 0 {
+					t.Errorf("interpolated Iterations = %d, want 0", met.Iterations)
+				}
+			}
+		}
+	}
+}
+
+func TestLookupWithinCertifiedBound(t *testing.T) {
+	s := smallSpec()
+	g := buildSmall(t)
+	rng := rand.New(rand.NewSource(7))
+	hits := 0
+	for i := 0; i < 300; i++ {
+		q := Query{
+			K:       4,
+			NT:      s.NT[rng.Intn(len(s.NT))],
+			R:       s.R[0] + rng.Float64()*(s.R[len(s.R)-1]-s.R[0]),
+			PRemote: s.PRemote[0] + rng.Float64()*(s.PRemote[len(s.PRemote)-1]-s.PRemote[0]),
+			Psw:     0.5,
+		}
+		met, bound, st := g.Lookup(q, math.Inf(1))
+		if st != Hit {
+			t.Fatalf("Lookup(%+v, +Inf) = %v (bound %v), want Hit", q, st, bound)
+		}
+		if rel := maxFieldRelErr(met, solveRef(t, s, q)); rel > bound {
+			t.Errorf("Lookup(%+v): relative error %.3g exceeds certified bound %.3g", q, rel, bound)
+		}
+		hits++
+	}
+	if hits == 0 {
+		t.Fatal("no in-grid queries exercised")
+	}
+}
+
+func TestLookupIneligible(t *testing.T) {
+	g := buildSmall(t)
+	for _, q := range []Query{
+		{K: 8, NT: 4, R: 12, PRemote: 0.2, Psw: 0.5},  // K off-lattice
+		{K: 4, NT: 3, R: 12, PRemote: 0.2, Psw: 0.5},  // NT off-lattice
+		{K: 4, NT: 4, R: 42, PRemote: 0.2, Psw: 0.5},  // R out of range
+		{K: 4, NT: 4, R: 12, PRemote: 0.05, Psw: 0.5}, // PRemote out of range
+		{K: 4, NT: 4, R: 12, PRemote: 0.2, Psw: 0.6},  // Psw off the degenerate axis
+		{K: 4, NT: 4, R: math.NaN(), PRemote: 0.2, Psw: 0.5},
+	} {
+		if _, _, st := g.Lookup(q, math.Inf(1)); st != Ineligible {
+			t.Errorf("Lookup(%+v) = %v, want Ineligible", q, st)
+		}
+	}
+}
+
+func TestLookupBoundExceeded(t *testing.T) {
+	g := buildSmall(t)
+	q := Query{K: 4, NT: 4, R: 12.5, PRemote: 0.25, Psw: 0.5}
+	_, bound, st := g.Lookup(q, 1e-12)
+	if st != BoundExceeded {
+		t.Fatalf("Lookup(%+v, 1e-12) = %v, want BoundExceeded", q, st)
+	}
+	if !(bound > 1e-12) {
+		t.Errorf("reported bound = %v, want > 1e-12", bound)
+	}
+}
+
+func TestLookupZeroAllocs(t *testing.T) {
+	g := buildSmall(t)
+	q := Query{K: 4, NT: 4, R: 12.5, PRemote: 0.25, Psw: 0.5}
+	if n := testing.AllocsPerRun(200, func() {
+		g.Lookup(q, math.Inf(1))
+	}); n != 0 {
+		t.Errorf("Lookup allocates %v per run, want 0", n)
+	}
+}
+
+func TestRefineTightensBound(t *testing.T) {
+	g := buildSmall(t)
+	q := Query{K: 4, NT: 4, R: 12.5, PRemote: 0.25, Psw: 0.5}
+	_, before, st := g.Lookup(q, math.Inf(1))
+	if st != Hit {
+		t.Fatalf("pre-refinement Lookup = %v, want Hit", st)
+	}
+
+	done := make(chan error, 1)
+	r := NewRefiner(g, BuildOptions{})
+	r.onRefined = func(cell int, err error) { done <- err }
+	defer r.Close()
+	if !r.Request(q) {
+		t.Fatal("Request returned false for a fresh in-grid cell")
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("refinement failed: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("refinement timed out")
+	}
+
+	met, after, st := g.Lookup(q, math.Inf(1))
+	if st != Hit {
+		t.Fatalf("post-refinement Lookup = %v, want Hit", st)
+	}
+	if !(after < before) {
+		t.Errorf("refined bound %v, want tighter than %v", after, before)
+	}
+	if rel := maxFieldRelErr(met, solveRef(t, smallSpec(), q)); rel > after {
+		t.Errorf("refined answer off by %.3g, certified %.3g", rel, after)
+	}
+	if g.Refined() != 1 {
+		t.Errorf("Refined() = %d, want 1", g.Refined())
+	}
+	// A second request for the same cell is a no-op.
+	if r.Request(q) {
+		t.Error("Request succeeded on an already-refined cell")
+	}
+}
+
+func TestRefinerClosedRejects(t *testing.T) {
+	g := buildSmall(t)
+	r := NewRefiner(g, BuildOptions{})
+	r.Close()
+	r.Close() // idempotent
+	if r.Request(Query{K: 4, NT: 4, R: 12.5, PRemote: 0.25, Psw: 0.5}) {
+		t.Error("Request succeeded on a closed refiner")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	base := smallSpec()
+	mutate := func(f func(*Spec)) Spec {
+		s := base
+		s.K = append([]int(nil), base.K...)
+		s.NT = append([]int(nil), base.NT...)
+		s.R = append([]float64(nil), base.R...)
+		s.PRemote = append([]float64(nil), base.PRemote...)
+		s.Psw = append([]float64(nil), base.Psw...)
+		f(&s)
+		return s
+	}
+	cases := []struct {
+		name  string
+		spec  Spec
+		field string
+	}{
+		{"empty solver", mutate(func(s *Spec) { s.Solver = "" }), "Solver"},
+		{"negative L", mutate(func(s *Spec) { s.MemoryTime = -1 }), "MemoryTime"},
+		{"empty NT", mutate(func(s *Spec) { s.NT = nil }), "NT"},
+		{"K below 2", mutate(func(s *Spec) { s.K = []int{1} }), "K"},
+		{"unsorted R", mutate(func(s *Spec) { s.R = []float64{10, 10} }), "R"},
+		{"PRemote above 1", mutate(func(s *Spec) { s.PRemote = []float64{0.5, 1.5} }), "PRemote"},
+		{"Psw zero", mutate(func(s *Spec) { s.Psw = []float64{0} }), "Psw"},
+	}
+	for _, tc := range cases {
+		err := tc.spec.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate() = nil, want error", tc.name)
+			continue
+		}
+		if got := validate.Field(err); got != tc.field {
+			t.Errorf("%s: offending field %q, want %q (err: %v)", tc.name, got, tc.field, err)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	if err := DefaultSpec().Validate(); err != nil {
+		t.Errorf("DefaultSpec rejected: %v", err)
+	}
+}
+
+func TestBoundsNeverServeNonPositiveCells(t *testing.T) {
+	// All metrics of the paper's model are strictly positive on this grid,
+	// so every cell must carry a finite bound; this pins the +Inf escape
+	// hatch to what it is — an escape hatch.
+	g := buildSmall(t)
+	for i := 0; i < g.Cells(); i++ {
+		if math.IsInf(g.CellBound(i), 1) {
+			t.Errorf("cell %d has +Inf bound on an all-positive grid", i)
+		}
+	}
+}

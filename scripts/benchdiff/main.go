@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 )
 
 // stat and benchmark mirror the summary emitted by scripts/benchjson (both
@@ -99,11 +100,13 @@ func main() {
 	sort.Strings(curNames)
 
 	var failures, improvements int
+	var removed, added []string
 	for _, name := range baseNames {
 		b := base[name]
 		c, ok := cur[name]
 		if !ok {
 			fmt.Printf("benchdiff: MISSING  %s (in baseline only)\n", name)
+			removed = append(removed, name)
 			continue
 		}
 		ratio := 0.0
@@ -131,7 +134,20 @@ func main() {
 	for _, name := range curNames {
 		if _, ok := base[name]; !ok {
 			fmt.Printf("benchdiff: NEW      %s (not in baseline)\n", name)
+			added = append(added, name)
 		}
+	}
+	// Name the set difference explicitly, so a reviewer scanning the CI log
+	// sees at a glance which benchmarks this change introduced or retired —
+	// and knows the baseline wants regenerating.
+	if len(added) > 0 {
+		fmt.Printf("benchdiff: %d benchmark(s) added since baseline: %s\n", len(added), strings.Join(added, ", "))
+	}
+	if len(removed) > 0 {
+		fmt.Printf("benchdiff: %d benchmark(s) removed since baseline: %s\n", len(removed), strings.Join(removed, ", "))
+	}
+	if len(added)+len(removed) > 0 {
+		fmt.Println("benchdiff: baseline is stale; regenerate with scripts/bench.sh when the set settles")
 	}
 
 	if failures > 0 {
