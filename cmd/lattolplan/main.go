@@ -1,0 +1,168 @@
+// Command lattolplan answers the paper's inverse questions from the command
+// line: instead of "given this configuration, what is the performance?" it
+// solves "what knob value reaches this performance?" by bracketed root
+// finding over warm-started solves (package inverse).
+//
+// Usage:
+//
+//	lattolplan -knob nt -metric tol_network -target 0.95
+//	lattolplan -knob premote -metric u_p -target 0.8 -relation '>='
+//	lattolplan -knob nt -metric tol_network -target 0.9 \
+//	    -frontier premote -from 0.05 -to 0.2 -steps 4
+//
+// Knobs: nt, r, l, s, c, premote, psw, k, memports, swports.
+// Metrics: u_p, tol_network, tol_memory, s_obs, l_obs, lambda_net,
+// cycle_time.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+
+	"lattol/internal/eval"
+	"lattol/internal/inverse"
+	"lattol/internal/mms"
+	"lattol/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lattolplan: ")
+	var (
+		knobName   = flag.String("knob", "nt", "parameter to solve for: "+strings.Join(mms.ParamNames(), ", "))
+		metricName = flag.String("metric", "tol_network", "targeted metric: "+strings.Join(inverse.MetricNames(), ", "))
+		target     = flag.Float64("target", 0.95, "metric value to reach")
+		relation   = flag.String("relation", ">=", "target relation: >= or <=")
+		knobMin    = flag.Float64("min", 0, "search lower bound (0 with -max 0: knob default domain)")
+		knobMax    = flag.Float64("max", 0, "search upper bound")
+		knobTol    = flag.Float64("knobtol", 0, "relative bracket width for convergence (0: default 1e-6)")
+		maxProbes  = flag.Int("max-probes", 0, "probe budget per plan (0: default 64)")
+		trace      = flag.Bool("trace", false, "print the probe-by-probe trace")
+		csv        = flag.Bool("csv", false, "emit frontier/trace tables as CSV")
+
+		frontier = flag.String("frontier", "", "sweep a second parameter, re-solving the plan per value")
+		from     = flag.Float64("from", 0, "frontier range start")
+		to       = flag.Float64("to", 0, "frontier range end")
+		steps    = flag.Int("steps", 10, "frontier points")
+
+		k   = flag.Int("k", 4, "PEs per torus dimension")
+		nt  = flag.Int("nt", 8, "threads per processor")
+		r   = flag.Float64("r", 10, "thread runlength R")
+		l   = flag.Float64("l", 10, "memory access time L")
+		s   = flag.Float64("s", 10, "switch delay S")
+		p   = flag.Float64("p", 0.2, "remote access probability")
+		psw = flag.Float64("psw", 0.5, "geometric locality parameter")
+	)
+	flag.Parse()
+
+	knob, err := mms.ParseParam(*knobName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	metric, err := inverse.ParseMetric(*metricName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rel, err := inverse.ParseRelation(*relation)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := inverse.Spec{
+		Base:      mms.Config{K: *k, Threads: *nt, Runlength: *r, MemoryTime: *l, SwitchTime: *s, PRemote: *p, Psw: *psw},
+		Knob:      knob,
+		Metric:    metric,
+		Target:    *target,
+		Relation:  rel,
+		Lo:        *knobMin,
+		Hi:        *knobMax,
+		KnobTol:   *knobTol,
+		MaxProbes: *maxProbes,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	ev := eval.NewSolver()
+
+	if *frontier != "" {
+		sweep, err := mms.ParseParam(*frontier)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fs := inverse.FrontierSpec{Spec: spec, Sweep: sweep, From: *from, To: *to, Steps: *steps}
+		pts, err := inverse.Frontier(ctx, ev, fs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := report.NewTable(
+			fmt.Sprintf("%s needed for %s %s %g, per %s", knob, metric, rel, *target, sweep),
+			sweep.String(), knob.String(), "achieved", "binding", "probes", "solves")
+		for _, pt := range pts {
+			if pt.Err != nil {
+				t.Add(report.Float(pt.Sweep, 4), "-", "-", errLabel(pt.Err), "-", "-")
+				continue
+			}
+			t.Add(
+				report.Float(pt.Sweep, 4),
+				report.Float(pt.Result.Knob, knobPrec(knob)),
+				report.Float(pt.Result.Achieved, 6),
+				pt.Result.Binding.String(),
+				fmt.Sprint(pt.Result.Probes),
+				fmt.Sprint(pt.Result.Solves),
+			)
+		}
+		emit(t, *csv)
+		return
+	}
+
+	res, err := inverse.Solve(ctx, ev, spec)
+	if err != nil {
+		var inf *inverse.InfeasibleError
+		if errors.As(err, &inf) {
+			log.Fatalf("infeasible: %v", err)
+		}
+		log.Fatal(err)
+	}
+	fmt.Printf("%s = %s for %s %s %g  (achieved %.6g, %s/%s, bracket [%g, %g], %d probes, %d solves)\n",
+		knob, report.Float(res.Knob, knobPrec(knob)), metric, rel, *target,
+		res.Achieved, res.Objective, res.Binding, res.Lo, res.Hi, res.Probes, res.Solves)
+	if *trace {
+		t := report.NewTable("probe trace", "#", knob.String(), metric.String(), "feasible", "solves")
+		for i, pr := range res.Trace {
+			t.Add(fmt.Sprint(i+1), report.Float(pr.Knob, -1), report.Float(pr.Value, 6),
+				fmt.Sprint(pr.Feasible), fmt.Sprint(pr.Solves))
+		}
+		emit(t, *csv)
+	}
+}
+
+// knobPrec picks the printed precision of a knob value: integers exact,
+// continuous knobs at the convergence scale.
+func knobPrec(p mms.Param) int {
+	if p.Integer() {
+		return 0
+	}
+	return 6
+}
+
+// errLabel compresses a per-point error for a table cell.
+func errLabel(err error) string {
+	var inf *inverse.InfeasibleError
+	if errors.As(err, &inf) {
+		return "infeasible"
+	}
+	return "error"
+}
+
+func emit(t *report.Table, csv bool) {
+	if csv {
+		fmt.Fprint(os.Stdout, t.CSV())
+		return
+	}
+	fmt.Fprint(os.Stdout, t.String())
+}

@@ -1,0 +1,168 @@
+package bottleneck
+
+import (
+	"math"
+	"testing"
+
+	"lattol/internal/mms"
+)
+
+// asymptoteCases are the configurations the asymptote tests sweep: the paper's
+// default system plus longer runlengths, extreme p_remote (up to 1.0, every
+// access remote), a two-dimensional torus, a slow network, and a memory-bound
+// point where the r/L term of Eq. 5 — not the network — caps utilization.
+func asymptoteCases() []struct {
+	name string
+	cfg  mms.Config
+} {
+	mk := func(mut func(*mms.Config)) mms.Config {
+		cfg := mms.DefaultConfig()
+		mut(&cfg)
+		return cfg
+	}
+	return []struct {
+		name string
+		cfg  mms.Config
+	}{
+		{"default", mk(func(*mms.Config) {})},
+		{"R=20", mk(func(c *mms.Config) { c.Runlength = 20 })},
+		{"p=0.5", mk(func(c *mms.Config) { c.PRemote = 0.5 })},
+		{"p=0.9", mk(func(c *mms.Config) { c.PRemote = 0.9 })},
+		{"p=1.0", mk(func(c *mms.Config) { c.PRemote = 1.0 })},
+		{"K=2 p=0.7", mk(func(c *mms.Config) { c.K = 2; c.PRemote = 0.7 })},
+		{"S=5 p=0.6", mk(func(c *mms.Config) { c.SwitchTime = 5; c.PRemote = 0.6 })},
+		{"L=30 p=0.05", mk(func(c *mms.Config) { c.MemoryTime = 30; c.PRemote = 0.05 })},
+	}
+}
+
+func solveAt(t *testing.T, cfg mms.Config, nt int) mms.Metrics {
+	t.Helper()
+	cfg.Threads = nt
+	met, err := mms.Solve(cfg)
+	if err != nil {
+		t.Fatalf("%+v: %v", cfg, err)
+	}
+	return met
+}
+
+// TestUpApproachesClosedFormBound cross-checks the Eq. 5 closed forms against
+// the AMVA solution in its asymptotic regime: as n_t grows the solved U_p must
+// approach min(1, UpUpperBound) from below — never exceed it (it is a hard
+// per-station service-rate bound), climb monotonically along the thread
+// ladder, and land within 1% of it by n_t = 1024. The table includes the
+// extreme p_remote = 1.0 point (bound R/(2·d_avg·S)·(1/1) with every access
+// remote) and a memory-bound point where the binding term is r/L = 1/3.
+func TestUpApproachesClosedFormBound(t *testing.T) {
+	ladder := []int{64, 256, 1024}
+	for _, c := range asymptoteCases() {
+		a, err := Analyze(c.cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		bound := math.Min(1, a.UpUpperBound)
+		prev := 0.0
+		for _, nt := range ladder {
+			met := solveAt(t, c.cfg, nt)
+			if met.Up > bound*(1+1e-9) {
+				t.Errorf("%s n_t=%d: U_p %v exceeds closed-form bound %v", c.name, nt, met.Up, bound)
+			}
+			if met.Up < prev*(1-1e-9) {
+				t.Errorf("%s n_t=%d: U_p %v fell below the value at the previous rung %v", c.name, nt, met.Up, prev)
+			}
+			prev = met.Up
+		}
+		// prev now holds U_p at the top rung.
+		if ratio := prev / bound; ratio < 0.99 {
+			t.Errorf("%s: U_p at n_t=1024 reaches only %.4f of the closed-form bound %v", c.name, ratio, bound)
+		}
+	}
+}
+
+// TestLambdaNetApproachesEq4 cross-checks Eq. 4 the same way: the solved
+// network rate never exceeds λ_net,sat at any thread count, and in the
+// network-saturated regime (p_remote ≥ SaturationPRemote) it converges to the
+// saturation rate — within 1% at n_t = 1024. Outside that regime the network
+// must stay visibly below saturation even with unbounded threads, because the
+// processor or memory saturates first.
+func TestLambdaNetApproachesEq4(t *testing.T) {
+	for _, c := range asymptoteCases() {
+		a, err := Analyze(c.cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		var top mms.Metrics
+		for _, nt := range []int{64, 256, 1024} {
+			top = solveAt(t, c.cfg, nt)
+			if top.LambdaNet > a.NetSaturationRate*(1+1e-9) {
+				t.Errorf("%s n_t=%d: λ_net %v exceeds Eq. 4 rate %v", c.name, nt, top.LambdaNet, a.NetSaturationRate)
+			}
+		}
+		saturated := c.cfg.PRemote >= a.SaturationPRemote
+		ratio := top.LambdaNet / a.NetSaturationRate
+		if saturated && ratio < 0.99 {
+			t.Errorf("%s: network-saturated (p=%v ≥ %v) but λ_net at n_t=1024 reaches only %.4f of λ_net,sat",
+				c.name, c.cfg.PRemote, a.SaturationPRemote, ratio)
+		}
+		if !saturated && ratio > 0.97 {
+			t.Errorf("%s: p=%v below saturation %v yet λ_net at n_t=1024 is %.4f of λ_net,sat",
+				c.name, c.cfg.PRemote, a.SaturationPRemote, ratio)
+		}
+	}
+}
+
+// TestAsymptoticRegimeSeparation pins the zone boundaries of Eq. 5 to solved
+// behavior at a moderate thread count: below the critical p_remote the
+// processor stays essentially fully utilized, past the saturation p_remote it
+// is clearly throttled, with the bound itself predicting the plateau.
+func TestAsymptoticRegimeSeparation(t *testing.T) {
+	base := mms.DefaultConfig()
+	a, err := Analyze(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := base
+	busy.PRemote = a.CriticalPRemote * 0.5
+	if met := solveAt(t, busy, 64); met.Up < 0.95 {
+		t.Errorf("p=%v (processor-busy zone) at n_t=64: U_p %v, want ≥ 0.95", busy.PRemote, met.Up)
+	}
+	sat := base
+	sat.PRemote = math.Min(1, a.SaturationPRemote*1.7)
+	satA, err := Analyze(sat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := solveAt(t, sat, 64)
+	if met.Up > 0.7 {
+		t.Errorf("p=%v (network-saturated zone) at n_t=64: U_p %v, want clearly below 1", sat.PRemote, met.Up)
+	}
+	if met.Up > math.Min(1, satA.UpUpperBound)*(1+1e-9) {
+		t.Errorf("p=%v: U_p %v exceeds its own closed-form plateau %v", sat.PRemote, met.Up, satA.UpUpperBound)
+	}
+}
+
+// TestMemoryBoundAsymptote isolates the r/L term of Eq. 5: with L = 3·R and
+// near-zero network traffic the asymptotic plateau is R/L = 1/3, which the
+// solved model must approach tightly (the probe measured 0.9999 of the bound
+// at n_t = 1024) while the network stays far from saturation.
+func TestMemoryBoundAsymptote(t *testing.T) {
+	cfg := mms.DefaultConfig()
+	cfg.MemoryTime = 30
+	cfg.PRemote = 0.05
+	a, err := Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.MemoryBound {
+		t.Fatal("L=30, R=10 should be memory bound")
+	}
+	if math.Abs(a.UpUpperBound-1.0/3) > 1e-12 {
+		t.Fatalf("UpUpperBound = %v, want r/L = 1/3", a.UpUpperBound)
+	}
+	met := solveAt(t, cfg, 1024)
+	if met.Up > a.UpUpperBound*(1+1e-9) || met.Up < 0.995*a.UpUpperBound {
+		t.Errorf("U_p at n_t=1024 = %v, want within [0.995, 1]·(r/L = %v)", met.Up, a.UpUpperBound)
+	}
+	if met.LambdaNet > 0.5*a.NetSaturationRate {
+		t.Errorf("memory-bound point drives λ_net to %v, ≥ half of λ_net,sat %v", met.LambdaNet, a.NetSaturationRate)
+	}
+}

@@ -1,0 +1,121 @@
+package conformance
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"lattol/internal/eval"
+	"lattol/internal/inverse"
+	"lattol/internal/mms"
+)
+
+// TestPlanConsistencyGolden runs one inverse problem per golden corpus
+// operating point: "the minimum thread count reaching the network tolerance
+// this very point achieves". Monotonicity in n_t makes the answer well
+// defined and at most the point's own thread count, and targeting a value
+// the model attains exactly stresses the boundary case of the bracket
+// refinement. Every answer is certified by CheckPlan's independent forward
+// solves at the 1e-6 band.
+func TestPlanConsistencyGolden(t *testing.T) {
+	ctx := context.Background()
+	ev := eval.NewSolver()
+	metric, err := inverse.ParseMetric("tol_network")
+	if err != nil {
+		t.Fatal(err)
+	}
+	knob, err := mms.ParseParam("nt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := GoldenConfigs()
+	if len(cfgs) != 51 {
+		t.Fatalf("golden corpus has %d points, want 51", len(cfgs))
+	}
+	for _, cfg := range cfgs {
+		m, err := ev.Evaluate(ctx, eval.Config{Model: cfg}, metric.Options())
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		// Target a hair below the attained value: the point's own thread
+		// count must then be feasible regardless of the ~1e-13 path
+		// difference between warm-started and cold solves, while the target
+		// still sits essentially on the boundary.
+		spec := inverse.Spec{Base: cfg, Knob: knob, Metric: metric, Target: metric.Read(m) * (1 - 1e-9)}
+		if err := CheckPlan(ctx, spec, 1e-6); err != nil {
+			t.Errorf("%+v: %v", cfg, err)
+			continue
+		}
+		res, err := inverse.Solve(ctx, eval.NewSolver(), spec)
+		if err != nil {
+			t.Errorf("%+v: %v", cfg, err)
+			continue
+		}
+		if res.Knob > float64(cfg.Threads) {
+			t.Errorf("%+v: minimal nt for its own tolerance = %v, want <= %d", cfg, res.Knob, cfg.Threads)
+		}
+	}
+}
+
+// TestPlanConsistencyRandom is the seeded plan-consistency harness: 500
+// randomized inverse problems (knob, metric, relation, target) certified
+// against independent forward solves at the 1e-6 band. The nightly workflow
+// widens the budget through LATTOL_CONFORMANCE_PLAN_TRIALS.
+func TestPlanConsistencyRandom(t *testing.T) {
+	opts := PlanDiffOptions{
+		Trials: envInt("LATTOL_CONFORMANCE_PLAN_TRIALS", 500),
+		Seed:   int64(envInt("LATTOL_CONFORMANCE_SEED", 1)),
+	}
+	if err := RunPlanDiff(context.Background(), opts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckPlanRejectsWrongAnswers drives CheckPlan's own failure detection:
+// a doctored evaluator that misreports the answer must be caught. (A checker
+// that cannot fail certifies nothing.)
+func TestCheckPlanCatchesInconsistency(t *testing.T) {
+	ctx := context.Background()
+	spec := inverse.Spec{Base: mms.DefaultConfig()}
+	var err error
+	if spec.Knob, err = mms.ParseParam("nt"); err != nil {
+		t.Fatal(err)
+	}
+	if spec.Metric, err = inverse.ParseMetric("tol_network"); err != nil {
+		t.Fatal(err)
+	}
+	spec.Target = 0.95
+
+	// Sanity: the honest plan passes.
+	if err := CheckPlan(ctx, spec, 1e-6); err != nil {
+		t.Fatalf("honest plan failed consistency: %v", err)
+	}
+
+	// A hand-built "result" one thread short of the true answer must trip
+	// the feasibility check when re-derived through the same margin logic.
+	res, err := inverse.Solve(ctx, eval.NewSolver(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := eval.NewSolver()
+	v, err := planForward(ctx, fresh, spec, res.Knob-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planMargin(spec, v) >= 0 {
+		t.Errorf("metric at answer-1 = %v still satisfies target %v; the plan answer %v was not minimal",
+			v, spec.Target, res.Knob)
+	}
+}
+
+// TestRandomPlanSpecAlwaysValid mirrors TestRandomConfigAlwaysValid for the
+// plan domain: every drawn spec must validate.
+func TestRandomPlanSpecAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		spec := RandomPlanSpec(rng)
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("draw %d: RandomPlanSpec produced invalid spec %+v: %v", i, spec, err)
+		}
+	}
+}

@@ -143,6 +143,28 @@ func visitsFrom(t topology.Network, home topology.Node, p float64, q func(topolo
 // Config returns the configuration the model was built from.
 func (m *Model) Config() Config { return m.cfg }
 
+// Rebase returns a model for cfg that reuses this model's elaborated
+// topology and visit ratios. It succeeds only when cfg differs from the
+// model's configuration in fields the visits do not depend on (thread count,
+// service times, ports): a probe sequence turning one such knob — the common
+// case for inverse solves — re-elaborates nothing. The shared slices are
+// read-only in both models. cfg.Pattern must be nil or a comparable
+// implementation (the same contract as configuration equality elsewhere).
+func (m *Model) Rebase(cfg Config) (*Model, bool) {
+	old := m.cfg
+	if cfg.K != old.K || cfg.PRemote != old.PRemote || cfg.Psw != old.Psw ||
+		cfg.GeometricMode != old.GeometricMode || cfg.Pattern != old.Pattern {
+		return nil, false
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, false
+	}
+	n := &Model{cfg: cfg, torus: m.torus, pattern: m.pattern,
+		visitMem: m.visitMem, visitOut: m.visitOut, visitIn: m.visitIn,
+		mergeVals: m.mergeVals, mergeCounts: m.mergeCounts}
+	return n, true
+}
+
 // Torus returns the model's topology.
 func (m *Model) Torus() *topology.Torus { return m.torus }
 

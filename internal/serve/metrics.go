@@ -96,8 +96,18 @@ type Metrics struct {
 	requestsTolerance atomic.Uint64
 	requestsSweep     atomic.Uint64
 	requestsBatch     atomic.Uint64
+	requestsPlan      atomic.Uint64
 	requestsHealth    atomic.Uint64
 	requestsMetrics   atomic.Uint64
+
+	// plansSolved counts inverse plans answered (frontier points count
+	// individually); plansInfeasible counts plans whose target no knob value
+	// could reach. planProbes distributes evaluator probes per answered plan
+	// — the continuation-efficiency claim ("a root-find costs a handful of
+	// probes") made visible in production traffic.
+	plansSolved     atomic.Uint64
+	plansInfeasible atomic.Uint64
+	planProbes      countHistogram
 
 	// batchItems counts individual items across all /v1/batch requests (the
 	// requestsBatch counter counts envelopes).
@@ -177,6 +187,7 @@ func (m *Metrics) WriteText(w io.Writer) {
 		{"tolerance", &m.requestsTolerance},
 		{"sweep", &m.requestsSweep},
 		{"batch", &m.requestsBatch},
+		{"plan", &m.requestsPlan},
 		{"healthz", &m.requestsHealth},
 		{"metrics", &m.requestsMetrics},
 	} {
@@ -212,6 +223,9 @@ func (m *Metrics) WriteText(w io.Writer) {
 	if m.queueDepth != nil {
 		fmt.Fprintf(w, "lattold_queue_depth %d\n", m.queueDepth())
 	}
+	fmt.Fprintf(w, "lattold_plans_total{outcome=\"solved\"} %d\n", m.plansSolved.Load())
+	fmt.Fprintf(w, "lattold_plans_total{outcome=\"infeasible\"} %d\n", m.plansInfeasible.Load())
+	m.planProbes.writeTo(w, "lattold_plan_probes")
 	m.queueWait.writeTo(w, "lattold_queue_wait_seconds")
 	m.solveLatency.writeTo(w, "lattold_solve_seconds")
 	m.surrogateLatency.writeTo(w, "lattold_surrogate_seconds")

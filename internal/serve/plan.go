@@ -1,0 +1,309 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"strings"
+
+	"lattol/internal/inverse"
+	"lattol/internal/mms"
+	"lattol/internal/validate"
+)
+
+// PlanFrontierRequest selects frontier mode on a plan: re-solve the inverse
+// problem at every value of a second swept parameter, tracing the
+// feasibility frontier (e.g. "threads needed for tolerance ≥ 0.95, as
+// p_remote grows").
+type PlanFrontierRequest struct {
+	Param string  `json:"param"`
+	From  float64 `json:"from"`
+	To    float64 `json:"to"`
+	Steps int     `json:"steps"`
+}
+
+// PlanRequest is the body of POST /v1/plan: a base model plus the inverse
+// question "find the extremal knob value such that metric relation target".
+// The embedded model is the configuration every probe starts from; the knob
+// overwrites one of its fields per probe. Probes run through the same cache
+// and worker pool as forward requests, so plans share results with solve and
+// tolerance traffic (and with each other).
+type PlanRequest struct {
+	ModelRequest
+	// Knob is the parameter solved for: nt, r, l, s, c, premote, psw, k,
+	// memports or swports.
+	Knob string `json:"knob"`
+	// Metric is the targeted measure: u_p, tol_network, tol_memory, s_obs,
+	// l_obs, lambda_net or cycle_time.
+	Metric string `json:"metric"`
+	// Target is the metric value to reach.
+	Target float64 `json:"target"`
+	// Relation compares metric to target: ">=" (default) or "<=".
+	Relation string `json:"relation,omitempty"`
+	// KnobMin, KnobMax bound the search; both zero selects the knob's
+	// default domain.
+	KnobMin float64 `json:"knob_min,omitempty"`
+	KnobMax float64 `json:"knob_max,omitempty"`
+	// KnobTol is the relative bracket width at which a continuous knob is
+	// converged (default 1e-6; integer knobs converge at width 1).
+	KnobTol float64 `json:"knob_tol,omitempty"`
+	// MaxProbes caps evaluator calls per plan (default 64).
+	MaxProbes int `json:"max_probes,omitempty"`
+	// Trace requests the probe-by-probe trace in the response.
+	Trace bool `json:"trace,omitempty"`
+	// Frontier, when present, selects frontier mode.
+	Frontier *PlanFrontierRequest `json:"frontier,omitempty"`
+}
+
+// spec canonicalizes the request into an inverse.Spec plus the serving
+// pattern kind. Validation errors are field-named against the wire fields.
+func (r PlanRequest) spec() (inverse.Spec, patternKind, error) {
+	cfg, pat, _, solver, err := r.components()
+	if err != nil {
+		return inverse.Spec{}, 0, err
+	}
+	if r.MaxError != 0 {
+		// Plan probes must be exact: a bracketed root-find over interpolated
+		// answers could bracket the interpolation error instead of the root.
+		return inverse.Spec{}, 0, validate.Fieldf("serve.PlanRequest", "max_error",
+			"= %v; plans probe exactly, max_error must be omitted", r.MaxError)
+	}
+	if err := validateConfig(cfg, pat); err != nil {
+		return inverse.Spec{}, 0, err
+	}
+	if pat == patternUniform {
+		// The uniform pattern has no locality parameter: a placeholder
+		// satisfies configuration validation and canonicalization zeroes it
+		// out of every probe key.
+		cfg.Psw = 1
+	}
+	knob, err := mms.ParseParam(r.Knob)
+	if err != nil {
+		return inverse.Spec{}, 0, validate.Fieldf("serve.PlanRequest", "knob", "= %q, want one of %s",
+			r.Knob, strings.Join(mms.ParamNames(), ", "))
+	}
+	if pat == patternUniform && knob.String() == "psw" {
+		return inverse.Spec{}, 0, validate.Fieldf("serve.PlanRequest", "knob",
+			"= psw under the uniform pattern; psw has no effect there")
+	}
+	metric, err := inverse.ParseMetric(r.Metric)
+	if err != nil {
+		return inverse.Spec{}, 0, validate.Fieldf("serve.PlanRequest", "metric", "= %q, want one of %s",
+			r.Metric, strings.Join(inverse.MetricNames(), ", "))
+	}
+	rel, err := inverse.ParseRelation(r.Relation)
+	if err != nil {
+		return inverse.Spec{}, 0, validate.Fieldf("serve.PlanRequest", "relation", "= %q, want >= or <=", r.Relation)
+	}
+	return inverse.Spec{
+		Base:      cfg,
+		Solver:    solver,
+		Knob:      knob,
+		Metric:    metric,
+		Target:    r.Target,
+		Relation:  rel,
+		Lo:        r.KnobMin,
+		Hi:        r.KnobMax,
+		KnobTol:   r.KnobTol,
+		MaxProbes: r.MaxProbes,
+	}, pat, nil
+}
+
+// frontierSpec extends spec with the swept second parameter.
+func (r PlanRequest) frontierSpec() (inverse.FrontierSpec, patternKind, error) {
+	sp, pat, err := r.spec()
+	if err != nil {
+		return inverse.FrontierSpec{}, 0, err
+	}
+	f := r.Frontier
+	fs := inverse.FrontierSpec{Spec: sp, From: f.From, To: f.To, Steps: f.Steps}
+	if f.Param == "" {
+		return inverse.FrontierSpec{}, 0, validate.Fieldf("serve.PlanRequest", "frontier.param",
+			"required, want one of %s", strings.Join(mms.ParamNames(), ", "))
+	}
+	sweep, err := mms.ParseParam(f.Param)
+	if err != nil {
+		return inverse.FrontierSpec{}, 0, validate.Fieldf("serve.PlanRequest", "frontier.param",
+			"= %q, want one of %s", f.Param, strings.Join(mms.ParamNames(), ", "))
+	}
+	fs.Sweep = sweep
+	if pat == patternUniform && sweep.String() == "psw" {
+		return inverse.FrontierSpec{}, 0, validate.Fieldf("serve.PlanRequest", "frontier.param",
+			"= psw under the uniform pattern; psw has no effect there")
+	}
+	return fs, pat, nil
+}
+
+// maxPlanFrontierSteps bounds one frontier request; the same cap the sweep
+// endpoint applies comes from Config.MaxSweepPoints at call time.
+func (e *Evaluator) maxPlanFrontierSteps() int { return e.cfg.MaxSweepPoints }
+
+// Plan answers one inverse question through the cache and worker pool. The
+// per-plan probe count is recorded in the metrics' probe histogram.
+func (e *Evaluator) Plan(ctx context.Context, r PlanRequest) (inverse.Result, error) {
+	sp, pat, err := r.spec()
+	if err != nil {
+		return inverse.Result{}, err
+	}
+	res, err := inverse.Solve(ctx, &planEvaluator{e: e, pat: pat}, sp)
+	if err != nil {
+		if _, ok := err.(*inverse.InfeasibleError); ok {
+			e.met.plansInfeasible.Add(1)
+		}
+		return inverse.Result{}, err
+	}
+	e.met.plansSolved.Add(1)
+	e.met.planProbes.observe(uint64(res.Probes))
+	return res, nil
+}
+
+// PlanFrontier answers the two-knob version: the plan re-solved at every
+// swept value, with each lockstep round of probes batched through the worker
+// pool. Points fail independently (e.g. an infeasible sweep value carries
+// *inverse.InfeasibleError); the returned error is an envelope error.
+func (e *Evaluator) PlanFrontier(ctx context.Context, r PlanRequest) ([]inverse.FrontierPoint, error) {
+	fs, pat, err := r.frontierSpec()
+	if err != nil {
+		return nil, err
+	}
+	if fs.Steps < 1 || fs.Steps > e.maxPlanFrontierSteps() {
+		return nil, validate.Fieldf("serve.PlanRequest", "frontier.steps",
+			"= %d, want in [1,%d]", fs.Steps, e.maxPlanFrontierSteps())
+	}
+	pts, err := inverse.Frontier(ctx, &planEvaluator{e: e, pat: pat}, fs)
+	if err != nil {
+		return nil, err
+	}
+	for i := range pts {
+		switch {
+		case pts[i].Err == nil:
+			e.met.plansSolved.Add(1)
+			e.met.planProbes.observe(uint64(pts[i].Result.Probes))
+		default:
+			if _, ok := pts[i].Err.(*inverse.InfeasibleError); ok {
+				e.met.plansInfeasible.Add(1)
+			}
+		}
+	}
+	return pts, nil
+}
+
+// PlanProbe is the wire form of one probe-trace entry.
+type PlanProbe struct {
+	Knob     float64 `json:"knob"`
+	Value    float64 `json:"value"`
+	Feasible bool    `json:"feasible"`
+	Solves   int     `json:"solves"`
+}
+
+// PlanResponse is the body of a successful POST /v1/plan (scalar mode) and
+// the per-point payload of frontier mode. Value is the answer; Achieved is
+// the metric observed there; Probes counts evaluator calls and Solves the
+// model solves they actually ran (0 when every probe hit the cache).
+type PlanResponse struct {
+	Knob       string      `json:"knob"`
+	Metric     string      `json:"metric"`
+	Relation   string      `json:"relation"`
+	Target     float64     `json:"target"`
+	Value      float64     `json:"value"`
+	Achieved   float64     `json:"achieved"`
+	Objective  string      `json:"objective"`
+	Binding    string      `json:"binding"`
+	BracketLo  float64     `json:"bracket_lo"`
+	BracketHi  float64     `json:"bracket_hi"`
+	Probes     int         `json:"probes"`
+	Solves     int         `json:"solves"`
+	Metrics    MetricsBody `json:"metrics"`
+	TolNetwork *float64    `json:"tol_network,omitempty"`
+	TolMemory  *float64    `json:"tol_memory,omitempty"`
+	Trace      []PlanProbe `json:"trace,omitempty"`
+}
+
+// PlanFrontierPoint is one swept point of a frontier response. Exactly one
+// of Error and Plan is set.
+type PlanFrontierPoint struct {
+	Sweep float64       `json:"sweep"`
+	Error *ErrorBody    `json:"error,omitempty"`
+	Plan  *PlanResponse `json:"plan,omitempty"`
+}
+
+// PlanFrontierResponse is the body of POST /v1/plan in frontier mode.
+type PlanFrontierResponse struct {
+	Param  string              `json:"param"`
+	Knob   string              `json:"knob"`
+	Points []PlanFrontierPoint `json:"points"`
+}
+
+// planResponse renders one inverse result.
+func planResponse(r PlanRequest, res inverse.Result, withTrace bool) *PlanResponse {
+	rel, _ := inverse.ParseRelation(r.Relation)
+	resp := &PlanResponse{
+		Knob:      r.Knob,
+		Metric:    r.Metric,
+		Relation:  rel.String(),
+		Target:    r.Target,
+		Value:     res.Knob,
+		Achieved:  res.Achieved,
+		Objective: res.Objective.String(),
+		Binding:   res.Binding.String(),
+		BracketLo: res.Lo,
+		BracketHi: res.Hi,
+		Probes:    res.Probes,
+		Solves:    res.Solves,
+		Metrics:   metricsBody(res.Metrics.Metrics),
+	}
+	if res.Metrics.TolNetwork != 0 || r.Metric == "tol_network" {
+		v := res.Metrics.TolNetwork
+		resp.TolNetwork = &v
+	}
+	if res.Metrics.TolMemory != 0 || r.Metric == "tol_memory" {
+		v := res.Metrics.TolMemory
+		resp.TolMemory = &v
+	}
+	if withTrace {
+		resp.Trace = make([]PlanProbe, len(res.Trace))
+		for i, p := range res.Trace {
+			resp.Trace[i] = PlanProbe{Knob: p.Knob, Value: p.Value, Feasible: p.Feasible, Solves: p.Solves}
+		}
+	}
+	return resp
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	s.eval.met.requestsPlan.Add(1)
+	var req PlanRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.reqContext(r)
+	defer cancel()
+	if req.Frontier != nil {
+		pts, err := s.eval.PlanFrontier(ctx, req)
+		if err != nil {
+			s.writeError(w, statusFor(err), err)
+			return
+		}
+		resp := PlanFrontierResponse{Param: req.Frontier.Param, Knob: req.Knob,
+			Points: make([]PlanFrontierPoint, len(pts))}
+		for i := range pts {
+			resp.Points[i].Sweep = pts[i].Sweep
+			if err := pts[i].Err; err != nil {
+				resp.Points[i].Error = &ErrorBody{
+					Status:  statusFor(err),
+					Message: err.Error(),
+					Field:   wireField(validate.Field(err)),
+				}
+				continue
+			}
+			resp.Points[i].Plan = planResponse(req, pts[i].Result, req.Trace)
+		}
+		s.writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	res, err := s.eval.Plan(ctx, req)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, planResponse(req, res, req.Trace))
+}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"time"
 
+	"lattol/internal/inverse"
 	"lattol/internal/mms"
 	"lattol/internal/mva"
 	"lattol/internal/validate"
@@ -120,6 +121,19 @@ var goToWireField = map[string]string{
 	"MaxError":      "max_error",
 	"Tolerance":     "tolerance",
 	"Damping":       "damping",
+	// inverse.Spec / inverse.FrontierSpec fields → PlanRequest wire names.
+	"Knob":      "knob",
+	"Metric":    "metric",
+	"Target":    "target",
+	"Relation":  "relation",
+	"Lo":        "knob_min",
+	"Hi":        "knob_max",
+	"KnobTol":   "knob_tol",
+	"MaxProbes": "max_probes",
+	"Sweep":     "frontier.param",
+	"From":      "frontier.from",
+	"To":        "frontier.to",
+	"Steps":     "frontier.steps",
 }
 
 func wireField(goName string) string {
@@ -148,6 +162,7 @@ func NewServerWith(eval *Evaluator) *Server {
 	s.mux.HandleFunc("POST /v1/tolerance", s.handleTolerance)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -186,6 +201,7 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
 func statusFor(err error) int {
 	var fe *validate.FieldError
 	var nce *mva.NonConvergenceError
+	var inf *inverse.InfeasibleError
 	switch {
 	case errors.As(err, &fe):
 		return http.StatusBadRequest
@@ -200,6 +216,10 @@ func statusFor(err error) int {
 	case errors.As(err, &nce):
 		// The model is well-formed but its fixed point did not stabilize:
 		// the request cannot be served as posed.
+		return http.StatusUnprocessableEntity
+	case errors.As(err, &inf):
+		// The plan is well-formed but no knob value in the search interval
+		// reaches the target: the question has no answer as posed.
 		return http.StatusUnprocessableEntity
 	default:
 		return http.StatusInternalServerError

@@ -1,0 +1,60 @@
+package surrogate
+
+import (
+	"context"
+
+	"lattol/internal/access"
+	"lattol/internal/eval"
+	"lattol/internal/mms"
+)
+
+// Evaluator adapts a Grid onto the uniform eval.Evaluator interface: a
+// configuration the grid covers, evaluated with a positive MaxError the
+// cell's certified bound satisfies, is answered by interpolation in sub-µs;
+// everything else falls through to the next evaluator. Tolerance-index
+// requests always fall through (the grid holds single-system measures only).
+//
+// It is the same tiering the serving layer applies between its LRU and its
+// worker pool, packaged as a composable evaluator for in-process users (the
+// inverse planners, batch drivers).
+type Evaluator struct {
+	grid *Grid
+	next eval.Evaluator
+}
+
+// NewEvaluator layers grid over next. next must be non-nil; grid may be nil
+// (every evaluation falls through).
+func NewEvaluator(grid *Grid, next eval.Evaluator) *Evaluator {
+	return &Evaluator{grid: grid, next: next}
+}
+
+// query maps a configuration onto the grid's query space. Only
+// configurations matching everything the grid holds fixed qualify: plain
+// symmetric-AMVA solves under the default geometric/per-distance pattern, no
+// context-switch overhead, single-ported stations, and the grid's memory and
+// switch times (the serving layer applies the identical test to its
+// canonical keys).
+func (e *Evaluator) query(cfg eval.Config) (Query, bool) {
+	m := cfg.Model
+	if e.grid == nil || cfg.Solver != mms.SymmetricAMVA ||
+		m.Pattern != nil || m.GeometricMode != access.PerDistance ||
+		m.ContextSwitch != 0 || m.MemoryPorts > 1 || m.SwitchPorts > 1 ||
+		m.MemoryTime != e.grid.spec.MemoryTime || m.SwitchTime != e.grid.spec.SwitchTime {
+		return Query{}, false
+	}
+	return Query{K: m.K, NT: m.Threads, R: m.Runlength, PRemote: m.PRemote, Psw: m.Psw}, true
+}
+
+// Evaluate serves from the grid when the request states a MaxError, asks for
+// no tolerance indices, and the certified cell bound is within it; every
+// other evaluation goes to the next evaluator unchanged.
+func (e *Evaluator) Evaluate(ctx context.Context, cfg eval.Config, opts eval.Options) (eval.Metrics, error) {
+	if opts.MaxError > 0 && !opts.TolNetwork && !opts.TolMemory {
+		if q, ok := e.query(cfg); ok {
+			if met, bound, st := e.grid.Lookup(q, opts.MaxError); st == Hit {
+				return eval.Metrics{Metrics: met, Bound: bound}, nil
+			}
+		}
+	}
+	return e.next.Evaluate(ctx, cfg, opts)
+}

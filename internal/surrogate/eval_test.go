@@ -1,0 +1,112 @@
+package surrogate
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"lattol/internal/eval"
+	"lattol/internal/mms"
+)
+
+var (
+	_ eval.Evaluator      = (*Evaluator)(nil)
+	_ eval.BatchEvaluator = (*eval.Solver)(nil)
+)
+
+// gridCfg is an in-cell configuration the small grid covers.
+func gridCfg() mms.Config {
+	cfg := mms.DefaultConfig()
+	cfg.Threads = 4
+	cfg.Runlength = 12
+	cfg.PRemote = 0.25
+	cfg.Psw = 0.5
+	return cfg
+}
+
+// TestEvaluatorHit verifies the grid tier answers eligible loose-bound
+// requests with a certified approximation instead of a solve.
+func TestEvaluatorHit(t *testing.T) {
+	e := NewEvaluator(buildSmall(t), failEvaluator{t})
+	got, err := e.Evaluate(context.Background(), eval.Config{Model: gridCfg()}, eval.Options{MaxError: 0.5})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if got.Bound <= 0 || got.Bound > 0.5 {
+		t.Errorf("Bound = %v, want in (0, 0.5]", got.Bound)
+	}
+	if got.Solves != 0 {
+		t.Errorf("Solves = %d, want 0 for a grid hit", got.Solves)
+	}
+	exact, err := mms.Solve(gridCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := math.Abs(got.Up - exact.Up)
+	if exact.Up != 0 {
+		rel /= math.Abs(exact.Up)
+	}
+	if rel > got.Bound {
+		t.Errorf("Up off by %v, beyond certified bound %v", rel, got.Bound)
+	}
+}
+
+// TestEvaluatorFallThrough verifies every request the grid cannot certify
+// reaches the next evaluator: exact requests, tolerance-index requests,
+// ineligible configurations, and out-of-grid points.
+func TestEvaluatorFallThrough(t *testing.T) {
+	offGrid := gridCfg()
+	offGrid.Runlength = 100 // outside the small grid's R axis
+
+	ineligible := gridCfg()
+	ineligible.ContextSwitch = 1
+
+	cases := []struct {
+		name string
+		cfg  mms.Config
+		opts eval.Options
+	}{
+		{"exact", gridCfg(), eval.Options{}},
+		{"tolerance", gridCfg(), eval.Options{MaxError: 0.5, TolNetwork: true}},
+		{"ineligible", ineligible, eval.Options{MaxError: 0.5}},
+		{"out-of-grid", offGrid, eval.Options{MaxError: 0.5}},
+		{"tight-bound", gridCfg(), eval.Options{MaxError: 1e-12}},
+	}
+	grid := buildSmall(t)
+	solver := eval.NewSolver()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := NewEvaluator(grid, solver)
+			got, err := e.Evaluate(context.Background(), eval.Config{Model: tc.cfg}, tc.opts)
+			if err != nil {
+				t.Fatalf("Evaluate: %v", err)
+			}
+			if got.Solves == 0 {
+				t.Error("request served from grid, want fall-through to solver")
+			}
+			if got.Bound != 0 {
+				t.Errorf("Bound = %v, want 0 from the exact tier", got.Bound)
+			}
+		})
+	}
+}
+
+// TestEvaluatorNilGrid verifies a nil grid degenerates to the next tier.
+func TestEvaluatorNilGrid(t *testing.T) {
+	e := NewEvaluator(nil, eval.NewSolver())
+	got, err := e.Evaluate(context.Background(), eval.Config{Model: gridCfg()}, eval.Options{MaxError: 0.5})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if got.Solves == 0 {
+		t.Error("nil grid served a hit")
+	}
+}
+
+// failEvaluator fails the test if reached.
+type failEvaluator struct{ t *testing.T }
+
+func (f failEvaluator) Evaluate(context.Context, eval.Config, eval.Options) (eval.Metrics, error) {
+	f.t.Fatal("fell through to next evaluator; want grid hit")
+	return eval.Metrics{}, nil
+}

@@ -15,6 +15,19 @@
 # A focused run (non-default bench-regex or package list) writes
 # BENCH_<date>-partial.{txt,json} instead, so quick local iterations never
 # overwrite the full-suite artifact the baseline is regenerated from.
+#
+# Baseline flow: the committed BENCH_BASELINE.json gates CI through
+# scripts/benchdiff. When a PR adds or retires benchmarks, there is no need
+# to regenerate the baseline in the same PR — CI compares with `benchdiff
+# -new-ok`, which accepts set drift while still gating the timings of every
+# benchmark both sides share. Regenerate once the set settles (or after an
+# intentional perf change):
+#
+#   bash scripts/bench.sh && mv "BENCH_$(date +%Y-%m-%d).json" BENCH_BASELINE.json
+#
+# A local run without -new-ok (`go run ./scripts/benchdiff BENCH_BASELINE.json
+# BENCH_<date>.json`) fails on any drift — use that to check a regenerated
+# baseline really covers the full suite.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

@@ -6,15 +6,18 @@
 //     solver and DES hot paths are kept at 0 allocs/op deliberately; a single
 //     alloc there is a real regression, not noise).
 //
-// Benchmarks present on only one side are reported but do not fail the gate,
-// so adding or retiring a benchmark does not require regenerating the
-// baseline in the same commit. Improvements beyond the same threshold are
-// flagged "faster" per benchmark and totalled in the final summary line, so
-// the bench artifact documents speedups as well as regressions.
+// Benchmarks present on only one side fail the gate by default — a silent set
+// drift usually means the baseline is stale. Pass -new-ok to accept added or
+// retired benchmarks without regenerating the baseline in the same commit
+// (the mode CI runs in, so a PR that introduces a benchmark alongside the code
+// it measures does not need a baseline dance; timings of benchmarks both sides
+// share are still compared as usual). Improvements beyond the same threshold
+// are flagged "faster" per benchmark and totalled in the final summary line,
+// so the bench artifact documents speedups as well as regressions.
 //
 // Usage:
 //
-//	go run ./scripts/benchdiff [-threshold 0.25] BENCH_BASELINE.json BENCH_current.json
+//	go run ./scripts/benchdiff [-threshold 0.25] [-new-ok] BENCH_BASELINE.json BENCH_current.json
 package main
 
 import (
@@ -74,9 +77,10 @@ func allocs(b benchmark) (float64, bool) {
 
 func main() {
 	rel := flag.Float64("threshold", 0.25, "maximum tolerated relative ns/op increase")
+	newOK := flag.Bool("new-ok", false, "accept benchmarks added since (or missing from) the baseline without failing")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.25] baseline.json current.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.25] [-new-ok] baseline.json current.json")
 		os.Exit(2)
 	}
 	base, err := load(flag.Arg(0))
@@ -147,11 +151,17 @@ func main() {
 		fmt.Printf("benchdiff: %d benchmark(s) removed since baseline: %s\n", len(removed), strings.Join(removed, ", "))
 	}
 	if len(added)+len(removed) > 0 {
-		fmt.Println("benchdiff: baseline is stale; regenerate with scripts/bench.sh when the set settles")
+		if *newOK {
+			fmt.Println("benchdiff: set drift accepted (-new-ok); regenerate the baseline with scripts/bench.sh when the set settles")
+		} else {
+			fmt.Fprintf(os.Stderr, "benchdiff: benchmark set drifted from the baseline (%d added, %d removed); regenerate with scripts/bench.sh or pass -new-ok\n",
+				len(added), len(removed))
+			failures++
+		}
 	}
 
 	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) beyond %.0f%% ns/op or the 0-alloc floor\n",
+		fmt.Fprintf(os.Stderr, "benchdiff: %d gate failure(s): >%.0f%% ns/op, the 0-alloc floor, or unreviewed set drift\n",
 			failures, *rel*100)
 		os.Exit(1)
 	}
