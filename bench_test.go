@@ -11,11 +11,18 @@
 package lattol
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"io"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"lattol/internal/access"
+	lattolclient "lattol/internal/client"
+	"lattol/internal/cluster"
 	"lattol/internal/experiments"
 	"lattol/internal/mms"
 	"lattol/internal/mva"
@@ -608,5 +615,109 @@ func BenchmarkServeBatchCached(b *testing.B) {
 		if err := eval.Batch(ctx, items, out); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---- Cluster and client paths ---------------------------------------------
+
+// BenchmarkClusterForwardHit measures the full cross-node cache-hit path: an
+// HTTP request enters the NON-owner of its key, is forwarded over loopback to
+// the owner (where it hits the cache), and the answer is relayed back
+// verbatim. The delta to BenchmarkServeSolveCached is the price of one
+// network hop plus the forward/relay plumbing — the cost a client pays for
+// not knowing the ring.
+func BenchmarkClusterForwardHit(b *testing.B) {
+	var srvs [2]*serve.Server
+	var urls [2]string
+	for i := range srvs {
+		srvs[i] = serve.NewServer(serve.Config{Workers: 1})
+		ts := httptest.NewServer(srvs[i].Handler())
+		urls[i] = ts.URL
+		defer ts.Close()
+		defer srvs[i].Close()
+	}
+	for i := range srvs {
+		cl, err := cluster.New(urls[i], []string{urls[1-i]}, cluster.Options{})
+		benchErr(b, err)
+		srvs[i].SetCluster(cl)
+	}
+
+	// Probe for a request whose canonical key the OTHER node owns.
+	var body []byte
+	for threads := 1; threads <= 64 && body == nil; threads++ {
+		req := serve.ModelRequest{
+			K: 2, Threads: threads, Runlength: 10, MemoryTime: 8, SwitchTime: 2,
+			PRemote: 0.2, Psw: 0.5,
+		}
+		k, err := serve.SolveKey(req)
+		benchErr(b, err)
+		if srvs[0].Cluster().Ring().Owner(k.Hash()) == urls[1] {
+			body, err = json.Marshal(req)
+			benchErr(b, err)
+		}
+	}
+	if body == nil {
+		b.Fatal("no probed key owned by the peer node")
+	}
+
+	post := func() *http.Response {
+		resp, err := http.Post(urls[0]+"/v1/solve", "application/json", bytes.NewReader(body))
+		benchErr(b, err)
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status = %d, want 200", resp.StatusCode)
+		}
+		return resp
+	}
+	// Prime: the owner solves once and caches; every timed iteration below is
+	// a forwarded hit.
+	resp := post()
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp := post()
+		if i == 0 && resp.Header.Get("X-Lattold-Cache") != "hit" {
+			b.Fatalf("X-Lattold-Cache = %q, want hit", resp.Header.Get("X-Lattold-Cache"))
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// BenchmarkClientHedged measures lattolclient's full request path with
+// hedging armed — latency-window bookkeeping, hedge timer arm/cancel, JSON
+// round trip — over the daemon's cache-hit solve. The delta to
+// BenchmarkServeSolveCached is the client library's per-call overhead.
+func BenchmarkClientHedged(b *testing.B) {
+	srv := serve.NewServer(serve.Config{Workers: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	c := lattolclient.New(ts.URL, lattolclient.Options{
+		Retries:         -1,
+		HedgeQuantile:   0.99,
+		HedgeMinSamples: 8,
+		ClientID:        "bench",
+	})
+	req := lattolclient.ModelRequest{
+		K: 4, Threads: 8, Runlength: 10, MemoryTime: 10, SwitchTime: 10,
+		PRemote: 0.2, Psw: 0.5,
+	}
+	ctx := context.Background()
+	// Prime the server cache and fill the latency window past HedgeMinSamples
+	// so the hedge machinery is live for every timed iteration.
+	for i := 0; i < 16; i++ {
+		_, err := c.Solve(ctx, req)
+		benchErr(b, err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := c.Solve(ctx, req)
+		benchErr(b, err)
 	}
 }

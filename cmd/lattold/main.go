@@ -6,7 +6,8 @@
 //
 //	lattold [-addr :8080] [-workers 0] [-queue 0] [-cache 4096]
 //	        [-timeout 10s] [-drain 15s] [-maxsweep 1024] [-maxbatch 1024]
-//	        [-store DIR]
+//	        [-store DIR] [-advertise URL] [-peers URL,URL,...]
+//	        [-rate 0] [-burst 0]
 //
 // Endpoints:
 //
@@ -25,8 +26,23 @@
 // version-mismatched artifacts are logged and rebuilt — the daemon always
 // comes up, at worst cold.
 //
-// SIGINT/SIGTERM drains gracefully: the listener stops accepting, in-flight
-// requests finish (bounded by -drain), then the worker pool shuts down.
+// With -peers the daemon is one node of a consistent-hash cluster: each
+// canonical request key has one owner node, non-owners forward the raw
+// request there and relay the answer, so a key is solved (and cached) once
+// cluster-wide no matter which node traffic enters through. -advertise is
+// this node's own URL as the peers reach it (required with -peers). Every
+// node is started with the same idea of the membership; a failed forward
+// falls back to a local solve, so a down peer degrades throughput, not
+// availability.
+//
+// With -rate the POST endpoints are admission-controlled per client
+// (X-Lattold-Client header, else remote host) by a token bucket of -rate
+// requests/second sustained and -burst capacity; peer forwards are exempt.
+//
+// SIGINT/SIGTERM drains gracefully: the node leaves the ring (new incoming
+// forwards are refused with 503, flipping peers to their local fallback),
+// the listener stops accepting, in-flight requests finish (bounded by
+// -drain), then the worker pool shuts down.
 package main
 
 import (
@@ -37,9 +53,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"lattol/internal/cluster"
 	"lattol/internal/serve"
 	"lattol/internal/surrogate"
 )
@@ -57,7 +75,11 @@ func main() {
 		drain    = flag.Duration("drain", 15*time.Second, "graceful shutdown budget")
 		maxSweep = flag.Int("maxsweep", 1024, "max points per sweep request")
 		maxBatch = flag.Int("maxbatch", 1024, "max items per batch request")
-		storeDir = flag.String("store", "", "artifact store directory for the surrogate grid and LRU snapshot (empty = in-memory only)")
+		storeDir  = flag.String("store", "", "artifact store directory for the surrogate grid and LRU snapshot (empty = in-memory only)")
+		advertise = flag.String("advertise", "", "this node's URL as peers reach it (required with -peers)")
+		peers     = flag.String("peers", "", "comma-separated peer URLs forming the cluster ring")
+		rate      = flag.Float64("rate", 0, "per-client sustained requests/second (0 = no rate limit)")
+		burst     = flag.Float64("burst", 0, "per-client burst capacity (0 = 2x rate)")
 	)
 	flag.Parse()
 
@@ -68,7 +90,28 @@ func main() {
 		SolveTimeout:   *timeout,
 		MaxSweepPoints: *maxSweep,
 		MaxBatchItems:  *maxBatch,
+		RateLimit:      *rate,
+		RateBurst:      *burst,
 	})
+
+	var cl *cluster.Cluster
+	if *peers != "" {
+		if *advertise == "" {
+			log.Fatal("-peers requires -advertise (this node's own URL)")
+		}
+		var list []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				list = append(list, p)
+			}
+		}
+		var err error
+		if cl, err = cluster.New(*advertise, list, cluster.Options{}); err != nil {
+			log.Fatalf("cluster: %v", err)
+		}
+		srv.SetCluster(cl)
+		log.Printf("cluster ring: %d nodes, self %s", cl.Size(), cl.Self())
+	}
 
 	var store *surrogate.Store
 	if *storeDir != "" {
@@ -108,6 +151,12 @@ func main() {
 	}
 
 	log.Printf("signal received, draining (budget %s)", *drain)
+	if cl != nil {
+		// Leave the ring first: incoming forwards get 503 (origins fall back
+		// to local solves) while the listener drains what it already accepted.
+		cl.Leave()
+		log.Printf("left the cluster ring")
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {

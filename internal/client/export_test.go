@@ -1,0 +1,10 @@
+package lattolclient
+
+import (
+	"context"
+	"time"
+)
+
+// SetSleep replaces the retry loop's backoff sleep so tests can observe the
+// waits the policy chooses without actually waiting them out.
+func (c *Client) SetSleep(fn func(context.Context, time.Duration) error) { c.sleep = fn }

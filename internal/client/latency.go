@@ -1,0 +1,62 @@
+package lattolclient
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow is a fixed-capacity ring of recent request latencies, the
+// input to the hedging policy: the hedge delay is a high quantile of what the
+// service has actually been doing lately, so a hedge fires only when this
+// request is already slower than its peers — not on a wall-clock guess.
+type latencyWindow struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	n       int // filled entries, ≤ cap(samples)
+	idx     int // next write position
+}
+
+func newLatencyWindow(capacity int) *latencyWindow {
+	return &latencyWindow{samples: make([]time.Duration, capacity)}
+}
+
+func (w *latencyWindow) record(d time.Duration) {
+	w.mu.Lock()
+	w.samples[w.idx] = d
+	w.idx = (w.idx + 1) % len(w.samples)
+	if w.n < len(w.samples) {
+		w.n++
+	}
+	w.mu.Unlock()
+}
+
+// size returns the number of recorded samples.
+func (w *latencyWindow) size() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
+}
+
+// quantile returns the q-th latency quantile (0 < q ≤ 1) over the window,
+// or false when the window is empty. The copy-and-sort costs O(n log n) on a
+// window of at most a few hundred samples — noise next to an HTTP round trip.
+func (w *latencyWindow) quantile(q float64) (time.Duration, bool) {
+	w.mu.Lock()
+	if w.n == 0 {
+		w.mu.Unlock()
+		return 0, false
+	}
+	buf := make([]time.Duration, w.n)
+	copy(buf, w.samples[:w.n])
+	w.mu.Unlock()
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	i := int(q*float64(len(buf))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(buf) {
+		i = len(buf) - 1
+	}
+	return buf[i], true
+}

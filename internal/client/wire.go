@@ -1,0 +1,170 @@
+package lattolclient
+
+// This file is the client's copy of the lattold wire schema. The structs
+// mirror internal/serve's request and response bodies field for field (same
+// JSON tags, same types); they are duplicated rather than imported because
+// the cluster transport sits between this package and internal/serve —
+// serve routes through internal/cluster, which forwards through this client,
+// so importing serve from here would close an import cycle. The parity is
+// locked by TestWireParity in internal/serve, which round-trips every pair
+// of types through JSON in both directions with unknown fields disallowed.
+
+// ModelRequest is the wire form of one model configuration plus solver
+// choice — the body of POST /v1/solve and the base of the other requests.
+// Zero values of the optional fields select the server-side defaults
+// (geometric pattern, per-distance normalization, single ports, symmetric
+// AMVA).
+type ModelRequest struct {
+	K             int     `json:"k"`
+	Threads       int     `json:"threads"`
+	Runlength     float64 `json:"runlength"`
+	ContextSwitch float64 `json:"context_switch,omitempty"`
+	MemoryTime    float64 `json:"memory_time"`
+	SwitchTime    float64 `json:"switch_time"`
+	PRemote       float64 `json:"p_remote"`
+	Psw           float64 `json:"psw,omitempty"`
+	Pattern       string  `json:"pattern,omitempty"`
+	GeometricMode string  `json:"geometric_mode,omitempty"`
+	MemoryPorts   int     `json:"memory_ports,omitempty"`
+	SwitchPorts   int     `json:"switch_ports,omitempty"`
+	Solver        string  `json:"solver,omitempty"`
+	MaxError      float64 `json:"max_error,omitempty"`
+}
+
+// ToleranceRequest is the body of POST /v1/tolerance.
+type ToleranceRequest struct {
+	ModelRequest
+	Subsystem string `json:"subsystem,omitempty"` // "network" (default) or "memory"
+	Mode      string `json:"mode,omitempty"`      // "", "zero-remote" or "zero-delay"
+}
+
+// BatchItemRequest is one element of POST /v1/batch's items.
+type BatchItemRequest struct {
+	ModelRequest
+	Op        string `json:"op,omitempty"`
+	Subsystem string `json:"subsystem,omitempty"`
+	Mode      string `json:"mode,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	Items []BatchItemRequest `json:"items"`
+}
+
+// PlanFrontierRequest selects frontier mode on a plan request.
+type PlanFrontierRequest struct {
+	Param string  `json:"param"`
+	From  float64 `json:"from"`
+	To    float64 `json:"to"`
+	Steps int     `json:"steps"`
+}
+
+// PlanRequest is the body of POST /v1/plan.
+type PlanRequest struct {
+	ModelRequest
+	Knob     string               `json:"knob"`
+	Metric   string               `json:"metric"`
+	Target   float64              `json:"target"`
+	Relation string               `json:"relation,omitempty"`
+	KnobMin  float64              `json:"knob_min,omitempty"`
+	KnobMax  float64              `json:"knob_max,omitempty"`
+	KnobTol  float64              `json:"knob_tol,omitempty"`
+	MaxProbes int                 `json:"max_probes,omitempty"`
+	Trace    bool                 `json:"trace,omitempty"`
+	Frontier *PlanFrontierRequest `json:"frontier,omitempty"`
+}
+
+// MetricsBody is the wire form of the paper's performance measures.
+type MetricsBody struct {
+	Up             float64 `json:"u_p"`
+	LambdaProc     float64 `json:"lambda"`
+	LambdaNet      float64 `json:"lambda_net"`
+	SObs           float64 `json:"s_obs"`
+	LObs           float64 `json:"l_obs"`
+	CycleTime      float64 `json:"cycle_time"`
+	MemUtilization float64 `json:"mem_utilization"`
+	OutUtilization float64 `json:"out_utilization"`
+	InUtilization  float64 `json:"in_utilization"`
+	Iterations     int     `json:"iterations"`
+}
+
+// SolveResponse is the body of a successful POST /v1/solve. Cache is not a
+// wire field: it is filled from the X-Lattold-Cache response header and
+// reports how the serving tier satisfied the request (hit, miss, coalesced,
+// surrogate).
+type SolveResponse struct {
+	Metrics    MetricsBody `json:"metrics"`
+	ErrorBound float64     `json:"error_bound,omitempty"`
+	Cache      string      `json:"-"`
+}
+
+// ToleranceResponse is the body of a successful POST /v1/tolerance.
+type ToleranceResponse struct {
+	Subsystem string      `json:"subsystem"`
+	Mode      string      `json:"mode"`
+	Tol       float64     `json:"tol"`
+	Zone      string      `json:"zone"`
+	Real      MetricsBody `json:"real"`
+	Ideal     MetricsBody `json:"ideal"`
+	Cache     string      `json:"-"`
+}
+
+// BatchItemResponse is the positional outcome of one batch item.
+type BatchItemResponse struct {
+	Error     *ErrorBody         `json:"error,omitempty"`
+	Cache     string             `json:"cache,omitempty"`
+	Solve     *SolveResponse     `json:"solve,omitempty"`
+	Tolerance *ToleranceResponse `json:"tolerance,omitempty"`
+}
+
+// BatchResponse is the body of POST /v1/batch.
+type BatchResponse struct {
+	Results []BatchItemResponse `json:"results"`
+}
+
+// PlanProbe is one probe-trace entry of a plan response.
+type PlanProbe struct {
+	Knob     float64 `json:"knob"`
+	Value    float64 `json:"value"`
+	Feasible bool    `json:"feasible"`
+	Solves   int     `json:"solves"`
+}
+
+// PlanResponse is the body of a successful POST /v1/plan (scalar mode).
+type PlanResponse struct {
+	Knob       string      `json:"knob"`
+	Metric     string      `json:"metric"`
+	Relation   string      `json:"relation"`
+	Target     float64     `json:"target"`
+	Value      float64     `json:"value"`
+	Achieved   float64     `json:"achieved"`
+	Objective  string      `json:"objective"`
+	Binding    string      `json:"binding"`
+	BracketLo  float64     `json:"bracket_lo"`
+	BracketHi  float64     `json:"bracket_hi"`
+	Probes     int         `json:"probes"`
+	Solves     int         `json:"solves"`
+	Metrics    MetricsBody `json:"metrics"`
+	TolNetwork *float64    `json:"tol_network,omitempty"`
+	TolMemory  *float64    `json:"tol_memory,omitempty"`
+	Trace      []PlanProbe `json:"trace,omitempty"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// ErrorBody names what went wrong; Field is present for validation failures
+// and holds the wire name of the offending request field.
+type ErrorBody struct {
+	Status  int    `json:"status"`
+	Message string `json:"message"`
+	Field   string `json:"field,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error ErrorBody `json:"error"`
+}

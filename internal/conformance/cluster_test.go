@@ -1,0 +1,39 @@
+package conformance
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestCheckCluster runs the multi-node conformance gate: a seeded in-process
+// 3-node ring must be indistinguishable from a single node in its answers
+// and do cluster-wide singleflight in its accounting. The nightly workflow
+// raises LATTOL_CONFORMANCE_CLUSTER_TRIALS for a deeper run.
+func TestCheckCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster conformance run skipped in -short mode")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	opts := ClusterOptions{
+		Trials: envInt("LATTOL_CONFORMANCE_CLUSTER_TRIALS", 24),
+		Seed:   int64(envInt("LATTOL_CONFORMANCE_SEED", 1)),
+	}
+	if err := CheckCluster(ctx, opts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckClusterFiveNodes varies the ring size: the invariants are
+// membership-count independent.
+func TestCheckClusterFiveNodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster conformance run skipped in -short mode")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := CheckCluster(ctx, ClusterOptions{Nodes: 5, Trials: 12, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -51,6 +51,13 @@ type Config struct {
 	// MaxBatchItems bounds the item list of one /v1/batch request. Default
 	// 1024.
 	MaxBatchItems int
+	// RateLimit, when positive, enables per-client token-bucket admission on
+	// the POST endpoints: sustained requests per second allowed per client
+	// identity (X-Lattold-Client header, else remote host). 0 disables.
+	RateLimit float64
+	// RateBurst is the bucket capacity (instantaneous burst allowance) when
+	// RateLimit is set. Default 2×RateLimit, at least 1.
+	RateBurst float64
 }
 
 func (c Config) withDefaults() Config {
@@ -74,6 +81,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBatchItems <= 0 {
 		c.MaxBatchItems = 1024
+	}
+	if c.RateLimit > 0 && c.RateBurst <= 0 {
+		c.RateBurst = math.Max(1, 2*c.RateLimit)
 	}
 	return c
 }

@@ -50,6 +50,11 @@ func ToleranceKey(r ToleranceRequest) (Key, error) {
 // actually solve.
 func (k Key) ModelConfig() mms.Config { return k.config() }
 
+// Hash returns the key's canonical 64-bit hash — the value the cluster ring
+// routes on and the cache shards by. Conformance and cluster tests use it to
+// predict which node owns a request.
+func (k Key) Hash() uint64 { return k.hash() }
+
 // SolverChoice returns the solver the key selects.
 func (k Key) SolverChoice() mms.Solver { return k.solver }
 

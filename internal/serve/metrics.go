@@ -122,8 +122,22 @@ type Metrics struct {
 	cacheCoalesced atomic.Uint64
 	cacheEvictions atomic.Uint64
 
-	shedQueueFull atomic.Uint64
-	shedDraining  atomic.Uint64
+	shedQueueFull   atomic.Uint64
+	shedDraining    atomic.Uint64
+	shedRateLimited atomic.Uint64
+
+	// Cluster accounting. peerForwarded counts requests this node routed to
+	// their ring owner and relayed; peerFallback counts forwards that failed
+	// (unreachable, overloaded or draining owner) and fell back to a local
+	// solve; peerReceived counts forwards arriving from peers.
+	// forwardLatency distributes the forward round trips that succeeded.
+	peerForwarded  atomic.Uint64
+	peerFallback   atomic.Uint64
+	peerReceived   atomic.Uint64
+	forwardLatency histogram
+	ringSize       func() int  // wired to the cluster membership
+	ringDeparting  func() bool // wired to the cluster departure flag
+	rateClients    func() int  // wired to the rate limiter's bucket table
 
 	// Surrogate-tier outcomes for requests that stated a max_error:
 	// surrogateHits answered by interpolation; surrogateBoundExceeded and
@@ -217,6 +231,22 @@ func (m *Metrics) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "lattold_snapshot_restored_entries %d\n", m.snapshotRestored.Load())
 	fmt.Fprintf(w, "lattold_shed_total{reason=\"queue_full\"} %d\n", m.shedQueueFull.Load())
 	fmt.Fprintf(w, "lattold_shed_total{reason=\"draining\"} %d\n", m.shedDraining.Load())
+	fmt.Fprintf(w, "lattold_shed_total{reason=\"rate_limited\"} %d\n", m.shedRateLimited.Load())
+	fmt.Fprintf(w, "lattold_peer_requests_total{outcome=\"forwarded\"} %d\n", m.peerForwarded.Load())
+	fmt.Fprintf(w, "lattold_peer_requests_total{outcome=\"fallback_local\"} %d\n", m.peerFallback.Load())
+	fmt.Fprintf(w, "lattold_peer_requests_total{outcome=\"received\"} %d\n", m.peerReceived.Load())
+	m.forwardLatency.writeTo(w, "lattold_forward_seconds")
+	if m.ringSize != nil {
+		fmt.Fprintf(w, "lattold_ring_nodes %d\n", m.ringSize())
+		departing := 0
+		if m.ringDeparting() {
+			departing = 1
+		}
+		fmt.Fprintf(w, "lattold_ring_departing %d\n", departing)
+	}
+	if m.rateClients != nil {
+		fmt.Fprintf(w, "lattold_ratelimit_clients %d\n", m.rateClients())
+	}
 	fmt.Fprintf(w, "lattold_solves_total %d\n", m.solves.Load())
 	fmt.Fprintf(w, "lattold_solve_errors_total %d\n", m.solveErrors.Load())
 	fmt.Fprintf(w, "lattold_inflight_solves %d\n", m.inFlight.Load())

@@ -270,9 +270,21 @@ func planResponse(r PlanRequest, res inverse.Result, withTrace bool) *PlanRespon
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	s.eval.met.requestsPlan.Add(1)
-	var req PlanRequest
-	if err := decodeJSON(w, r, &req); err != nil {
+	body, err := readBody(w, r)
+	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var req PlanRequest
+	if err := decodeStrict(body, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// A plan routes on its base model's solve key: every probe perturbs that
+	// configuration, so the owner of the base is the node whose cache the
+	// probes will revisit. (Probe keys themselves may hash elsewhere; routing
+	// the plan wholesale keeps one plan = one node = one warm workspace.)
+	if k, err := SolveKey(req.ModelRequest); err == nil && s.routeKeyed(w, r, k.hash(), body) {
 		return
 	}
 	ctx, cancel := s.reqContext(r)

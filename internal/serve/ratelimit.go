@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// rateLimiter is per-client token-bucket admission for the POST endpoints.
+// Each client identity (the X-Lattold-Client header when present, the remote
+// host otherwise) owns one bucket refilled continuously at `rate` tokens per
+// second up to `burst`; a request costs one token, and a dry bucket answers
+// 429 with a Retry-After naming the time until the next token. Buckets are
+// created on first sight and swept lazily: once the table exceeds
+// maxClients, every bucket idle long enough to have refilled completely is
+// dropped — such a bucket is indistinguishable from a fresh one, so
+// forgetting it changes nothing for its client.
+type rateLimiter struct {
+	rate, burst float64
+
+	mu         sync.Mutex
+	buckets    map[string]*tokenBucket
+	maxClients int
+	now        func() time.Time // injectable for tests
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rate, burst float64) *rateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{
+		rate:       rate,
+		burst:      burst,
+		buckets:    make(map[string]*tokenBucket),
+		maxClients: 4096,
+		now:        time.Now,
+	}
+}
+
+// allow spends one token of id's bucket. Denials report how long until a
+// full token has refilled.
+func (l *rateLimiter) allow(id string) (ok bool, retryAfter time.Duration) {
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[id]
+	if b == nil {
+		if len(l.buckets) >= l.maxClients {
+			l.sweep(now)
+		}
+		b = &tokenBucket{tokens: l.burst, last: now}
+		l.buckets[id] = b
+	} else {
+		b.tokens = math.Min(l.burst, b.tokens+l.rate*now.Sub(b.last).Seconds())
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / l.rate
+	return false, time.Duration(math.Ceil(need)) * time.Second
+}
+
+// sweep drops buckets idle long enough to have fully refilled. Called with
+// the lock held.
+func (l *rateLimiter) sweep(now time.Time) {
+	refill := time.Duration(l.burst / l.rate * float64(time.Second))
+	for id, b := range l.buckets {
+		if now.Sub(b.last) >= refill {
+			delete(l.buckets, id)
+		}
+	}
+}
+
+// clients returns the tracked-bucket count (a /metrics gauge).
+func (l *rateLimiter) clients() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}
+
+// clientID names the requester for rate-limiting purposes.
+func clientID(r *http.Request) string {
+	if id := r.Header.Get("X-Lattold-Client"); id != "" {
+		return id
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}

@@ -1,13 +1,17 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"time"
 
+	"lattol/internal/cluster"
 	"lattol/internal/inverse"
 	"lattol/internal/mms"
 	"lattol/internal/mva"
@@ -143,10 +147,14 @@ func wireField(goName string) string {
 	return goName
 }
 
-// Server is the HTTP facade over an Evaluator.
+// Server is the HTTP facade over an Evaluator, optionally one node of a
+// consistent-hash cluster (SetCluster) and optionally rate-limited per
+// client (Config.RateLimit).
 type Server struct {
-	eval *Evaluator
-	mux  *http.ServeMux
+	eval  *Evaluator
+	mux   *http.ServeMux
+	cl    *cluster.Cluster
+	limit *rateLimiter
 }
 
 // NewServer builds a server (and its evaluator) for the configuration.
@@ -158,6 +166,10 @@ func NewServer(cfg Config) *Server {
 // NewServerWith wraps an existing evaluator.
 func NewServerWith(eval *Evaluator) *Server {
 	s := &Server{eval: eval, mux: http.NewServeMux()}
+	if eval.cfg.RateLimit > 0 {
+		s.limit = newRateLimiter(eval.cfg.RateLimit, eval.cfg.RateBurst)
+		eval.met.rateClients = s.limit.clients
+	}
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/tolerance", s.handleTolerance)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
@@ -168,8 +180,33 @@ func NewServerWith(eval *Evaluator) *Server {
 	return s
 }
 
-// Handler returns the HTTP handler serving the v1 API.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler serving the v1 API, with per-client rate
+// limiting in front when Config.RateLimit is set. The limiter admits POSTs
+// only — GETs (health probes, metrics scrapes) are free — and exempts peer
+// forwards: a forward already spent the origin node's budget for that
+// client, and answering 429 to a peer would just bounce the work back as a
+// local solve there.
+func (s *Server) Handler() http.Handler {
+	if s.limit == nil {
+		return s.mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.Header.Get(cluster.ForwardHeader) == "" {
+			if ok, retryAfter := s.limit.allow(clientID(r)); !ok {
+				s.eval.met.shedRateLimited.Add(1)
+				secs := int(retryAfter / time.Second)
+				if secs < 1 {
+					secs = 1
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+				s.writeError(w, http.StatusTooManyRequests,
+					fmt.Errorf("serve: client %q over the request rate limit", clientID(r)))
+				return
+			}
+		}
+		s.mux.ServeHTTP(w, r)
+	})
+}
 
 // Evaluator returns the underlying evaluation engine.
 func (s *Server) Evaluator() *Evaluator { return s.eval }
@@ -183,10 +220,21 @@ func (s *Server) Close() { s.eval.Close() }
 // few hundred bytes.
 const maxBodyBytes = 1 << 20
 
-// decodeJSON strictly decodes one JSON object: unknown fields, trailing
-// data and oversized bodies are errors.
-func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+// readBody reads the bounded request body. The raw bytes are kept because
+// the cluster layer forwards them verbatim — re-encoding a decoded request
+// would have to prove it round-trips exactly; relaying bytes doesn't.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		return nil, fmt.Errorf("invalid request body: %w", err)
+	}
+	return body, nil
+}
+
+// decodeStrict decodes one JSON object from raw bytes: unknown fields and
+// trailing data are errors.
+func decodeStrict(body []byte, dst any) error {
+	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
 		return fmt.Errorf("invalid JSON body: %w", err)
@@ -195,6 +243,15 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
 		return errors.New("invalid JSON body: trailing data after the request object")
 	}
 	return nil
+}
+
+// decodeJSON strictly decodes one JSON object straight off the request.
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	body, err := readBody(w, r)
+	if err != nil {
+		return err
+	}
+	return decodeStrict(body, dst)
 }
 
 // statusFor maps an evaluation error to its HTTP status.
@@ -230,7 +287,11 @@ func (s *Server) writeJSON(w http.ResponseWriter, code int, body any) {
 	s.eval.met.countStatus(code)
 	w.Header().Set("Content-Type", "application/json")
 	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", "1")
+		// Keep a more specific hint (the rate limiter's refill time, a relayed
+		// peer's own header) when one is already set.
+		if w.Header().Get("Retry-After") == "" {
+			w.Header().Set("Retry-After", "1")
+		}
 	}
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
@@ -253,9 +314,17 @@ func (s *Server) reqContext(r *http.Request) (context.Context, context.CancelFun
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.eval.met.requestsSolve.Add(1)
-	var req ModelRequest
-	if err := decodeJSON(w, r, &req); err != nil {
+	body, err := readBody(w, r)
+	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var req ModelRequest
+	if err := decodeStrict(body, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if k, err := SolveKey(req); err == nil && s.routeKeyed(w, r, k.hash(), body) {
 		return
 	}
 	ctx, cancel := s.reqContext(r)
@@ -271,9 +340,17 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleTolerance(w http.ResponseWriter, r *http.Request) {
 	s.eval.met.requestsTolerance.Add(1)
-	var req ToleranceRequest
-	if err := decodeJSON(w, r, &req); err != nil {
+	body, err := readBody(w, r)
+	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var req ToleranceRequest
+	if err := decodeStrict(body, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if k, err := ToleranceKey(req); err == nil && s.routeKeyed(w, r, k.hash(), body) {
 		return
 	}
 	ctx, cancel := s.reqContext(r)
@@ -311,11 +388,42 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, SweepResponse{Param: req.Param, Points: points})
 }
 
+// batchItemResponse renders one positional batch outcome onto the wire.
+func batchItemResponse(item BatchItemRequest, o BatchOutcome) BatchItemResponse {
+	var resp BatchItemResponse
+	if err := o.Err; err != nil {
+		resp.Error = &ErrorBody{
+			Status:  statusFor(err),
+			Message: err.Error(),
+			Field:   wireField(validate.Field(err)),
+		}
+		return resp
+	}
+	resp.Cache = o.Cache.String()
+	if item.Op == "tolerance" {
+		t := o.Tolerance
+		resp.Tolerance = &ToleranceResponse{
+			Subsystem: t.Subsystem.String(),
+			Mode:      t.Mode.String(),
+			Tol:       t.Tol,
+			Zone:      t.Zone().String(),
+			Real:      metricsBody(t.Real),
+			Ideal:     metricsBody(t.Ideal),
+		}
+	} else {
+		resp.Solve = &SolveResponse{Metrics: metricsBody(o.Metrics), ErrorBound: o.Bound}
+	}
+	return resp
+}
+
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.eval.met.requestsBatch.Add(1)
 	var req BatchRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if s.routeBatch(w, r, req) {
 		return
 	}
 	ctx, cancel := s.reqContext(r)
@@ -327,28 +435,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := BatchResponse{Results: make([]BatchItemResponse, len(out))}
 	for i := range out {
-		if err := out[i].Err; err != nil {
-			resp.Results[i].Error = &ErrorBody{
-				Status:  statusFor(err),
-				Message: err.Error(),
-				Field:   wireField(validate.Field(err)),
-			}
-			continue
-		}
-		resp.Results[i].Cache = out[i].Cache.String()
-		if req.Items[i].Op == "tolerance" {
-			t := out[i].Tolerance
-			resp.Results[i].Tolerance = &ToleranceResponse{
-				Subsystem: t.Subsystem.String(),
-				Mode:      t.Mode.String(),
-				Tol:       t.Tol,
-				Zone:      t.Zone().String(),
-				Real:      metricsBody(t.Real),
-				Ideal:     metricsBody(t.Ideal),
-			}
-		} else {
-			resp.Results[i].Solve = &SolveResponse{Metrics: metricsBody(out[i].Metrics), ErrorBound: out[i].Bound}
-		}
+		resp.Results[i] = batchItemResponse(req.Items[i], out[i])
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }

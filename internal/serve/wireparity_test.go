@@ -1,0 +1,97 @@
+package serve_test
+
+// The client library (internal/client) duplicates serve's wire types instead
+// of importing them: serve imports cluster imports client, so a client→serve
+// import would cycle. This test is the lock on that duplication — the two
+// packages' wire structs must describe the identical JSON shape, field for
+// field, tag for tag. An external test package may import both sides without
+// entering the import graph.
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	lattolclient "lattol/internal/client"
+	"lattol/internal/serve"
+)
+
+// wireShape reduces a wire type to its JSON structure: structs become
+// tag→shape maps (embedded structs inlined, `json:"-"` fields dropped, as
+// encoding/json does), pointers and slices unwrap to their element, numbers
+// collapse by kind family.
+func wireShape(t *testing.T, typ reflect.Type) any {
+	switch typ.Kind() {
+	case reflect.Pointer, reflect.Slice:
+		return []any{typ.Kind().String(), wireShape(t, typ.Elem())}
+	case reflect.Struct:
+		shape := map[string]any{}
+		var walk func(reflect.Type)
+		walk = func(st reflect.Type) {
+			for i := 0; i < st.NumField(); i++ {
+				f := st.Field(i)
+				tag := f.Tag.Get("json")
+				if tag == "-" {
+					continue
+				}
+				if f.Anonymous && tag == "" {
+					walk(f.Type)
+					continue
+				}
+				name, opts, _ := strings.Cut(tag, ",")
+				if name == "" {
+					name = f.Name
+				}
+				key := name
+				if strings.Contains(opts, "omitempty") {
+					key += ",omitempty"
+				}
+				if _, dup := shape[key]; dup {
+					t.Fatalf("%s: duplicate wire field %q", st, key)
+				}
+				shape[key] = wireShape(t, f.Type)
+			}
+		}
+		walk(typ)
+		return shape
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return "int"
+	case reflect.Float32, reflect.Float64:
+		return "float"
+	default:
+		return typ.Kind().String()
+	}
+}
+
+func TestWireParity(t *testing.T) {
+	pairs := []struct {
+		name         string
+		server, wire any
+	}{
+		{"ModelRequest", serve.ModelRequest{}, lattolclient.ModelRequest{}},
+		{"ToleranceRequest", serve.ToleranceRequest{}, lattolclient.ToleranceRequest{}},
+		{"BatchItemRequest", serve.BatchItemRequest{}, lattolclient.BatchItemRequest{}},
+		{"BatchRequest", serve.BatchRequest{}, lattolclient.BatchRequest{}},
+		{"PlanFrontierRequest", serve.PlanFrontierRequest{}, lattolclient.PlanFrontierRequest{}},
+		{"PlanRequest", serve.PlanRequest{}, lattolclient.PlanRequest{}},
+		{"MetricsBody", serve.MetricsBody{}, lattolclient.MetricsBody{}},
+		{"SolveResponse", serve.SolveResponse{}, lattolclient.SolveResponse{}},
+		{"ToleranceResponse", serve.ToleranceResponse{}, lattolclient.ToleranceResponse{}},
+		{"BatchItemResponse", serve.BatchItemResponse{}, lattolclient.BatchItemResponse{}},
+		{"BatchResponse", serve.BatchResponse{}, lattolclient.BatchResponse{}},
+		{"PlanProbe", serve.PlanProbe{}, lattolclient.PlanProbe{}},
+		{"PlanResponse", serve.PlanResponse{}, lattolclient.PlanResponse{}},
+		{"HealthResponse", serve.HealthResponse{}, lattolclient.HealthResponse{}},
+		{"ErrorBody", serve.ErrorBody{}, lattolclient.ErrorBody{}},
+		{"ErrorResponse", serve.ErrorResponse{}, lattolclient.ErrorResponse{}},
+	}
+	for _, p := range pairs {
+		t.Run(p.name, func(t *testing.T) {
+			ss := wireShape(t, reflect.TypeOf(p.server))
+			cs := wireShape(t, reflect.TypeOf(p.wire))
+			if !reflect.DeepEqual(ss, cs) {
+				t.Errorf("wire shape diverged:\nserve:  %v\nclient: %v", ss, cs)
+			}
+		})
+	}
+}

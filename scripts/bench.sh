@@ -16,6 +16,15 @@
 # BENCH_<date>-partial.{txt,json} instead, so quick local iterations never
 # overwrite the full-suite artifact the baseline is regenerated from.
 #
+# Cluster-path benchmarks: BenchmarkClusterForwardHit (cross-node cache hit —
+# request enters the non-owner, forwarded over loopback, relayed back; the
+# delta to BenchmarkServeSolveCached is the forward hop) and
+# BenchmarkClientHedged (lattolclient's per-call overhead with hedging armed).
+# Both boot real HTTP listeners, so timings carry loopback noise; CI gates
+# them through the usual benchdiff thresholds. Focused run:
+#
+#   bash scripts/bench.sh 5 'ClusterForwardHit|ClientHedged' .
+#
 # Baseline flow: the committed BENCH_BASELINE.json gates CI through
 # scripts/benchdiff. When a PR adds or retires benchmarks, there is no need
 # to regenerate the baseline in the same PR — CI compares with `benchdiff

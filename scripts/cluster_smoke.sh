@@ -1,0 +1,134 @@
+#!/usr/bin/env bash
+# Boot a real 3-process lattold cluster on localhost and prove the
+# cross-node cache story end to end, from outside the process boundary:
+#
+#   1. solve via node A — somebody on the ring computes it exactly once;
+#   2. re-request the same model via nodes B and C — byte-identical answers,
+#      X-Lattold-Cache: hit, and the cluster-wide lattold_solves_total sum
+#      stays at 1 (the ring routed every entry point to the one owner);
+#   3. at least one forward crossed the wire (this smoke would pass trivially
+#      on three independent caches otherwise);
+#   4. SIGTERM all three — each leaves the ring and drains cleanly.
+#
+# Usage: scripts/cluster_smoke.sh [lattold-binary]
+# Builds cmd/lattold itself when no prebuilt binary is given.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+bin="${1:-}"
+if [[ -z "${bin}" ]]; then
+    bin="$(mktemp -d)/lattold"
+    go build -o "${bin}" ./cmd/lattold
+fi
+
+ports=(18091 18092 18093)
+urls=()
+for p in "${ports[@]}"; do
+    urls+=("http://127.0.0.1:${p}")
+done
+
+logdir="$(mktemp -d)"
+pids=()
+cleanup() {
+    for pid in "${pids[@]:-}"; do
+        kill "${pid}" 2>/dev/null || true
+    done
+}
+trap cleanup EXIT
+
+for i in 0 1 2; do
+    peers=""
+    for j in 0 1 2; do
+        [[ "${j}" == "${i}" ]] && continue
+        peers="${peers:+${peers},}${urls[$j]}"
+    done
+    "${bin}" -addr "127.0.0.1:${ports[$i]}" -advertise "${urls[$i]}" \
+        -peers "${peers}" -workers 2 >"${logdir}/node${i}.log" 2>&1 &
+    pids+=($!)
+done
+
+for u in "${urls[@]}"; do
+    for _ in $(seq 1 50); do
+        curl -fsS "${u}/healthz" >/dev/null 2>&1 && break
+        sleep 0.1
+    done
+    curl -fsS "${u}/healthz" >/dev/null
+done
+echo "cluster up: ${urls[*]}"
+
+body='{"k":4,"threads":8,"runlength":10,"memory_time":10,"switch_time":10,"p_remote":0.2,"psw":0.5}'
+
+# Cluster-wide sum of a counter across all three /metrics endpoints.
+sum_counter() {
+    local name="$1" total=0 v
+    for u in "${urls[@]}"; do
+        v="$(curl -fsS "${u}/metrics" | awk -v n="${name}" '$1 == n {print $2}')"
+        total=$(( total + ${v:-0} ))
+    done
+    echo "${total}"
+}
+
+# 1. Solve through node A.
+curl -fsS -H 'Content-Type: application/json' -d "${body}" \
+    "${urls[0]}/v1/solve" -o "${logdir}/answer-a.json"
+solves="$(sum_counter lattold_solves_total)"
+if [[ "${solves}" != 1 ]]; then
+    echo "FAIL: cluster-wide solves after one request = ${solves}, want 1" >&2
+    exit 1
+fi
+
+# 2. Same model through B and C: cache hits, byte-identical, still one solve.
+for i in 1 2; do
+    curl -fsS -D "${logdir}/head-${i}.txt" -H 'Content-Type: application/json' \
+        -d "${body}" "${urls[$i]}/v1/solve" -o "${logdir}/answer-${i}.json"
+    if ! grep -qi '^x-lattold-cache: hit' "${logdir}/head-${i}.txt"; then
+        echo "FAIL: entry via node ${i} was not a cache hit:" >&2
+        cat "${logdir}/head-${i}.txt" >&2
+        exit 1
+    fi
+    if ! cmp -s "${logdir}/answer-a.json" "${logdir}/answer-${i}.json"; then
+        echo "FAIL: node ${i} relayed different bytes than node 0" >&2
+        exit 1
+    fi
+done
+solves="$(sum_counter lattold_solves_total)"
+if [[ "${solves}" != 1 ]]; then
+    echo "FAIL: repeats changed the cluster-wide solve count to ${solves}" >&2
+    exit 1
+fi
+
+# 3. The hits above must have crossed the wire at least once: with three
+# entry nodes and one owner, at least two requests were forwarded.
+received="$(sum_counter 'lattold_peer_requests_total{outcome="received"}')"
+if [[ "${received}" -lt 2 ]]; then
+    echo "FAIL: only ${received} forwards received cluster-wide, want >= 2" >&2
+    exit 1
+fi
+echo "cross-node cache hits verified: 1 solve, ${received} forwards received"
+
+# 4. Graceful departure: SIGTERM everyone, demand clean exits and ring leave.
+for pid in "${pids[@]}"; do
+    kill -TERM "${pid}"
+done
+for pid in "${pids[@]}"; do
+    if ! wait "${pid}"; then
+        echo "FAIL: node (pid ${pid}) exited non-zero on SIGTERM" >&2
+        exit 1
+    fi
+done
+pids=()
+for i in 0 1 2; do
+    if ! grep -q 'left the cluster ring' "${logdir}/node${i}.log"; then
+        echo "FAIL: node ${i} never logged its ring departure:" >&2
+        cat "${logdir}/node${i}.log" >&2
+        exit 1
+    fi
+    if ! grep -q 'drained, exiting' "${logdir}/node${i}.log"; then
+        echo "FAIL: node ${i} did not drain cleanly:" >&2
+        cat "${logdir}/node${i}.log" >&2
+        exit 1
+    fi
+done
+
+echo "cluster smoke OK"
