@@ -26,6 +26,7 @@ import (
 	"lattol/internal/experiments"
 	"lattol/internal/mms"
 	"lattol/internal/mva"
+	"lattol/internal/replicate"
 	"lattol/internal/serve"
 	"lattol/internal/simmms"
 	"lattol/internal/surrogate"
@@ -291,6 +292,62 @@ func BenchmarkAblationEngines(b *testing.B) {
 					Engine: eng, Seed: int64(i), Warmup: 2000, Duration: 20000,
 				})
 				benchErr(b, err)
+			}
+		})
+	}
+}
+
+// ---- Replication engine (DESIGN.md §17) ------------------------------------
+
+// BenchmarkReplicateSingle measures one replication through a reused
+// Replicator — the replication runner's steady-state unit of work: reset and
+// replay the prebuilt simulator, no model rebuild, zero allocations. Its ratio
+// to BenchmarkAblationEngines (which rebuilds per run, the pre-replication
+// path) plus the engine work per event is the single-replication speedup the
+// parallel runner multiplies by its worker count.
+func BenchmarkReplicateSingle(b *testing.B) {
+	cfg := mms.DefaultConfig()
+	for _, eng := range []simmms.EngineKind{simmms.Direct, simmms.STPN} {
+		b.Run(eng.String(), func(b *testing.B) {
+			rep, err := simmms.NewReplicator(cfg, simmms.Options{
+				Engine: eng, Warmup: 2000, Duration: 20000,
+			})
+			benchErr(b, err)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = rep.Replicate(int64(i))
+			}
+		})
+	}
+}
+
+// BenchmarkReplicate measures the parallel replication runner end to end: a
+// fixed budget of 16 replications per op, at 1 worker and at 8. The
+// estimates are bit-identical at both settings (the runner's invariance
+// contract), so the ratio of the two timings is pure parallel speedup —
+// acceptance asks ≥3× at 8 workers on an 8-way host (a 1-CPU CI box will
+// honestly show ~1×).
+func BenchmarkReplicate(b *testing.B) {
+	cfg := mms.DefaultConfig()
+	// Sub-benchmark names must not end in "-<digits>": go test already
+	// appends -GOMAXPROCS, and scripts/benchjson strips trailing numeric
+	// suffixes when aggregating, which would merge the two settings.
+	for _, workers := range []int{1, 8} {
+		b.Run(map[int]string{1: "sequential", 8: "eightworkers"}[workers], func(b *testing.B) {
+			opts := replicate.Options{
+				Sim:     simmms.Options{Engine: simmms.Direct, Seed: 1, Warmup: 2000, Duration: 20000},
+				MinReps: 16,
+				Workers: workers,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := replicate.Run(context.Background(), cfg, opts)
+				benchErr(b, err)
+				if res.Reps != 16 {
+					b.Fatalf("ran %d reps, want 16", res.Reps)
+				}
 			}
 		})
 	}

@@ -13,6 +13,12 @@
 // Knobs: nt, r, l, s, c, premote, psw, k, memports, swports.
 // Metrics: u_p, tol_network, tol_memory, s_obs, l_obs, lambda_net,
 // cycle_time.
+//
+// -backend sim answers the same questions against the replicated simulators
+// instead of the analytical model (package replicate): each probe runs
+// -sim-reps parallel replications and planning proceeds on the means. Probes
+// are deterministic (seeds derive from the configuration), so plans are
+// reproducible and certifiable exactly like analytical ones.
 package main
 
 import (
@@ -28,7 +34,9 @@ import (
 	"lattol/internal/eval"
 	"lattol/internal/inverse"
 	"lattol/internal/mms"
+	"lattol/internal/replicate"
 	"lattol/internal/report"
+	"lattol/internal/simmms"
 )
 
 func main() {
@@ -58,6 +66,16 @@ func main() {
 		s   = flag.Float64("s", 10, "switch delay S")
 		p   = flag.Float64("p", 0.2, "remote access probability")
 		psw = flag.Float64("psw", 0.5, "geometric locality parameter")
+
+		backend     = flag.String("backend", "solver", "evaluation backend: solver (analytical) or sim (parallel replicated simulation)")
+		simEngine   = flag.String("sim-engine", "direct", "sim backend: simulation engine, direct or stpn")
+		simSeed     = flag.Int64("sim-seed", 1, "sim backend: base random seed")
+		simWarmup   = flag.Float64("sim-warmup", 5000, "sim backend: per-replication warm-up time")
+		simDuration = flag.Float64("sim-duration", 40000, "sim backend: per-replication measured time")
+		simReps     = flag.Int("sim-reps", 8, "sim backend: replications per probe")
+		simMaxReps  = flag.Int("sim-maxreps", 32, "sim backend: replication cap when tightening precision")
+		simPrec     = flag.Float64("sim-precision", 0, "sim backend: target relative CI half-width of U_p per probe (0 = exactly -sim-reps)")
+		simWorkers  = flag.Int("sim-workers", 0, "sim backend: replication worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -87,7 +105,33 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	ev := eval.NewSolver()
+	var ev eval.Evaluator
+	switch *backend {
+	case "solver":
+		ev = eval.NewSolver()
+	case "sim":
+		if *simWarmup >= *simDuration {
+			log.Fatalf("-sim-warmup (%g) must be smaller than -sim-duration (%g): nothing would be measured", *simWarmup, *simDuration)
+		}
+		ropts := replicate.Options{
+			Sim:       simmms.Options{Seed: *simSeed, Warmup: *simWarmup, Duration: *simDuration},
+			MinReps:   *simReps,
+			MaxReps:   *simMaxReps,
+			Precision: *simPrec,
+			Workers:   *simWorkers,
+		}
+		switch *simEngine {
+		case "direct":
+			ropts.Sim.Engine = simmms.Direct
+		case "stpn":
+			ropts.Sim.Engine = simmms.STPN
+		default:
+			log.Fatalf("unknown -sim-engine %q (want direct or stpn)", *simEngine)
+		}
+		ev = replicate.NewEvaluator(ropts)
+	default:
+		log.Fatalf("unknown -backend %q (want solver or sim)", *backend)
+	}
 
 	if *frontier != "" {
 		sweep, err := mms.ParseParam(*frontier)

@@ -80,14 +80,24 @@ func planForward(ctx context.Context, ev eval.Evaluator, spec inverse.Spec, knob
 // metrics are O(1) ratios or latencies in cycle units, and an absolute floor
 // keeps targets near zero checkable.
 func CheckPlan(ctx context.Context, spec inverse.Spec, band float64) error {
+	return CheckPlanOn(ctx, eval.NewSolver(), eval.NewSolver(), spec, band)
+}
+
+// CheckPlanOn is CheckPlan parameterized by the evaluation backend: the plan
+// is solved on planEv and certified against forward evaluations on fresh —
+// which must be an independent instance of the same backend, so the plan's
+// warm-started or memoized state cannot vouch for itself. Any deterministic
+// backend works: the analytical solvers (CheckPlan), or a replication-backed
+// simulated evaluator, whose per-configuration seed derivation makes a fresh
+// instance reproduce the plan's evaluations bit for bit.
+func CheckPlanOn(ctx context.Context, planEv, fresh eval.Evaluator, spec inverse.Spec, band float64) error {
 	if band <= 0 {
 		band = 1e-6
 	}
 	scale := math.Max(1, math.Abs(spec.Target))
 	tol := band * scale
 
-	res, err := inverse.Solve(ctx, eval.NewSolver(), spec)
-	fresh := eval.NewSolver()
+	res, err := inverse.Solve(ctx, planEv, spec)
 	var inf *inverse.InfeasibleError
 	if errors.As(err, &inf) {
 		for _, end := range []struct {

@@ -1,0 +1,180 @@
+package conformance
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"runtime"
+
+	"lattol/internal/mms"
+	"lattol/internal/replicate"
+	"lattol/internal/simmms"
+	"lattol/internal/sweep"
+)
+
+// ReplicationOptions configures the replication-engine conformance run:
+// randomized configurations replicated on both simulation substrates, with
+// the estimates checked against the analytical model and against the
+// runner's worker-count-invariance contract.
+type ReplicationOptions struct {
+	// Trials is the number of randomized configurations. Default 3.
+	Trials int
+	// Seed is the base seed; each trial derives its own RNG and simulation
+	// seeds via sweep.DeriveSeed so one failure line reproduces locally.
+	// Default 1.
+	Seed int64
+	// Reps is the replication count per estimate. Default 6.
+	Reps int
+	// Warmup and Duration set the per-replication horizon (defaults 3000 and
+	// 20000 — short, because each trial pays Reps× for every engine).
+	Warmup, Duration float64
+	// UpBand and LatencyBand are the relative modeling-error bands granted
+	// on top of the statistical interval when comparing replicated means to
+	// the analytical solution (defaults 0.12 and 0.30, the diff harness's
+	// single-run bands; both widened 2.5× on multi-port configurations, where
+	// the shadow-server approximation is deliberately pessimistic).
+	UpBand, LatencyBand float64
+}
+
+func (o ReplicationOptions) withDefaults() ReplicationOptions {
+	if o.Trials <= 0 {
+		o.Trials = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Reps <= 0 {
+		o.Reps = 6
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 3000
+	}
+	if o.Duration <= 0 {
+		o.Duration = 20000
+	}
+	if o.UpBand <= 0 {
+		o.UpBand = 0.12
+	}
+	if o.LatencyBand <= 0 {
+		o.LatencyBand = 0.30
+	}
+	return o
+}
+
+// checkBracket verifies that a replicated estimate is consistent with the
+// analytical value: the distance from the mean must be covered by the
+// statistical interval (3× the t half-width, so a 95% interval is not asked
+// to succeed hundreds of times in a row) plus the relative modeling band the
+// analytical approximation is granted against single simulation runs.
+func checkBracket(kind, metric string, m replicate.Metric, analytic, band float64) error {
+	slack := 3*m.HalfCI + band*math.Abs(analytic)
+	if diff := math.Abs(m.Mean - analytic); diff > slack {
+		return violatef("replicate-vs-"+kind, "%s: replicated %v ± %v (n=%d), analytical %v: |diff| %v > %v",
+			metric, m.Mean, m.HalfCI, m.N, analytic, diff, slack)
+	}
+	return nil
+}
+
+// CheckReplication replicates one configuration on both engines and checks:
+//
+//  1. worker-count invariance: the aggregated Result is bit-identical when
+//     computed with 1 worker, 4 workers, and runtime.NumCPU() workers;
+//  2. analytic bracketing: the replicated U_p, λ_net, S_obs and L_obs means
+//     agree with the analytical model within the statistical interval plus
+//     the modeling band.
+func CheckReplication(ctx context.Context, cfg mms.Config, seed int64, opts ReplicationOptions) error {
+	opts = opts.withDefaults()
+	model, err := mms.Build(cfg)
+	if err != nil {
+		return fmt.Errorf("conformance: building model: %w", err)
+	}
+	analytic, err := model.Solve(mms.SolveOptions{})
+	if err != nil {
+		return fmt.Errorf("conformance: analytical solve: %w", err)
+	}
+	upBand, latBand := opts.UpBand, opts.LatencyBand
+	if cfg.MemoryPorts > 1 || cfg.SwitchPorts > 1 {
+		upBand *= 2.5
+		latBand *= 2.5
+	}
+
+	for _, engine := range []simmms.EngineKind{simmms.Direct, simmms.STPN} {
+		ropts := replicate.Options{
+			Sim: simmms.Options{
+				Engine:   engine,
+				Seed:     seed,
+				Warmup:   opts.Warmup,
+				Duration: opts.Duration,
+			},
+			MinReps: opts.Reps,
+			Workers: 1,
+		}
+		base, err := replicate.Run(ctx, cfg, ropts)
+		if err != nil {
+			return fmt.Errorf("conformance: replicating on %s: %w", engine, err)
+		}
+		for _, workers := range []int{4, runtime.NumCPU()} {
+			ropts.Workers = workers
+			res, err := replicate.Run(ctx, cfg, ropts)
+			if err != nil {
+				return fmt.Errorf("conformance: replicating on %s with %d workers: %w", engine, workers, err)
+			}
+			if !reflect.DeepEqual(res, base) {
+				return violatef("replicate-invariance", "%s: %d workers changed the estimates:\n got %+v\nwant %+v",
+					engine, workers, res, base)
+			}
+		}
+		checks := []struct {
+			metric   string
+			m        replicate.Metric
+			analytic float64
+			band     float64
+		}{
+			{"U_p", base.Up, analytic.Up, upBand},
+			{"λ_net", base.LambdaNet, analytic.LambdaNet, upBand},
+			{"S_obs", base.SObs, analytic.SObs, latBand},
+			{"L_obs", base.LObs, analytic.LObs, latBand},
+		}
+		for _, c := range checks {
+			if err := checkBracket(engine.String(), c.metric, c.m, c.analytic, c.band); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReplicationFailure reports one failed replication trial with the seed
+// coordinates that reproduce it.
+type ReplicationFailure struct {
+	Seed  int64
+	Trial int
+	Cfg   mms.Config
+	Err   error
+}
+
+func (f *ReplicationFailure) Error() string {
+	return fmt.Sprintf("conformance: replication trial %d (seed %d) failed on %+v: %v",
+		f.Trial, f.Seed, f.Cfg, f.Err)
+}
+
+func (f *ReplicationFailure) Unwrap() error { return f.Err }
+
+// RunReplicationDiff runs the replication conformance harness: opts.Trials
+// randomized configurations, each checked with CheckReplication. Trials run
+// sequentially — the replication runner parallelizes internally, and nesting
+// pools would oversubscribe the host and blur any timing-sensitive failure.
+func RunReplicationDiff(ctx context.Context, opts ReplicationOptions) error {
+	opts = opts.withDefaults()
+	for trial := 0; trial < opts.Trials; trial++ {
+		rng := rand.New(rand.NewSource(sweep.DeriveSeed(opts.Seed, int64(trial), 91)))
+		cfg := RandomConfig(rng)
+		simSeed := sweep.DeriveSeed(opts.Seed, int64(trial), 92)
+		if err := CheckReplication(ctx, cfg, simSeed, opts); err != nil {
+			return &ReplicationFailure{Seed: opts.Seed, Trial: trial, Cfg: cfg, Err: err}
+		}
+	}
+	return nil
+}

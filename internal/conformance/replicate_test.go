@@ -1,0 +1,71 @@
+package conformance
+
+import (
+	"context"
+	"testing"
+
+	"lattol/internal/eval"
+	"lattol/internal/inverse"
+	"lattol/internal/mms"
+	"lattol/internal/replicate"
+	"lattol/internal/simmms"
+)
+
+// TestReplicationHarness is the PR-path replication gate: randomized
+// configurations replicated on both engines, checked for worker-count
+// invariance and analytic bracketing. The nightly workflow widens the budget
+// through LATTOL_REPLICATE_TRIALS and LATTOL_REPLICATE_REPS.
+func TestReplicationHarness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replication harness runs many simulations; skipped in -short mode")
+	}
+	opts := ReplicationOptions{
+		Trials: envInt("LATTOL_REPLICATE_TRIALS", 3),
+		Seed:   int64(envInt("LATTOL_CONFORMANCE_SEED", 1)),
+		Reps:   envInt("LATTOL_REPLICATE_REPS", 6),
+	}
+	if err := RunReplicationDiff(context.Background(), opts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// simBackend builds one replication-backed evaluator for the plan test; each
+// call returns an independent instance, so CheckPlanOn's fresh-evaluator
+// certification is meaningful.
+func simBackend() eval.Evaluator {
+	return replicate.NewEvaluator(replicate.Options{
+		Sim:     simmms.Options{Engine: simmms.Direct, Seed: 1, Warmup: 2000, Duration: 20000},
+		MinReps: 4,
+		MaxReps: 16,
+	})
+}
+
+// TestPlanOnSimBackend certifies capacity plans solved against the simulated
+// backend: CheckPlanOn re-verifies the planner's answer with forward
+// evaluations on a fresh evaluator, which must reproduce the plan's
+// replicated estimates bit for bit (the per-configuration seed derivation
+// makes Evaluate a pure function). The tight default band therefore applies
+// to the simulated backend exactly as to the analytical one.
+func TestPlanOnSimBackend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("plans on the simulated backend replicate per probe; skipped in -short mode")
+	}
+	metric, err := inverse.ParseMetric("u_p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	knob, err := mms.ParseParam("nt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := inverse.Spec{
+		Base:     mms.Config{K: 2, Threads: 4, Runlength: 10, MemoryTime: 10, SwitchTime: 10, PRemote: 0.2, Psw: 0.5},
+		Knob:     knob,
+		Metric:   metric,
+		Target:   0.5,
+		Relation: inverse.AtLeast,
+	}
+	if err := CheckPlanOn(context.Background(), simBackend(), simBackend(), spec, 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -15,7 +15,10 @@ package des
 
 import (
 	"fmt"
-	"math/rand"
+	"math"
+	"math/bits"
+
+	"lattol/internal/stats"
 )
 
 // Handler processes a dispatched event. Handlers are typically package-level
@@ -37,32 +40,60 @@ type Event struct {
 
 // Engine drives a simulation: schedule events, run until a horizon.
 //
-// The calendar is split into a heap of compact 24-byte keys (time, sequence,
-// slot index) and a parallel stable slot array holding the (handler, Event)
-// payloads, so sifting moves only keys — the payload is written once at
-// schedule time and read once at dispatch.
+// The calendar is split into a heap of compact 16-byte keys (time, packed
+// sequence+slot) and a parallel stable slot array holding the (handler,
+// Event) payloads, so sifting moves only keys — the payload is written once
+// at schedule time and read once at dispatch. Rand is embedded by value: the
+// per-event variate draws are direct calls on an inline xoshiro256** state,
+// with no pointer chase and no math/rand interface dispatch.
 type Engine struct {
 	now   float64
-	keys  []key     // 4-ary min-heap ordered by (at, seq)
-	slots []payload // stable payload storage, indexed by key.slot
+	keys  []key     // padded 4-ary min-heap ordered by (at, ord); see heapBase
+	n     int       // logical heap size (keys holds n+heapBase entries when n > 0)
+	slots []payload // stable payload storage, indexed by the key's slot bits
 	free  []int32   // recycled slot indices
 	seq   uint64
-	// hole marks a deferred root removal: keys[0] has been dispatched but
+	// hole marks a deferred root removal: the root has been dispatched but
 	// not yet removed, so the next push can fill it with a single sift-down
 	// instead of a remove-last-and-sift plus a sift-up. (at, seq) is a total
 	// order, so the pop sequence is independent of the heap's internal
-	// layout and the deferral cannot change event order.
-	hole bool
-	Rand *rand.Rand
+	// layout and the deferral cannot change event order. holeSlot is the
+	// dispatched root's payload slot: the common dispatch→schedule cycle
+	// hands it straight to the next ScheduleEvent without a free-list
+	// round-trip; only fixHole (no push came) banks it in the free list.
+	hole     bool
+	holeSlot int32
+	Rand     stats.RNG
 }
 
-// key is a heap entry: the event's time and FIFO tie-break sequence, plus
-// the index of its payload slot.
+// key is a heap entry: the event's time plus its FIFO tie-break sequence and
+// payload-slot index packed into one word (seq in the high bits, slot in the
+// low ordSlotBits). Packing shrinks a key to 16 bytes so a 4-ary sift level
+// touches one cache line instead of two, and since the sequence occupies the
+// high bits, comparing ord compares seq — slots only differ when seqs do.
 type key struct {
-	at   float64
-	seq  uint64
-	slot int32
+	at  float64
+	ord uint64
 }
+
+const (
+	// ordSlotBits caps concurrent pending events at 2^24 (16.7M) and event
+	// sequence numbers at 2^40 (1.1e12); ScheduleEvent panics past either
+	// limit rather than silently corrupting the event order.
+	ordSlotBits = 24
+	ordSlotMask = 1<<ordSlotBits - 1
+	maxSeq      = 1 << (64 - ordSlotBits)
+)
+
+func (k key) slot() int32 { return int32(k.ord & ordSlotMask) }
+
+// heapBase pads the key array with 3 unused leading entries so that logical
+// heap node l lives at physical index l+heapBase. Children of logical l are
+// logical 4l+1..4l+4, i.e. physical 4l+4..4l+7 — a block whose byte offset is
+// 64(l+1). With a 64-byte-aligned backing array (which Go's allocator gives
+// any key slice past a few cache lines), every 4-child block a sift inspects
+// lands on exactly one cache line instead of straddling two.
+const heapBase = 3
 
 // payload is the dispatch half of a calendar entry.
 type payload struct {
@@ -72,7 +103,26 @@ type payload struct {
 
 // NewEngine creates an engine with its own random stream.
 func NewEngine(seed int64) *Engine {
-	return &Engine{Rand: rand.New(rand.NewSource(seed))}
+	return &Engine{Rand: stats.NewRNG(seed)}
+}
+
+// Reset returns the engine to its just-constructed state with the given seed
+// while keeping the calendar's backing arrays. A replication worker builds
+// one engine, Reserves it once, and then Resets between replications — the
+// steady-state loop never re-grows the heap, and the per-replication
+// allocation cost drops to zero. A Reset engine with the same seed produces
+// the identical event trace as a fresh NewEngine(seed).
+func (e *Engine) Reset(seed int64) {
+	e.now = 0
+	e.keys = e.keys[:0]
+	e.n = 0
+	e.free = e.free[:0]
+	// Dropping the slots' length (not just the free list) releases stale
+	// payloads for reuse; ScheduleEvent re-appends within capacity.
+	e.slots = e.slots[:0]
+	e.seq = 0
+	e.hole = false
+	e.Rand.Seed(seed)
 }
 
 // Now returns the current simulation time.
@@ -83,8 +133,8 @@ func (e *Engine) Now() float64 { return e.now }
 // (e.g. total thread count plus in-flight services) call it once at setup so
 // the steady-state loop never grows the heap.
 func (e *Engine) Reserve(n int) {
-	if cap(e.keys) < n {
-		grown := make([]key, len(e.keys), n)
+	if cap(e.keys) < n+heapBase {
+		grown := make([]key, len(e.keys), n+heapBase)
 		copy(grown, e.keys)
 		e.keys = grown
 	}
@@ -110,17 +160,30 @@ func (e *Engine) ScheduleEvent(at float64, h Handler, ev Event) {
 	if h == nil {
 		panic("des: ScheduleEvent with nil handler")
 	}
+	// Normalize -0.0 to +0.0: heap comparisons order times by their IEEE
+	// bits (valid for non-negative values, which simulation time always is —
+	// the clock starts at 0 and only moves forward), and a negative zero
+	// would sort as if it were huge.
+	at += 0.0
 	e.seq++
+	if e.seq >= maxSeq {
+		panic("des: event sequence number overflow (2^40 events); Reset the engine")
+	}
 	var slot int32
-	if k := len(e.free); k > 0 {
+	if e.hole {
+		slot = e.holeSlot // reuse the just-dispatched root's slot in place
+	} else if k := len(e.free); k > 0 {
 		slot = e.free[k-1]
 		e.free = e.free[:k-1]
 	} else {
+		if len(e.slots) >= ordSlotMask {
+			panic("des: too many pending events (2^24)")
+		}
 		e.slots = append(e.slots, payload{})
 		slot = int32(len(e.slots) - 1)
 	}
 	e.slots[slot] = payload{h: h, ev: ev}
-	e.push(key{at: at, seq: e.seq, slot: slot})
+	e.push(key{at: at, ord: e.seq<<ordSlotBits | uint64(slot)})
 }
 
 // AfterEvent dispatches h(e, ev) after a delay from now.
@@ -151,8 +214,8 @@ func (e *Engine) After(delay float64, fn func()) {
 // scheduled exactly at the horizon fires.
 func (e *Engine) Run(horizon float64) int {
 	n := 0
-	for len(e.keys) > 0 {
-		if e.keys[0].at > horizon {
+	for e.n > 0 {
+		if e.keys[heapBase].at > horizon {
 			e.now = horizon
 			return n
 		}
@@ -175,7 +238,7 @@ func (e *Engine) Run(horizon float64) int {
 // next pending event unconditionally, even one past the horizon of an
 // earlier Run call, and advances the clock to the event's timestamp.
 func (e *Engine) Step() bool {
-	if len(e.keys) == 0 {
+	if e.n == 0 {
 		return false
 	}
 	h, ev := e.dispatchMin()
@@ -188,25 +251,31 @@ func (e *Engine) Step() bool {
 
 // Pending returns the number of scheduled events.
 func (e *Engine) Pending() int {
-	n := len(e.keys)
+	n := e.n
 	if e.hole {
 		n--
 	}
 	return n
 }
 
-// The calendar is a 4-ary min-heap ordered by (at, seq): children of node i
-// live at 4i+1..4i+4. A wider node fans the tree out to ~half the depth of a
-// binary heap, trading slightly more comparisons per level for fewer levels
-// and fewer cache misses — the classic d-ary layout for event calendars with
-// cheap comparisons. (at, seq) is a total order (seq is unique), so the pop
-// sequence is fully deterministic.
+// The calendar is a 4-ary min-heap ordered by (at, ord): children of logical
+// node l live at logical 4l+1..4l+4, with logical node l stored at physical
+// index l+heapBase so sibling blocks are cache-line aligned. A wider node fans
+// the tree out to ~half the depth of a binary heap, trading slightly more
+// comparisons per level for fewer levels and fewer cache misses — the classic
+// d-ary layout for event calendars with cheap comparisons. (at, seq) is a
+// total order (seq is unique), so the pop sequence is fully deterministic.
 
+// less orders keys by (at, ord) with a branchless 128-bit unsigned compare:
+// for non-negative floats the IEEE bit pattern is order-isomorphic to the
+// value, so (Float64bits(at), ord) compared as one 128-bit integer — two
+// subtract-with-borrow instructions — equals the lexicographic (at, ord)
+// order. Event times are random draws, so a compare-and-branch here would
+// mispredict about half the time; the borrow chain never branches.
 func (a *key) less(b *key) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
+	_, borrow := bits.Sub64(a.ord, b.ord, 0)
+	_, borrow = bits.Sub64(math.Float64bits(a.at), math.Float64bits(b.at), borrow)
+	return borrow != 0
 }
 
 func (e *Engine) push(k key) {
@@ -218,17 +287,22 @@ func (e *Engine) push(k key) {
 		e.siftDown(k)
 		return
 	}
-	i := len(e.keys)
-	e.keys = append(e.keys, k)
-	for i > 0 {
-		p := (i - 1) / 4
-		if !k.less(&e.keys[p]) {
+	l := e.n
+	e.n++
+	if len(e.keys) == 0 {
+		e.keys = append(e.keys, key{}, key{}, key{})
+	}
+	e.keys = append(e.keys, key{})
+	ks := e.keys
+	for l > 0 {
+		p := (l - 1) / 4
+		if !k.less(&ks[p+heapBase]) {
 			break
 		}
-		e.keys[i] = e.keys[p]
-		i = p
+		ks[l+heapBase] = ks[p+heapBase]
+		l = p
 	}
-	e.keys[i] = k
+	ks[l+heapBase] = k
 }
 
 // dispatchMin advances the clock to the minimum calendar entry, recycles its
@@ -238,10 +312,11 @@ func (e *Engine) push(k key) {
 // events only reference long-lived simulation objects; skipping the clear
 // saves a pointer-bearing store (and its write barriers) per event.
 func (e *Engine) dispatchMin() (Handler, Event) {
-	min := e.keys[0]
-	p := e.slots[min.slot]
-	e.free = append(e.free, min.slot)
+	min := e.keys[heapBase]
+	slot := min.slot()
+	p := e.slots[slot]
 	e.hole = true
+	e.holeSlot = slot
 	e.now = min.at
 	return p.h, p.ev
 }
@@ -250,44 +325,83 @@ func (e *Engine) dispatchMin() (Handler, Event) {
 // key replaces the dispatched root and sinks to its place.
 func (e *Engine) fixHole() {
 	e.hole = false
-	n := len(e.keys) - 1
-	last := e.keys[n]
-	e.keys = e.keys[:n]
-	if n > 0 {
+	e.free = append(e.free, e.holeSlot)
+	e.n--
+	last := e.keys[e.n+heapBase]
+	e.keys = e.keys[:e.n+heapBase]
+	if e.n > 0 {
 		e.siftDown(last)
 	}
 }
 
-// siftDown places `hole` (the former last element) starting from the root,
-// sliding smaller children up until the heap order holds. The current
-// minimum child's (at, seq) is kept in registers so the inner scan does one
-// indexed load per child instead of re-reading keys[min].
+// siftDown replaces the vacated root with `hole` using bottom-up deletion
+// (Wegener): first the vacancy sinks to a leaf along the min-child path —
+// per level one unrolled branch-free min-of-4 (borrow-chain compares, mask
+// selects) and an unconditional move, with no hole comparison and no
+// unpredictable early-exit branch — then `hole` is placed at the vacant leaf
+// and bubbles up. Keys arriving here are fresh random draws that are usually
+// near-maximal, so the bubble-up loop almost always exits immediately; the
+// classic top-down sift would instead pay two extra borrow chains plus a
+// ~50/50 branch per level to detect early termination that rarely happens.
+// Indices are physical: node at physical i has its child block at physical
+// 4i-8 (= 4(i-3)+1, shifted by heapBase), keeping each block on one cache
+// line.
 func (e *Engine) siftDown(hole key) {
 	ks := e.keys
 	n := len(ks)
-	i := 0
+	i := heapBase
 	for {
-		first := 4*i + 1
-		if first >= n {
-			break
-		}
-		end := first + 4
-		if end > n {
-			end = n
-		}
-		min := first
-		minAt, minSeq := ks[first].at, ks[first].seq
-		for j := first + 1; j < end; j++ {
-			at := ks[j].at
-			if at < minAt || (at == minAt && ks[j].seq < minSeq) {
-				min, minAt, minSeq = j, at, ks[j].seq
+		first := 4*i - 8
+		if first+3 >= n {
+			// Ragged or missing last node: pick the min of what's there.
+			if first >= n {
+				break
 			}
-		}
-		if minAt > hole.at || (minAt == hole.at && minSeq >= hole.seq) {
+			min := first
+			for j := first + 1; j < n; j++ {
+				if ks[j].less(&ks[min]) {
+					min = j
+				}
+			}
+			ks[i] = ks[min]
+			i = min
 			break
 		}
+		c := ks[first : first+4 : first+4]
+		min := first
+		minAt, minOrd := math.Float64bits(c[0].at), c[0].ord
+		at, ord := math.Float64bits(c[1].at), c[1].ord
+		_, bo := bits.Sub64(ord, minOrd, 0)
+		_, bo = bits.Sub64(at, minAt, bo)
+		m := -bo // all-ones when child 1 < running min
+		minAt = minAt&^m | at&m
+		minOrd = minOrd&^m | ord&m
+		min = min&^int(m) | (first+1)&int(m)
+		at, ord = math.Float64bits(c[2].at), c[2].ord
+		_, bo = bits.Sub64(ord, minOrd, 0)
+		_, bo = bits.Sub64(at, minAt, bo)
+		m = -bo
+		minAt = minAt&^m | at&m
+		minOrd = minOrd&^m | ord&m
+		min = min&^int(m) | (first+2)&int(m)
+		at, ord = math.Float64bits(c[3].at), c[3].ord
+		_, bo = bits.Sub64(ord, minOrd, 0)
+		_, bo = bits.Sub64(at, minAt, bo)
+		m = -bo
+		minAt = minAt&^m | at&m
+		minOrd = minOrd&^m | ord&m
+		min = min&^int(m) | (first+3)&int(m)
 		ks[i] = ks[min]
 		i = min
+	}
+	// Bubble the hole key up from the vacant leaf toward the root.
+	for i > heapBase {
+		p := (i-heapBase-1)/4 + heapBase
+		if !hole.less(&ks[p]) {
+			break
+		}
+		ks[i] = ks[p]
+		i = p
 	}
 	ks[i] = hole
 }

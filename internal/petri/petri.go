@@ -20,7 +20,6 @@ package petri
 
 import (
 	"fmt"
-	"math/rand"
 
 	"lattol/internal/des"
 	"lattol/internal/stats"
@@ -55,7 +54,7 @@ type Firing struct {
 	// Started is when the firing started (tokens were consumed).
 	Started float64
 	// Rand is the net's random stream, for probabilistic routing.
-	Rand *rand.Rand
+	Rand *stats.RNG
 	// Tokens are the consumed tokens, one per input place, in input order.
 	Tokens []Token
 
@@ -130,6 +129,15 @@ func (r *tokenRing) pop() Token {
 	return t
 }
 
+// clear empties the ring, dropping token Data references but keeping the
+// backing buffer for reuse.
+func (r *tokenRing) clear() {
+	for i := range r.buf {
+		r.buf[i] = Token{}
+	}
+	r.head, r.n = 0, 0
+}
+
 func (r *tokenRing) grow() {
 	nb := make([]Token, 2*len(r.buf)+4)
 	for i := 0; i < r.n; i++ {
@@ -156,7 +164,9 @@ type place struct {
 }
 
 type transition struct {
-	def      Transition
+	def Transition
+	// delay is def.Delay compiled into a direct-dispatch sampler.
+	delay    stats.Sampler
 	inFlight int
 	busyTW   stats.TimeWeighted
 	served   int64
@@ -222,7 +232,7 @@ func (n *Net) AddTransition(def Transition) (TransitionID, error) {
 			return 0, fmt.Errorf("petri: transition %q input place %d out of range", def.Name, in)
 		}
 	}
-	t := &transition{def: def}
+	t := &transition{def: def, delay: stats.MakeSampler(def.Delay)}
 	t.busyTW.Set(n.engine.Now(), 0)
 	n.transitions = append(n.transitions, t)
 	id := TransitionID(len(n.transitions) - 1)
@@ -314,7 +324,7 @@ func (n *Net) tryStart(tid TransitionID) bool {
 	}
 	t.inFlight++
 	t.busyTW.Set(now, float64(t.inFlight)/float64(t.def.servers()))
-	delay := t.def.Delay.Sample(n.engine.Rand)
+	delay := t.delay.Sample(&n.engine.Rand)
 	n.engine.AfterEvent(delay, fireHandler, des.Event{Actor: n, Data: rec})
 	return true
 }
@@ -325,7 +335,7 @@ func (n *Net) complete(rec *firing) {
 	t.served++
 	var outs, buffered []Output
 	if t.def.Fire != nil {
-		n.fctx = Firing{Now: now, Started: rec.started, Rand: n.engine.Rand,
+		n.fctx = Firing{Now: now, Started: rec.started, Rand: &n.engine.Rand,
 			Tokens: rec.tokens, out: n.outBuf[:0]}
 		outs = t.def.Fire(&n.fctx)
 		buffered = n.fctx.out
@@ -390,6 +400,34 @@ func (n *Net) WaitCount(p PlaceID) int64 { return n.places[p].wait.Count() }
 // MeanMarking returns the time-average token count of a place.
 func (n *Net) MeanMarking(p PlaceID) float64 {
 	return n.places[p].marking.MeanAt(n.engine.Now())
+}
+
+// Reset empties the net — pending engine events, tokens, in-flight firings,
+// and all statistics — and reseeds its random stream, keeping the structure
+// (places, transitions, compiled samplers) and every backing buffer. A Reset
+// net replayed with the same seed and deposits reproduces the identical
+// trajectory as a freshly built one, which is what lets a replication worker
+// reuse one net across replications at zero allocation.
+func (n *Net) Reset(seed int64) {
+	n.engine.Reset(seed)
+	for _, p := range n.places {
+		p.fifo.clear()
+		p.wait = stats.Mean{}
+		p.marking = stats.TimeWeighted{}
+		p.marking.Set(0, 0)
+	}
+	for _, t := range n.transitions {
+		// In-flight firing records are dropped with the engine's calendar;
+		// their token buffers are unreachable now, but records were recycled
+		// through freeFirings only on completion, so just forget the list —
+		// getFiring re-allocates lazily and reaches steady state again within
+		// one warm-up.
+		t.inFlight = 0
+		t.busyTW = stats.TimeWeighted{}
+		t.busyTW.Set(0, 0)
+		t.served = 0
+	}
+	n.freeFirings = nil
 }
 
 // ResetStats discards statistics gathered so far (warm-up removal) without

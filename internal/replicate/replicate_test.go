@@ -1,0 +1,235 @@
+package replicate
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"lattol/internal/mms"
+	"lattol/internal/simmms"
+)
+
+// testConfig is a small 2×2 torus system that simulates quickly.
+func testConfig() mms.Config {
+	return mms.Config{K: 2, Threads: 2, Runlength: 10, MemoryTime: 10, SwitchTime: 10, PRemote: 0.2, Psw: 0.5}
+}
+
+func testSimOpts(engine simmms.EngineKind) simmms.Options {
+	return simmms.Options{Engine: engine, Seed: 42, Warmup: 500, Duration: 2000}
+}
+
+// TestRunWorkerInvariance is the runner's core contract: the folded estimates
+// are bit-identical for any worker count, on both engines.
+func TestRunWorkerInvariance(t *testing.T) {
+	for _, engine := range []simmms.EngineKind{simmms.Direct, simmms.STPN} {
+		t.Run(engine.String(), func(t *testing.T) {
+			var base Result
+			for i, workers := range []int{1, 3, 8} {
+				res, err := Run(context.Background(), testConfig(), Options{
+					Sim:     testSimOpts(engine),
+					MinReps: 6,
+					Workers: workers,
+				})
+				if err != nil {
+					t.Fatalf("Run(workers=%d): %v", workers, err)
+				}
+				if res.Reps != 6 {
+					t.Fatalf("Run(workers=%d): ran %d reps, want 6", workers, res.Reps)
+				}
+				if i == 0 {
+					base = res
+					continue
+				}
+				if !reflect.DeepEqual(res, base) {
+					t.Errorf("workers=%d: result differs from workers=1:\n got %+v\nwant %+v", workers, res, base)
+				}
+			}
+			if base.Up.Mean <= 0 || base.Up.Mean > 1 {
+				t.Errorf("replicated Up mean %v outside (0, 1]", base.Up.Mean)
+			}
+			if base.Up.HalfCI <= 0 {
+				t.Errorf("replicated Up half-CI %v, want > 0", base.Up.HalfCI)
+			}
+		})
+	}
+}
+
+// TestRunRoundInvariance: the adaptive round size must not change the
+// estimates either — replication i always gets the same seed.
+func TestRunRoundInvariance(t *testing.T) {
+	run := func(round int) Result {
+		t.Helper()
+		res, err := Run(context.Background(), testConfig(), Options{
+			Sim:       testSimOpts(simmms.Direct),
+			MinReps:   4,
+			MaxReps:   12,
+			Round:     round,
+			Precision: 1e-9, // unreachable: force the run to MaxReps
+			Workers:   2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(5)
+	if a.Reps != 12 || b.Reps != 12 {
+		t.Fatalf("reps %d and %d, want both 12 (MaxReps)", a.Reps, b.Reps)
+	}
+	if a.Converged || b.Converged {
+		t.Error("unreachable precision target reported as converged")
+	}
+	a.Converged, b.Converged = true, true
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("round size changed estimates:\n got %+v\nwant %+v", b, a)
+	}
+}
+
+// TestRunAdaptiveStops: a loose precision target stops at MinReps; no target
+// is always "converged".
+func TestRunAdaptiveStops(t *testing.T) {
+	res, err := Run(context.Background(), testConfig(), Options{
+		Sim:       testSimOpts(simmms.Direct),
+		MinReps:   4,
+		MaxReps:   64,
+		Precision: 0.9, // trivially satisfied
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reps != 4 || !res.Converged {
+		t.Errorf("loose target: reps %d converged %v, want 4 true", res.Reps, res.Converged)
+	}
+	if got := res.Up.Rel(); got > 0.9 {
+		t.Errorf("achieved relative half-width %v > requested 0.9", got)
+	}
+
+	res, err = Run(context.Background(), testConfig(), Options{
+		Sim:     testSimOpts(simmms.Direct),
+		MinReps: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("no precision target: want Converged true")
+	}
+}
+
+// TestRunAdaptiveTightens: a moderate target must run more than MinReps when
+// the initial interval is too wide, and the achieved width must then satisfy
+// the target (or the run caps out honestly).
+func TestRunAdaptiveTightens(t *testing.T) {
+	opts := Options{
+		Sim:       testSimOpts(simmms.Direct),
+		MinReps:   2, // deliberately too few for the target
+		MaxReps:   64,
+		Round:     4,
+		Precision: 0.02,
+	}
+	res, err := Run(context.Background(), testConfig(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reps <= 2 {
+		t.Errorf("ran only %d reps; a 2-rep t-interval cannot meet 2%% precision", res.Reps)
+	}
+	if res.Converged && res.Up.Rel() > opts.Precision {
+		t.Errorf("converged but relative half-width %v > %v", res.Up.Rel(), opts.Precision)
+	}
+	if !res.Converged && res.Reps != opts.MaxReps {
+		t.Errorf("not converged after %d reps, but MaxReps is %d", res.Reps, opts.MaxReps)
+	}
+}
+
+func TestRunInvalidConfig(t *testing.T) {
+	cfg := testConfig()
+	cfg.PRemote = 2 // invalid probability
+	if _, err := Run(context.Background(), cfg, Options{Sim: testSimOpts(simmms.Direct)}); err == nil {
+		t.Error("invalid config: want error")
+	}
+}
+
+func TestRunCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, testConfig(), Options{Sim: testSimOpts(simmms.Direct)}); err == nil {
+		t.Error("canceled context: want error")
+	}
+}
+
+func TestRunZeroThreads(t *testing.T) {
+	cfg := testConfig()
+	cfg.Threads = 0
+	res, err := Run(context.Background(), cfg, Options{Sim: testSimOpts(simmms.Direct), MinReps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Up.Mean != 0 || res.Up.HalfCI != 0 {
+		t.Errorf("zero threads: Up %+v, want all-zero", res.Up)
+	}
+	if !res.Converged {
+		t.Error("zero threads: want Converged (degenerate zero interval)")
+	}
+}
+
+// TestRunBracketsAnalytic: the replicated mean should land near the
+// analytical solution — a loose sanity bound here; the strict CI-bracketing
+// statement lives in the conformance harness.
+func TestRunBracketsAnalytic(t *testing.T) {
+	cfg := testConfig()
+	res, err := Run(context.Background(), cfg, Options{
+		Sim:     simmms.Options{Engine: simmms.Direct, Seed: 7, Warmup: 2000, Duration: 20000},
+		MinReps: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := mms.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic, err := model.Solve(mms.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(res.Up.Mean - analytic.Up); diff > 0.05 {
+		t.Errorf("replicated Up %v vs analytic %v: |diff| %v > 0.05", res.Up.Mean, analytic.Up, diff)
+	}
+}
+
+func TestMetricRel(t *testing.T) {
+	cases := []struct {
+		m    Metric
+		want float64
+	}{
+		{Metric{Mean: 2, HalfCI: 0.1}, 0.05},
+		{Metric{Mean: -2, HalfCI: 0.1}, 0.05},
+		{Metric{Mean: 0, HalfCI: 0}, 0},
+		{Metric{Mean: 0, HalfCI: 1}, math.Inf(1)},
+	}
+	for _, c := range cases {
+		if got := c.m.Rel(); got != c.want {
+			t.Errorf("Rel(%+v) = %v, want %v", c.m, got, c.want)
+		}
+	}
+}
+
+func TestResultMetricsMapping(t *testing.T) {
+	r := Result{}
+	r.Up.Mean = 0.5
+	r.LambdaProc.Mean = 0.04
+	r.LambdaNet.Mean = 0.01
+	r.SObs.Mean = 30
+	r.LObs.Mean = 12
+	cfg := testConfig()
+	m := r.Metrics(cfg)
+	if m.Up != 0.5 || m.LambdaProc != 0.04 || m.LambdaNet != 0.01 || m.SObs != 30 || m.LObs != 12 {
+		t.Errorf("Metrics mapping dropped a field: %+v", m)
+	}
+	want := float64(cfg.Threads) / 0.04
+	if m.CycleTime != want {
+		t.Errorf("CycleTime %v, want Threads/LambdaProc = %v", m.CycleTime, want)
+	}
+}

@@ -8,6 +8,9 @@ import (
 )
 
 // directSim wires the MMS as des.Stations and measures the paper's metrics.
+// It is built once (stations, routing, message pool, calendar reservation)
+// and replayed via run(seed) — a replication worker reuses one directSim for
+// its whole replication stream at zero per-replication allocation.
 type directSim struct {
 	engine  *des.Engine
 	cfg     mms.Config
@@ -18,6 +21,10 @@ type directSim struct {
 	mem  []*des.Station
 	out  []*des.Station
 	in   []*des.Station
+
+	// msgs is the preallocated thread-token pool: Threads tokens per PE,
+	// home assigned at build time. run() resets and re-injects them.
+	msgs []message
 
 	// Injection-window flow control (opts.NetworkWindow > 0): outstanding
 	// counts in-network remote accesses per PE; blocked holds requests
@@ -30,25 +37,40 @@ type directSim struct {
 	parked       []*message
 	totalThreads int
 
-	measuring  bool
-	warmup     float64
-	duration   float64
+	measuring bool
+	warmup    float64
+	duration  float64
+	// invBatch maps measurement time to a batch index by one multiply
+	// (batches/duration), replacing two divides per sample.
+	invBatch   float64
 	accesses   int64 // memory accesses issued while measuring
 	remoteMsgs int64 // remote requests injected while measuring
 	batchAcc   [batches]float64
 	batchNet   [batches]float64
-	batchSObs  [batches]stats.Summary
-	sObs       stats.Summary
-	lObs       stats.Summary
-	lObsLocal  stats.Summary
-	lObsRemote stats.Summary
+	batchSObs  [batches]stats.Mean
+	sObs       stats.Welford
+	lObs       stats.Mean
+	lObsLocal  stats.Mean
+	lObsRemote stats.Mean
 }
 
-func runDirect(model *mms.Model, opts Options) (Result, *directSim, error) {
+// batch maps an in-measurement event time to its batch index.
+func (s *directSim) batch(now float64) int {
+	b := int((now - s.warmup) * s.invBatch)
+	if b < 0 {
+		b = 0
+	}
+	if b >= batches {
+		b = batches - 1
+	}
+	return b
+}
+
+func newDirectSim(model *mms.Model, opts Options) (*directSim, error) {
 	cfg := model.Config()
 	rt, err := newRouting(model)
 	if err != nil {
-		return Result{}, nil, err
+		return nil, err
 	}
 	s := &directSim{
 		engine:   des.NewEngine(opts.Seed),
@@ -57,6 +79,7 @@ func runDirect(model *mms.Model, opts Options) (Result, *directSim, error) {
 		routing:  rt,
 		warmup:   opts.Warmup,
 		duration: opts.Duration,
+		invBatch: batches / opts.Duration,
 	}
 	n := model.Torus().Nodes()
 	procDist := opts.ProcDist.Make(cfg.Runlength + cfg.ContextSwitch)
@@ -85,26 +108,59 @@ func runDirect(model *mms.Model, opts Options) (Result, *directSim, error) {
 			st.Attach(s.engine)
 		}
 	}
-	// Populate: n_t ready threads per processor. Every thread is in at most
-	// one service at a time, so the calendar never holds more events than
+	// Thread-token pool: n_t per processor. Every thread is in at most one
+	// service at a time, so the calendar never holds more events than
 	// threads — pre-size it so the steady-state loop never grows the heap.
 	s.totalThreads = n * cfg.Threads
-	s.engine.Reserve(s.totalThreads + 1)
+	s.msgs = make([]message, s.totalThreads)
 	for i := 0; i < n; i++ {
 		for k := 0; k < cfg.Threads; k++ {
-			s.proc[i].Arrive(&message{home: topology.Node(i)})
+			s.msgs[i*cfg.Threads+k].home = topology.Node(i)
 		}
 	}
+	s.engine.Reserve(s.totalThreads + 1)
+	return s, nil
+}
 
-	s.engine.Run(opts.Warmup)
-	for i := 0; i < n; i++ {
+// run executes one replication with the given seed, resetting all mutable
+// state first, and reports measured metrics. The trajectory is a pure
+// function of (build inputs, seed): a reused directSim and a fresh one
+// produce bit-identical Results for the same seed.
+func (s *directSim) run(seed int64) Result {
+	s.engine.Reset(seed)
+	for i := range s.proc {
+		s.proc[i].Reset()
+		s.mem[i].Reset()
+		s.out[i].Reset()
+		s.in[i].Reset()
+		s.outstanding[i] = 0
+		s.blocked[i] = s.blocked[i][:0]
+	}
+	s.parked = s.parked[:0]
+	s.measuring = false
+	s.accesses, s.remoteMsgs = 0, 0
+	s.batchAcc = [batches]float64{}
+	s.batchNet = [batches]float64{}
+	s.batchSObs = [batches]stats.Mean{}
+	s.sObs = stats.Welford{}
+	s.lObs, s.lObsLocal, s.lObsRemote = stats.Mean{}, stats.Mean{}, stats.Mean{}
+
+	for i := range s.msgs {
+		m := &s.msgs[i]
+		*m = message{home: m.home}
+		s.proc[m.home].Arrive(m)
+	}
+
+	s.engine.Run(s.warmup)
+	for i := range s.proc {
 		s.proc[i].ResetStats()
 		s.mem[i].ResetStats()
 		s.out[i].ResetStats()
 		s.in[i].ResetStats()
 	}
 	s.measuring = true
-	s.engine.Run(opts.Warmup + opts.Duration)
+	s.engine.Run(s.warmup + s.duration)
+	s.measuring = false
 
 	res := Result{
 		SObs:       s.sObs.Mean(),
@@ -115,17 +171,26 @@ func runDirect(model *mms.Model, opts Options) (Result, *directSim, error) {
 		Accesses:   s.accesses,
 		RemoteLegs: s.sObs.Count(),
 	}
+	n := len(s.proc)
 	var busy float64
 	for i := 0; i < n; i++ {
 		busy += s.proc[i].Utilization()
 	}
 	res.Up = busy / float64(n)
-	res.LambdaProc = float64(s.accesses) / float64(n) / opts.Duration
-	res.LambdaNet = float64(s.remoteMsgs) / float64(n) / opts.Duration
+	res.LambdaProc = float64(s.accesses) / float64(n) / s.duration
+	res.LambdaNet = float64(s.remoteMsgs) / float64(n) / s.duration
 	res.UpCI, res.LambdaNetCI, res.SObsCI = batchCIs(
 		s.batchAcc[:], s.batchNet[:], s.batchSObs[:],
-		float64(n), opts.Duration, cfg.Runlength+cfg.ContextSwitch)
-	return res, s, nil
+		float64(n), s.duration, s.cfg.Runlength+s.cfg.ContextSwitch)
+	return res
+}
+
+func runDirect(model *mms.Model, opts Options) (Result, *directSim, error) {
+	s, err := newDirectSim(model, opts)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	return s.run(opts.Seed), s, nil
 }
 
 // procDone fires when a thread finishes its runlength: it issues a memory
@@ -134,10 +199,10 @@ func (s *directSim) procDone(job des.Job, _, now float64) {
 	m := job.(*message)
 	if s.measuring {
 		s.accesses++
-		s.batchAcc[batchIndex(now, s.warmup, s.duration)]++
+		s.batchAcc[s.batch(now)]++
 	}
 	if s.routing.chooser != nil && s.engine.Rand.Float64() < s.cfg.PRemote {
-		m.dest = topology.Node(s.routing.chooser[m.home].Choose(s.engine.Rand))
+		m.dest = topology.Node(s.routing.chooser[m.home].Choose(&s.engine.Rand))
 		if s.opts.NetworkWindow > 0 && s.outstanding[m.home] >= s.opts.NetworkWindow {
 			s.blocked[m.home] = append(s.blocked[m.home], m)
 			return
@@ -157,7 +222,7 @@ func (s *directSim) inject(m *message, now float64) {
 	s.outstanding[m.home]++
 	if s.measuring {
 		s.remoteMsgs++
-		s.batchNet[batchIndex(now, s.warmup, s.duration)]++
+		s.batchNet[s.batch(now)]++
 	}
 	s.out[m.home].Arrive(m)
 }
@@ -230,7 +295,7 @@ func (s *directSim) switchDone(job des.Job, _, now float64) {
 	// the leg is over.
 	if s.measuring {
 		s.sObs.Add(now - m.legStart)
-		s.batchSObs[batchIndex(now, s.warmup, s.duration)].Add(now - m.legStart)
+		s.batchSObs[s.batch(now)].Add(now - m.legStart)
 	}
 	if m.response {
 		s.completeRemote(m, now)

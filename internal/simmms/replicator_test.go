@@ -1,0 +1,52 @@
+package simmms
+
+import (
+	"reflect"
+	"testing"
+
+	"lattol/internal/mms"
+)
+
+// TestReplicatorReuseBitIdentical is the Replicate purity contract: a reused
+// instance must reproduce a fresh instance's Result bit for bit, for any
+// interleaving of seeds, on both engines. The replication runner's
+// worker-count invariance rests on exactly this.
+func TestReplicatorReuseBitIdentical(t *testing.T) {
+	cfg := mms.Config{K: 2, Threads: 3, Runlength: 10, MemoryTime: 10, SwitchTime: 10, PRemote: 0.3, Psw: 0.5}
+	for _, engine := range []EngineKind{Direct, STPN} {
+		t.Run(engine.String(), func(t *testing.T) {
+			opts := Options{Engine: engine, Seed: 1, Warmup: 500, Duration: 2000}
+			reused, err := NewReplicator(cfg, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Replay seeds out of order and repeatedly; each call must match a
+			// fresh instance's answer for that seed.
+			for _, seed := range []int64{7, 3, 7, 11, 3} {
+				fresh, err := NewReplicator(cfg, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := fresh.Replicate(seed)
+				got := reused.Replicate(seed)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed %d: reused instance diverged:\n got %+v\nwant %+v", seed, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestReplicatorSeedSensitivity: different seeds must produce different
+// sample paths (the runner's replications would otherwise be copies).
+func TestReplicatorSeedSensitivity(t *testing.T) {
+	cfg := mms.Config{K: 2, Threads: 3, Runlength: 10, MemoryTime: 10, SwitchTime: 10, PRemote: 0.3, Psw: 0.5}
+	rep, err := NewReplicator(cfg, Options{Engine: Direct, Seed: 1, Warmup: 500, Duration: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := rep.Replicate(1), rep.Replicate(2)
+	if a.Up == b.Up && a.SObs == b.SObs {
+		t.Errorf("seeds 1 and 2 produced identical measurements: %+v", a)
+	}
+}

@@ -160,18 +160,6 @@ type Result struct {
 // intervals.
 const batches = 10
 
-// batchIndex maps an event time to its measurement batch.
-func batchIndex(now, warmup, duration float64) int {
-	b := int((now - warmup) / (duration / batches))
-	if b < 0 {
-		b = 0
-	}
-	if b >= batches {
-		b = batches - 1
-	}
-	return b
-}
-
 // halfCI returns the 95% half-width of the mean of vals.
 func halfCI(vals []float64) float64 {
 	var s stats.Summary
@@ -246,26 +234,66 @@ func newRouting(model *mms.Model) (*routing, error) {
 
 // Run simulates the configured system and reports measured metrics.
 func Run(cfg mms.Config, opts Options) (Result, error) {
-	opts = opts.withDefaults()
-	model, err := mms.Build(cfg)
+	r, err := NewReplicator(cfg, opts)
 	if err != nil {
 		return Result{}, err
 	}
+	return r.Replicate(opts.Seed), nil
+}
+
+// Replicator is a reusable simulator instance: the model structure (stations
+// or Petri net, routing tables, thread-token pool, calendar reservation) is
+// built once by NewReplicator, and each Replicate(seed) call resets and
+// replays it. Replicate allocates nothing in steady state, which is what
+// makes high-count replication runs cheap; a Replicator is NOT safe for
+// concurrent use — give each worker its own.
+type Replicator struct {
+	opts   Options
+	direct *directSim
+	stpn   *stpnSim
+}
+
+// NewReplicator validates cfg/opts and builds the simulator once.
+// A cfg with Threads == 0 is valid and yields all-zero Results.
+func NewReplicator(cfg mms.Config, opts Options) (*Replicator, error) {
+	opts = opts.withDefaults()
+	model, err := mms.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r := &Replicator{opts: opts}
 	if cfg.Threads == 0 {
-		return Result{}, nil
+		return r, nil
 	}
 	switch opts.Engine {
 	case Direct:
-		res, _, err := runDirect(model, opts)
-		return res, err
+		r.direct, err = newDirectSim(model, opts)
 	case STPN:
 		if opts.LocalMemPriority || opts.NetworkWindow > 0 || opts.BarrierInterval > 0 {
-			return Result{}, fmt.Errorf("simmms: LocalMemPriority, NetworkWindow and BarrierInterval are only supported by the Direct engine")
+			return nil, fmt.Errorf("simmms: LocalMemPriority, NetworkWindow and BarrierInterval are only supported by the Direct engine")
 		}
-		res, _, err := runSTPN(model, opts)
-		return res, err
+		r.stpn, err = newSTPNSim(model, opts)
 	default:
-		return Result{}, fmt.Errorf("simmms: unknown engine %d", int(opts.Engine))
+		return nil, fmt.Errorf("simmms: unknown engine %d", int(opts.Engine))
+	}
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Replicate runs one replication with the given seed and reports measured
+// metrics. The result is a pure function of (NewReplicator inputs, seed) —
+// bit-identical whether the instance is fresh or reused, which the
+// replication runner's worker-count invariance rests on.
+func (r *Replicator) Replicate(seed int64) Result {
+	switch {
+	case r.direct != nil:
+		return r.direct.run(seed)
+	case r.stpn != nil:
+		return r.stpn.run(seed)
+	default:
+		return Result{} // Threads == 0: an empty system measures nothing
 	}
 }
 
@@ -277,8 +305,8 @@ func ports(n int) int {
 }
 
 // batchCIs converts per-batch access counts, injection counts and latency
-// summaries into 95% half-widths for U_p (via λ·R), λ_net and S_obs.
-func batchCIs(acc, net []float64, sobs []stats.Summary, nodes, duration, runlength float64) (upCI, netCI, sObsCI float64) {
+// means into 95% half-widths for U_p (via λ·R), λ_net and S_obs.
+func batchCIs(acc, net []float64, sobs []stats.Mean, nodes, duration, runlength float64) (upCI, netCI, sObsCI float64) {
 	batchLen := duration / float64(len(acc))
 	ups := make([]float64, len(acc))
 	nets := make([]float64, len(acc))

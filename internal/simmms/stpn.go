@@ -11,6 +11,7 @@ import (
 // place and processor transition per PE, one queue place and timed
 // transition per memory module and per switch — the paper's Section 8
 // validation model. Tokens are colored with the circulating message state.
+// Like directSim it is built once and replayed via run(seed).
 type stpnSim struct {
 	net     *petri.Net
 	cfg     mms.Config
@@ -23,25 +24,41 @@ type stpnSim struct {
 
 	procT []petri.TransitionID
 
+	// msgs is the preallocated thread-token pool, home fixed at build time.
+	msgs []message
+
 	measuring  bool
 	warmup     float64
 	duration   float64
+	invBatch   float64
 	accesses   int64
 	remoteMsgs int64
 	batchAcc   [batches]float64
 	batchNet   [batches]float64
-	batchSObs  [batches]stats.Summary
-	sObs       stats.Summary
-	lObs       stats.Summary
-	lObsLocal  stats.Summary
-	lObsRemote stats.Summary
+	batchSObs  [batches]stats.Mean
+	sObs       stats.Welford
+	lObs       stats.Mean
+	lObsLocal  stats.Mean
+	lObsRemote stats.Mean
 }
 
-func runSTPN(model *mms.Model, opts Options) (Result, *stpnSim, error) {
+// batch maps an in-measurement event time to its batch index.
+func (s *stpnSim) batch(now float64) int {
+	b := int((now - s.warmup) * s.invBatch)
+	if b < 0 {
+		b = 0
+	}
+	if b >= batches {
+		b = batches - 1
+	}
+	return b
+}
+
+func newSTPNSim(model *mms.Model, opts Options) (*stpnSim, error) {
 	cfg := model.Config()
 	rt, err := newRouting(model)
 	if err != nil {
-		return Result{}, nil, err
+		return nil, err
 	}
 	s := &stpnSim{
 		net:      petri.New(opts.Seed),
@@ -49,6 +66,7 @@ func runSTPN(model *mms.Model, opts Options) (Result, *stpnSim, error) {
 		routing:  rt,
 		warmup:   opts.Warmup,
 		duration: opts.Duration,
+		invBatch: batches / opts.Duration,
 	}
 	n := model.Torus().Nodes()
 	procDist := opts.ProcDist.Make(cfg.Runlength + cfg.ContextSwitch)
@@ -83,19 +101,41 @@ func runSTPN(model *mms.Model, opts Options) (Result, *stpnSim, error) {
 			Fire:    func(f *petri.Firing) []petri.Output { return s.fireSwitch(f) },
 		})
 	}
+	s.msgs = make([]message, n*cfg.Threads)
+	for i := 0; i < n; i++ {
+		for k := 0; k < cfg.Threads; k++ {
+			s.msgs[i*cfg.Threads+k].home = topology.Node(i)
+		}
+	}
 	// Every token is either parked in a place or inside an in-flight firing,
 	// so the calendar never holds more events than circulating tokens.
 	s.net.Engine().Reserve(n*cfg.Threads + 1)
-	for i := 0; i < n; i++ {
-		for k := 0; k < cfg.Threads; k++ {
-			s.net.Put(s.readyQ[i], &message{home: topology.Node(i)})
-		}
+	return s, nil
+}
+
+// run executes one replication with the given seed after resetting the net
+// and all measurement state; see directSim.run for the reuse contract.
+func (s *stpnSim) run(seed int64) Result {
+	s.net.Reset(seed)
+	s.measuring = false
+	s.accesses, s.remoteMsgs = 0, 0
+	s.batchAcc = [batches]float64{}
+	s.batchNet = [batches]float64{}
+	s.batchSObs = [batches]stats.Mean{}
+	s.sObs = stats.Welford{}
+	s.lObs, s.lObsLocal, s.lObsRemote = stats.Mean{}, stats.Mean{}, stats.Mean{}
+
+	for i := range s.msgs {
+		m := &s.msgs[i]
+		*m = message{home: m.home}
+		s.net.Put(s.readyQ[m.home], m)
 	}
 
-	s.net.Run(opts.Warmup)
+	s.net.Run(s.warmup)
 	s.net.ResetStats()
 	s.measuring = true
-	s.net.Run(opts.Warmup + opts.Duration)
+	s.net.Run(s.warmup + s.duration)
+	s.measuring = false
 
 	res := Result{
 		SObs:       s.sObs.Mean(),
@@ -106,24 +146,33 @@ func runSTPN(model *mms.Model, opts Options) (Result, *stpnSim, error) {
 		Accesses:   s.accesses,
 		RemoteLegs: s.sObs.Count(),
 	}
+	n := len(s.procT)
 	var busy float64
 	for i := 0; i < n; i++ {
 		busy += s.net.Utilization(s.procT[i])
 	}
 	res.Up = busy / float64(n)
-	res.LambdaProc = float64(s.accesses) / float64(n) / opts.Duration
-	res.LambdaNet = float64(s.remoteMsgs) / float64(n) / opts.Duration
+	res.LambdaProc = float64(s.accesses) / float64(n) / s.duration
+	res.LambdaNet = float64(s.remoteMsgs) / float64(n) / s.duration
 	res.UpCI, res.LambdaNetCI, res.SObsCI = batchCIs(
 		s.batchAcc[:], s.batchNet[:], s.batchSObs[:],
-		float64(n), opts.Duration, cfg.Runlength+cfg.ContextSwitch)
-	return res, s, nil
+		float64(n), s.duration, s.cfg.Runlength+s.cfg.ContextSwitch)
+	return res
+}
+
+func runSTPN(model *mms.Model, opts Options) (Result, *stpnSim, error) {
+	s, err := newSTPNSim(model, opts)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	return s.run(opts.Seed), s, nil
 }
 
 func (s *stpnSim) fireProc(node topology.Node, f *petri.Firing) []petri.Output {
 	m := f.Tokens[0].Data.(*message)
 	if s.measuring {
 		s.accesses++
-		s.batchAcc[batchIndex(f.Now, s.warmup, s.duration)]++
+		s.batchAcc[s.batch(f.Now)]++
 	}
 	if s.routing.chooser != nil && f.Rand.Float64() < s.cfg.PRemote {
 		m.dest = topology.Node(s.routing.chooser[node].Choose(f.Rand))
@@ -132,7 +181,7 @@ func (s *stpnSim) fireProc(node topology.Node, f *petri.Firing) []petri.Output {
 		m.legStart = f.Now
 		if s.measuring {
 			s.remoteMsgs++
-			s.batchNet[batchIndex(f.Now, s.warmup, s.duration)]++
+			s.batchNet[s.batch(f.Now)]++
 		}
 		f.Out(s.outQ[node], m)
 		return nil
@@ -177,7 +226,7 @@ func (s *stpnSim) fireSwitch(f *petri.Firing) []petri.Output {
 	}
 	if s.measuring {
 		s.sObs.Add(f.Now - m.legStart)
-		s.batchSObs[batchIndex(f.Now, s.warmup, s.duration)].Add(f.Now - m.legStart)
+		s.batchSObs[s.batch(f.Now)].Add(f.Now - m.legStart)
 	}
 	if m.response {
 		f.Out(s.readyQ[m.home], m)

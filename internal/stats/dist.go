@@ -7,13 +7,12 @@ package stats
 import (
 	"fmt"
 	"math"
-	"math/rand"
 )
 
 // Dist is a nonnegative random-variate distribution.
 type Dist interface {
 	// Sample draws one variate using the provided source.
-	Sample(rng *rand.Rand) float64
+	Sample(rng *RNG) float64
 	// Mean returns the distribution mean.
 	Mean() float64
 	// String describes the distribution.
@@ -24,7 +23,7 @@ type Dist interface {
 type Exponential struct{ M float64 }
 
 // Sample implements Dist.
-func (e Exponential) Sample(rng *rand.Rand) float64 {
+func (e Exponential) Sample(rng *RNG) float64 {
 	if e.M == 0 {
 		return 0
 	}
@@ -41,7 +40,7 @@ func (e Exponential) String() string { return fmt.Sprintf("exp(%g)", e.M) }
 type Deterministic struct{ V float64 }
 
 // Sample implements Dist.
-func (d Deterministic) Sample(*rand.Rand) float64 { return d.V }
+func (d Deterministic) Sample(*RNG) float64 { return d.V }
 
 // Mean implements Dist.
 func (d Deterministic) Mean() float64 { return d.V }
@@ -52,7 +51,7 @@ func (d Deterministic) String() string { return fmt.Sprintf("det(%g)", d.V) }
 type Uniform struct{ Lo, Hi float64 }
 
 // Sample implements Dist.
-func (u Uniform) Sample(rng *rand.Rand) float64 {
+func (u Uniform) Sample(rng *RNG) float64 {
 	return u.Lo + (u.Hi-u.Lo)*rng.Float64()
 }
 
@@ -70,7 +69,7 @@ type Erlang struct {
 }
 
 // Sample implements Dist.
-func (e Erlang) Sample(rng *rand.Rand) float64 {
+func (e Erlang) Sample(rng *RNG) float64 {
 	if e.K <= 0 || e.M == 0 {
 		return 0
 	}
@@ -145,7 +144,7 @@ func NewDiscreteChooser(weights []float64) (*DiscreteChooser, error) {
 }
 
 // Choose draws one index.
-func (c *DiscreteChooser) Choose(rng *rand.Rand) int {
+func (c *DiscreteChooser) Choose(rng *RNG) int {
 	i := rng.Intn(len(c.prob))
 	if rng.Float64() < c.prob[i] {
 		return i

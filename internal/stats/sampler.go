@@ -1,0 +1,70 @@
+package stats
+
+// Sampler is a Dist compiled into a branch-switch value type. The simulators
+// draw one service time per event through their station's distribution; an
+// interface call there defeats inlining and costs a dynamic dispatch per
+// event. A Sampler flattens the four known distributions into a tag plus
+// parameters so the hot path is a predictable switch over inlined RNG calls.
+// Unknown Dist implementations fall back to the interface.
+type Sampler struct {
+	kind uint8
+	k    int     // Erlang stages
+	a, b float64 // kind-specific parameters
+	dist Dist    // fallback for kinds not known here
+}
+
+const (
+	sampZero    uint8 = iota // nil Dist: always 0
+	sampConst                // a
+	sampExp                  // a · Exp(1)
+	sampUniform              // a + b·U
+	sampErlang               // sum of k draws of a·Exp(1)
+	sampDist                 // dist.Sample
+)
+
+// MakeSampler compiles d. A nil d samples as 0.
+func MakeSampler(d Dist) Sampler {
+	switch v := d.(type) {
+	case nil:
+		return Sampler{kind: sampZero}
+	case Deterministic:
+		return Sampler{kind: sampConst, a: v.V}
+	case Exponential:
+		if v.M == 0 {
+			return Sampler{kind: sampZero}
+		}
+		return Sampler{kind: sampExp, a: v.M}
+	case Uniform:
+		return Sampler{kind: sampUniform, a: v.Lo, b: v.Hi - v.Lo}
+	case Erlang:
+		if v.K <= 0 || v.M == 0 {
+			return Sampler{kind: sampZero}
+		}
+		return Sampler{kind: sampErlang, k: v.K, a: v.M / float64(v.K)}
+	default:
+		return Sampler{kind: sampDist, dist: d}
+	}
+}
+
+// Sample draws one variate. It matches the compiled Dist's Sample exactly:
+// the same RNG consumption, the same values.
+func (s *Sampler) Sample(rng *RNG) float64 {
+	switch s.kind {
+	case sampExp:
+		return rng.ExpFloat64() * s.a
+	case sampConst:
+		return s.a
+	case sampUniform:
+		return s.a + s.b*rng.Float64()
+	case sampErlang:
+		var sum float64
+		for i := 0; i < s.k; i++ {
+			sum += rng.ExpFloat64() * s.a
+		}
+		return sum
+	case sampDist:
+		return s.dist.Sample(rng)
+	default:
+		return 0
+	}
+}

@@ -8,11 +8,11 @@ import (
 )
 
 func TestExponentialMoments(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := NewRNG(1)
 	d := Exponential{M: 10}
 	var s Summary
 	for i := 0; i < 200000; i++ {
-		s.Add(d.Sample(rng))
+		s.Add(d.Sample(&rng))
 	}
 	if math.Abs(s.Mean()-10) > 0.15 {
 		t.Errorf("mean %v, want ~10", s.Mean())
@@ -24,8 +24,8 @@ func TestExponentialMoments(t *testing.T) {
 }
 
 func TestExponentialZeroMean(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
-	if v := (Exponential{M: 0}).Sample(rng); v != 0 {
+	rng := NewRNG(1)
+	if v := (Exponential{M: 0}).Sample(&rng); v != 0 {
 		t.Errorf("exp(0) sample %v", v)
 	}
 }
@@ -38,11 +38,11 @@ func TestDeterministic(t *testing.T) {
 }
 
 func TestUniform(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
+	rng := NewRNG(2)
 	d := Uniform{Lo: 2, Hi: 6}
 	var s Summary
 	for i := 0; i < 100000; i++ {
-		v := d.Sample(rng)
+		v := d.Sample(&rng)
 		if v < 2 || v > 6 {
 			t.Fatalf("sample %v out of range", v)
 		}
@@ -57,11 +57,11 @@ func TestUniform(t *testing.T) {
 }
 
 func TestErlangVarianceShrinks(t *testing.T) {
-	rng := rand.New(rand.NewSource(3))
+	rng := NewRNG(3)
 	var s1, s8 Summary
 	for i := 0; i < 100000; i++ {
-		s1.Add(Erlang{K: 1, M: 10}.Sample(rng))
-		s8.Add(Erlang{K: 8, M: 10}.Sample(rng))
+		s1.Add(Erlang{K: 1, M: 10}.Sample(&rng))
+		s8.Add(Erlang{K: 8, M: 10}.Sample(&rng))
 	}
 	if math.Abs(s1.Mean()-10) > 0.3 || math.Abs(s8.Mean()-10) > 0.3 {
 		t.Errorf("means %v, %v, want ~10", s1.Mean(), s8.Mean())
@@ -73,8 +73,8 @@ func TestErlangVarianceShrinks(t *testing.T) {
 }
 
 func TestErlangDegenerate(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
-	if v := (Erlang{K: 0, M: 5}).Sample(rng); v != 0 {
+	rng := NewRNG(1)
+	if v := (Erlang{K: 0, M: 5}).Sample(&rng); v != 0 {
 		t.Errorf("erlang(0) sample %v", v)
 	}
 }
@@ -270,6 +270,9 @@ func TestBatchMeansShortSeries(t *testing.T) {
 	if bm.PerBatch != 1 || bm.Batches != 4 {
 		t.Fatalf("per=%d batches=%d, want 1 and 4", bm.PerBatch, bm.Batches)
 	}
+	if !bm.Degenerate {
+		t.Error("single-observation batches not flagged Degenerate")
+	}
 	if math.Abs(bm.Mean-2.5) > 1e-12 { // mean of the first 4 observations
 		t.Errorf("mean %v, want 2.5", bm.Mean)
 	}
@@ -284,6 +287,9 @@ func TestBatchMeansShortSeries(t *testing.T) {
 	if bm.PerBatch != 2 || math.Abs(bm.Mean-4.5) > 1e-12 {
 		t.Errorf("per=%d mean=%v, want 2 and 4.5", bm.PerBatch, bm.Mean)
 	}
+	if bm.Degenerate {
+		t.Error("2-observation batches wrongly flagged Degenerate")
+	}
 }
 
 func TestDiscreteChooserFrequencies(t *testing.T) {
@@ -292,11 +298,11 @@ func TestDiscreteChooserFrequencies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(5))
+	rng := NewRNG(5)
 	counts := make([]int, len(weights))
 	const n = 500000
 	for i := 0; i < n; i++ {
-		counts[c.Choose(rng)]++
+		counts[c.Choose(&rng)]++
 	}
 	if counts[3] != 0 {
 		t.Errorf("zero-weight index chosen %d times", counts[3])
@@ -330,9 +336,9 @@ func TestDiscreteChooserSingle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(1))
+	rng := NewRNG(1)
 	for i := 0; i < 100; i++ {
-		if c.Choose(rng) != 0 {
+		if c.Choose(&rng) != 0 {
 			t.Fatal("single-weight chooser returned nonzero")
 		}
 	}

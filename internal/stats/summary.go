@@ -122,10 +122,18 @@ type BatchMeans struct {
 	HalfCI   float64 // 95% half-width
 	Batches  int
 	PerBatch int
+	// Degenerate is set when the series was too short to give every batch at
+	// least 2 observations (len(series) < 2*batches). Each "batch mean" is
+	// then a single raw observation, so HalfCI reflects observation noise —
+	// typically far wider than true batch-mean noise and unusable as a
+	// steady-state precision claim. Callers should treat a degenerate CI as
+	// "not converged", never as evidence of precision.
+	Degenerate bool
 }
 
 // NewBatchMeans computes batch-means statistics from a series. It needs at
-// least 2 batches with at least 1 observation each.
+// least 2 batches with at least 1 observation each; series shorter than
+// 2*batches produce a result flagged Degenerate (see BatchMeans.Degenerate).
 func NewBatchMeans(series []float64, batches int) (BatchMeans, error) {
 	if batches < 2 {
 		return BatchMeans{}, fmt.Errorf("stats: need >= 2 batches, got %d", batches)
@@ -146,7 +154,7 @@ func NewBatchMeans(series []float64, batches int) (BatchMeans, error) {
 	for _, m := range means {
 		s.Add(m)
 	}
-	bm := BatchMeans{Mean: s.Mean(), Batches: batches, PerBatch: per}
+	bm := BatchMeans{Mean: s.Mean(), Batches: batches, PerBatch: per, Degenerate: per < 2}
 	// 95% half-width with a normal critical value; with >= 10 batches the
 	// t-correction is under 10% and irrelevant to shape comparisons.
 	bm.HalfCI = 1.96 * s.StdDev() / math.Sqrt(float64(batches))

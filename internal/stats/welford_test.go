@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.Count() != 8 {
+		t.Errorf("count %d", w.Count())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Errorf("mean %v", w.Mean())
+	}
+	if math.Abs(w.Variance()-32.0/7.0) > 1e-12 {
+		t.Errorf("variance %v", w.Variance())
+	}
+	if w.HalfCI(0.95) <= 0 {
+		t.Errorf("half CI %v, want > 0", w.HalfCI(0.95))
+	}
+	w.Reset()
+	if w.Count() != 0 || w.Mean() != 0 || w.Variance() != 0 || w.HalfCI(0.95) != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestWelfordDegenerate(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.HalfCI(0.95) != 0 {
+		t.Error("empty accumulator not zero")
+	}
+	w.Add(3)
+	if w.Variance() != 0 || w.HalfCI(0.95) != 0 {
+		t.Error("single observation must have zero variance and CI")
+	}
+	w.Add(4)
+	if !math.IsInf(w.HalfCI(1), 1) {
+		t.Error("confidence 1 should give +Inf half-width")
+	}
+	if w.HalfCI(0) != 0 || w.HalfCI(-1) != 0 {
+		t.Error("nonpositive confidence should give 0")
+	}
+}
+
+// TestWelfordMergeExact: merging partials must equal sequential accumulation
+// to floating-point noise, for every split point.
+func TestWelfordMergeExact(t *testing.T) {
+	rng := NewRNG(21)
+	xs := make([]float64, 257)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() * 10
+	}
+	var whole Welford
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	for split := 0; split <= len(xs); split += 16 {
+		var a, b Welford
+		for _, x := range xs[:split] {
+			a.Add(x)
+		}
+		for _, x := range xs[split:] {
+			b.Add(x)
+		}
+		a.Merge(b)
+		if a.Count() != whole.Count() {
+			t.Fatalf("split %d: count %d != %d", split, a.Count(), whole.Count())
+		}
+		if math.Abs(a.Mean()-whole.Mean()) > 1e-9 {
+			t.Fatalf("split %d: mean %v != %v", split, a.Mean(), whole.Mean())
+		}
+		if math.Abs(a.Variance()-whole.Variance()) > 1e-6*(1+whole.Variance()) {
+			t.Fatalf("split %d: variance %v != %v", split, a.Variance(), whole.Variance())
+		}
+	}
+	// Merging into an empty accumulator adopts the other side verbatim.
+	var empty Welford
+	empty.Merge(whole)
+	if empty != whole {
+		t.Error("merge into empty is not identity")
+	}
+	// Merging an empty accumulator is a no-op.
+	before := whole
+	whole.Merge(Welford{})
+	if whole != before {
+		t.Error("merge of empty changed state")
+	}
+}
+
+// TestTInv pins the Student-t quantile against published table values.
+func TestTInv(t *testing.T) {
+	cases := []struct {
+		p    float64
+		df   int
+		want float64
+		tol  float64
+	}{
+		{0.975, 1, 12.7062, 1e-3},
+		{0.975, 2, 4.30265, 1e-4},
+		{0.975, 3, 3.18245, 5e-3},
+		{0.975, 5, 2.57058, 2e-3},
+		{0.975, 10, 2.22814, 1e-3},
+		{0.975, 30, 2.04227, 1e-3},
+		{0.975, 100, 1.98397, 1e-3},
+		{0.95, 5, 2.01505, 2e-3},
+		{0.995, 10, 3.16927, 5e-3},
+		{0.5, 7, 0, 0},
+	}
+	for _, c := range cases {
+		got := TInv(c.p, c.df)
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("TInv(%v, %d) = %v, want %v ± %v", c.p, c.df, got, c.want, c.tol)
+		}
+		// Symmetry.
+		if c.p != 0.5 {
+			if lo := TInv(1-c.p, c.df); math.Abs(lo+got) > 1e-9 {
+				t.Errorf("TInv(%v, %d) = %v, want -TInv(%v) = %v", 1-c.p, c.df, lo, c.p, -got)
+			}
+		}
+	}
+	if !math.IsInf(TInv(1, 5), 1) || !math.IsInf(TInv(0, 5), -1) {
+		t.Error("p ∈ {0,1} must give ±Inf")
+	}
+	if !math.IsNaN(TInv(0.9, 0)) {
+		t.Error("df < 1 must give NaN")
+	}
+}
+
+// TestWelfordHalfCICoverage: the 95% CI from n=8 exponential replications
+// should cover the true mean roughly 95% of the time. A loose band (90–99%)
+// over 2000 trials catches gross errors in TInv or the s/√n plumbing.
+func TestWelfordHalfCICoverage(t *testing.T) {
+	rng := NewRNG(31)
+	const trials = 2000
+	covered := 0
+	for trial := 0; trial < trials; trial++ {
+		var w Welford
+		for i := 0; i < 8; i++ {
+			w.Add(rng.ExpFloat64())
+		}
+		h := w.HalfCI(0.95)
+		if math.Abs(w.Mean()-1) <= h {
+			covered++
+		}
+	}
+	frac := float64(covered) / trials
+	// Exponential at n=8 is skewed, so nominal coverage runs a little under
+	// 95%; anything in [0.88, 0.99] says the machinery is sound.
+	if frac < 0.88 || frac > 0.99 {
+		t.Errorf("CI coverage %v, want ≈0.95", frac)
+	}
+}

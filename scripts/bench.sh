@@ -25,6 +25,14 @@
 #
 #   bash scripts/bench.sh 5 'ClusterForwardHit|ClientHedged' .
 #
+# Replication-path benchmarks: BenchmarkReplicateSingle (one reset-and-replay
+# replication through a reused Replicator, per engine), BenchmarkReplicate
+# (the parallel runner at 1 vs 8 workers on a fixed 16-replication budget —
+# the timing ratio is the parallel speedup, honest only on a multi-core host)
+# and BenchmarkDESRng (the engine's inline RNG draws). Focused run:
+#
+#   bash scripts/bench.sh 5 'Replicate|DESRng' . ./internal/des
+#
 # Baseline flow: the committed BENCH_BASELINE.json gates CI through
 # scripts/benchdiff. When a PR adds or retires benchmarks, there is no need
 # to regenerate the baseline in the same PR — CI compares with `benchdiff
